@@ -1,0 +1,65 @@
+"""Ablation — T-net link contention.
+
+MLSim models the network "with a delay parameter" (section 5): messages
+never queue behind each other on physical links.  This extension
+serializes messages that share a link of the dimension-order route and
+measures how much the contention-free assumption flatters each traffic
+pattern: neighbour-only halo traffic barely shares links, all-to-all
+transposes share many.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.apps import ft, scg
+from repro.mlsim.params import ap1000_plus_params
+from repro.mlsim.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def contended():
+    out = {}
+    runs = {
+        "SCG (neighbour halo)": scg.run(num_cells=16, m=48),
+        "FT (all-to-all transpose)": ft.run(num_cells=16,
+                                            shape=(32, 32, 32), iters=4),
+    }
+    for label, run in runs.items():
+        free = simulate(run.trace, ap1000_plus_params())
+        busy = simulate(run.trace, ap1000_plus_params(),
+                        link_contention=True)
+        out[label] = (free.elapsed_us, busy.elapsed_us)
+    lines = [f"{label:28s} free={free:10.1f} us  contended={busy:10.1f} us "
+             f"(+{100 * (busy / free - 1):.1f}%)"
+             for label, (free, busy) in out.items()]
+    write_artifact("ablation_contention.txt", "\n".join(lines) + "\n")
+    return out
+
+
+class TestContentionAblation:
+    def test_contention_never_speeds_things_up(self, contended):
+        for label, (free, busy) in contended.items():
+            assert busy >= free * 0.999, label
+
+    def test_all_to_all_suffers_more_than_halo(self, contended):
+        halo_free, halo_busy = contended["SCG (neighbour halo)"]
+        fft_free, fft_busy = contended["FT (all-to-all transpose)"]
+        halo_penalty = halo_busy / halo_free
+        fft_penalty = fft_busy / fft_free
+        assert fft_penalty >= halo_penalty
+
+    def test_halo_traffic_nearly_contention_free(self, contended):
+        free, busy = contended["SCG (neighbour halo)"]
+        assert busy < 1.25 * free
+
+
+class TestThroughput:
+    def test_contended_replay_cost(self, benchmark):
+        run = ft.run(num_cells=16, shape=(32, 32, 32), iters=2)
+
+        def replay():
+            return simulate(run.trace, ap1000_plus_params(),
+                            link_contention=True)
+
+        result = benchmark.pedantic(replay, rounds=3, iterations=1)
+        assert result.elapsed_us > 0

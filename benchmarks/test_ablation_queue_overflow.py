@@ -1,0 +1,68 @@
+"""Ablation — MSC+ queue overflow handling (sections 3.2 / 4.1).
+
+"Since a program may issue too many PUT/GET requests for a queue to
+handle, a mechanism to handle queue overflow is required."  MLSim
+"assumes that queues are long enough" (section 5.1) — this bench
+measures what that assumption hides: how often a burst-heavy workload
+would spill to DRAM, and the throughput cost of the spill machinery.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.hardware.queues import CommandQueue
+
+
+def burst(queue: CommandQueue, burst_len: int, bursts: int) -> None:
+    for _ in range(bursts):
+        for i in range(burst_len):
+            queue.push(i)
+        while queue:
+            queue.pop()
+
+
+@pytest.fixture(scope="module")
+def spill_profile():
+    rows = []
+    for burst_len in (4, 8, 16, 64, 256):
+        queue = CommandQueue("profile")
+        burst(queue, burst_len, 50)
+        rows.append((burst_len, queue.spilled, queue.refill_interrupts,
+                     queue.allocation_interrupts))
+    text = "burst_len  spilled  refill_intr  alloc_intr\n" + "\n".join(
+        f"{b:9d}  {s:7d}  {r:11d}  {a:10d}" for b, s, r, a in rows)
+    write_artifact("ablation_queue_overflow.txt", text + "\n")
+    return rows
+
+
+class TestSpillProfile:
+    def test_small_bursts_never_spill(self, spill_profile):
+        by_len = {row[0]: row for row in spill_profile}
+        assert by_len[4][1] == 0
+        assert by_len[8][1] == 0   # exactly fills the 64-word queue
+
+    def test_large_bursts_spill_and_interrupt(self, spill_profile):
+        by_len = {row[0]: row for row in spill_profile}
+        assert by_len[64][1] > 0
+        assert by_len[64][2] > 0   # refill interrupts
+
+    def test_very_large_bursts_allocate_buffers(self, spill_profile):
+        by_len = {row[0]: row for row in spill_profile}
+        assert by_len[256][3] > 0  # DRAM buffer allocation interrupts
+
+    def test_spill_preserves_order(self):
+        queue = CommandQueue("order")
+        for i in range(300):
+            queue.push(i)
+        assert [queue.pop() for _ in range(300)] == list(range(300))
+
+
+class TestThroughput:
+    def test_no_spill_throughput(self, benchmark):
+        queue = CommandQueue("fast")
+        benchmark(burst, queue, 8, 20)
+
+    def test_spill_throughput(self, benchmark):
+        """Cost of going through the DRAM spill path."""
+        queue = CommandQueue("spilling")
+        benchmark(burst, queue, 128, 20)

@@ -1,0 +1,47 @@
+"""Figure 6 — the MLSim parameter files.
+
+Regenerates both machine models' parameter files in the paper's format
+and benchmarks the parser.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.mlsim.params import (
+    ap1000_fast_params,
+    ap1000_params,
+    ap1000_plus_params,
+    format_params,
+    parse_params,
+)
+
+
+def test_figure6_artifacts():
+    for name, maker in (("figure6_ap1000.params", ap1000_params),
+                        ("figure6_ap1000plus.params", ap1000_plus_params),
+                        ("figure6_second_model.params", ap1000_fast_params)):
+        params = maker()
+        text = format_params(params)
+        write_artifact(name, text)
+        assert parse_params(text, name=params.name) == params
+
+
+def test_paper_values_present():
+    text = format_params(ap1000_params())
+    assert "put_prolog_time 20" in text
+    assert "intr_rtc_time 20" in text
+    text = format_params(ap1000_plus_params())
+    assert "put_prolog_time 1" in text
+    assert "recv_dma_set_time 0.5" in text
+
+
+def test_parse_benchmark(benchmark):
+    text = format_params(ap1000_params())
+    parsed = benchmark(parse_params, text)
+    assert parsed.put_prolog_time == 20.0
+
+
+def test_format_benchmark(benchmark):
+    params = ap1000_plus_params()
+    text = benchmark(format_params, params)
+    assert "computation_factor" in text

@@ -1,0 +1,84 @@
+"""Figure 8 — effect of PUT/GET hardware support.
+
+Regenerates the normalized execution-time breakdown (execution /
+run-time system / overhead / idle) for both fast machine models on every
+application, renders the ASCII figure, and asserts its qualitative
+content.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.figures import figure8_bars, render_figure8
+
+
+@pytest.fixture(scope="module")
+def bars(evaluation):
+    _, comparisons = evaluation
+    out = figure8_bars(comparisons)
+    write_artifact("figure8.txt", render_figure8(out))
+    return {(b.app, b.model): b for b in out}
+
+
+PLUS = "AP1000+"
+FAST = "AP1000/SuperSPARC"
+
+
+class TestFigure8Shape:
+    def test_sixteen_bars(self, bars):
+        assert len(bars) == 16
+
+    def test_ap1000_plus_bars_are_100(self, bars):
+        for (app, model), bar in bars.items():
+            if model == PLUS and app != "TC no st":
+                assert bar.total == pytest.approx(100.0)
+
+    def test_second_model_bars_taller(self, bars):
+        for app in ("CG", "FT", "SP", "TC st", "MatMul", "SCG"):
+            assert bars[(app, FAST)].total > bars[(app, PLUS)].total
+
+    def test_ep_pure_execution(self, bars):
+        bar = bars[("EP", PLUS)]
+        assert bar.segments["execution"] == pytest.approx(100.0)
+        assert bar.segments["overhead"] == 0.0
+        assert bar.segments["idle"] == 0.0
+
+    def test_tc_no_stride_shares_tc_stride_baseline(self, bars):
+        """The paper's TOMCATV group: both no-stride bars normalized to
+        the TC-stride AP1000+ run (printed as 150 / 788 in the figure)."""
+        assert bars[("TC no st", PLUS)].total > 110.0
+        assert bars[("TC no st", FAST)].total > \
+            2 * bars[("TC no st", PLUS)].total
+
+    def test_overhead_grows_on_software_model(self, bars):
+        for app in ("FT", "SP", "TC st", "MatMul", "SCG"):
+            assert bars[(app, FAST)].segments["overhead"] > \
+                bars[(app, PLUS)].segments["overhead"]
+
+    def test_runtime_system_visible_for_tomcatv_no_stride(self, bars):
+        """Section 5.4: run-time system overhead is largest for TOMCATV
+        without stride (24% in the paper) — the per-message address
+        calculations."""
+        no_st = bars[("TC no st", PLUS)].segments["rtsys"]
+        cg = bars[("CG", PLUS)].segments["rtsys"]
+        assert no_st > cg
+
+    def test_idle_small_on_ap1000_plus_for_balanced_apps(self, bars):
+        """'The AP1000+ model shows smaller idle times' — load balance is
+        good and communication overlaps computation."""
+        for app in ("FT", "SP", "TC st", "MatMul"):
+            assert bars[(app, PLUS)].segments["idle"] < 15.0, app
+
+    def test_execution_segment_identical_across_models(self, bars):
+        """Both models run the SuperSPARC: pure computation time is the
+        same; only overhead and idle differ."""
+        for app in ("CG", "MatMul", "SCG"):
+            assert bars[(app, PLUS)].segments["execution"] == pytest.approx(
+                bars[(app, FAST)].segments["execution"], rel=1e-6)
+
+
+class TestRenderThroughput:
+    def test_figure8_generation(self, benchmark, evaluation):
+        _, comparisons = evaluation
+        result = benchmark(figure8_bars, comparisons)
+        assert len(result) == 16

@@ -1,0 +1,74 @@
+"""Machine characterization: latency, bandwidth, and collective curves.
+
+The AP1000 line of papers characterized the machine with these curves;
+this bench regenerates them for all three models and writes the tables
+to ``output/microbenchmarks.txt``.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.apps.micro import (
+    collective_sweep,
+    format_collective_table,
+    format_latency_table,
+    half_bandwidth_point,
+    latency_sweep,
+    ping_pong,
+)
+from repro.mlsim.params import (
+    ap1000_fast_params,
+    ap1000_params,
+    ap1000_plus_params,
+)
+
+MODELS = {
+    "AP1000": ap1000_params,
+    "AP1000*": ap1000_fast_params,
+    "AP1000+": ap1000_plus_params,
+}
+
+
+@pytest.fixture(scope="module")
+def curves():
+    latency = {name: latency_sweep(maker())
+               for name, maker in MODELS.items()}
+    collectives = {name: collective_sweep(maker())
+                   for name, maker in MODELS.items()}
+    text = (format_latency_table(latency) + "\n\n"
+            + format_collective_table(collectives))
+    write_artifact("microbenchmarks.txt", text)
+    return latency, collectives
+
+
+class TestCharacterization:
+    def test_short_message_latency_ordering(self, curves):
+        latency, _ = curves
+        by_model = {name: pts[0].one_way_us for name, pts in latency.items()}
+        assert by_model["AP1000+"] < by_model["AP1000*"] < by_model["AP1000"]
+
+    def test_half_bandwidth_points_ordered(self, curves):
+        """n_1/2 ranks the models by per-message overhead."""
+        latency, _ = curves
+        n_half = {name: half_bandwidth_point(pts)
+                  for name, pts in latency.items()}
+        assert n_half["AP1000+"] <= n_half["AP1000*"] <= n_half["AP1000"]
+
+    def test_peak_bandwidth_reaches_wire_rate_on_hardware(self, curves):
+        latency, _ = curves
+        peak = max(p.bandwidth_mb_s for p in latency["AP1000+"])
+        assert peak == pytest.approx(20.0, rel=0.15)
+
+    def test_barrier_flat_reductions_growing(self, curves):
+        _, collectives = curves
+        rows = collectives["AP1000+"]
+        assert rows[-1].barrier_us < 3 * rows[0].barrier_us
+        assert rows[-1].vgop_1k_us > 5 * rows[0].vgop_1k_us
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("size", [8, 4096, 1 << 20])
+    def test_ping_pong_replay(self, benchmark, size):
+        params = ap1000_plus_params()
+        point = benchmark(ping_pong, params, size)
+        assert point.one_way_us > 0

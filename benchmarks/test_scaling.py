@@ -1,0 +1,83 @@
+"""Extension study — machine-size scaling.
+
+Table 1 spans 4-1024 cells; the evaluation fixes each application's cell
+count.  This bench sweeps the machine size for a fixed problem (strong
+scaling) on MatMul and SCG and reports the parallel efficiency of both
+fast machine models — the hardware PUT/GET advantage grows with the cell
+count because per-message software overhead is paid more often.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.apps import matmul, scg
+from repro.mlsim.params import ap1000_fast_params, ap1000_plus_params
+from repro.mlsim.simulator import simulate
+
+MM_N = 256
+SCG_M = 64
+CELL_SWEEP = (4, 16, 64)
+
+
+def _strong_scaling(runner, cells_list, **params):
+    rows = []
+    for cells in cells_list:
+        run = runner(num_cells=cells, **params)
+        assert run.verified
+        plus = simulate(run.trace, ap1000_plus_params()).elapsed_us
+        fast = simulate(run.trace, ap1000_fast_params()).elapsed_us
+        rows.append((cells, plus, fast))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    mm = _strong_scaling(matmul.run, CELL_SWEEP, n=MM_N)
+    sc = _strong_scaling(scg.run, CELL_SWEEP, m=SCG_M)
+    lines = [f"strong scaling, MatMul {MM_N}x{MM_N} / SCG {SCG_M}x{SCG_M}",
+             f"{'cells':>6}{'MM AP1000+':>14}{'MM 2nd':>12}"
+             f"{'SCG AP1000+':>14}{'SCG 2nd':>12}   (elapsed us)"]
+    for (c, mp, mf), (_, sp_, sf) in zip(mm, sc):
+        lines.append(f"{c:>6}{mp:>14.0f}{mf:>12.0f}{sp_:>14.0f}{sf:>12.0f}")
+
+    def efficiency(rows):
+        base_cells, base, _ = rows[0]
+        return [(c, base * base_cells / (c * t)) for c, t, _ in rows]
+
+    lines.append("")
+    lines.append("AP1000+ parallel efficiency (vs the smallest machine):")
+    for label, rows in (("MatMul", mm), ("SCG", sc)):
+        effs = ", ".join(f"{c} cells: {e:.2f}" for c, e in efficiency(rows))
+        lines.append(f"  {label}: {effs}")
+    write_artifact("scaling.txt", "\n".join(lines) + "\n")
+    return mm, sc
+
+
+class TestStrongScaling:
+    def test_more_cells_less_time_on_hardware(self, scaling):
+        mm, sc = scaling
+        for rows in (mm, sc):
+            times = [plus for _, plus, _ in rows]
+            assert times == sorted(times, reverse=True)
+
+    def test_hardware_advantage_grows_with_cells(self, scaling):
+        """More cells -> more messages per flop -> the software model
+        falls further behind."""
+        mm, _ = scaling
+        ratios = [fast / plus for _, plus, fast in mm]
+        assert ratios[-1] > ratios[0]
+
+    def test_hardware_faster_at_every_size(self, scaling):
+        mm, sc = scaling
+        for rows in (mm, sc):
+            for _, plus, fast in rows:
+                assert plus < fast
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("cells", CELL_SWEEP)
+    def test_matmul_functional_scaling(self, benchmark, cells):
+        result = benchmark.pedantic(
+            lambda: matmul.run(num_cells=cells, n=MM_N),
+            rounds=2, iterations=1)
+        assert result.verified

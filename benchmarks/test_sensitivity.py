@@ -1,0 +1,67 @@
+"""Extension study — MLSim parameter sensitivity.
+
+"MLSim can be tuned to match the performance of real machines by varying
+the communication parameters" (section 5).  This bench ranks the
+parameters each application actually feels, writing the profiles to
+``output/sensitivity.txt`` — the tuning map a calibrator would start
+from.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.sensitivity import (
+    format_elasticities,
+    parameter_elasticities,
+)
+from repro.mlsim.params import ap1000_plus_params
+
+
+@pytest.fixture(scope="module")
+def profiles(evaluation):
+    runs, _ = evaluation
+    out = {}
+    for name in ("CG", "SCG", "TC no st", "MatMul"):
+        out[name] = parameter_elasticities(
+            runs[name].trace, ap1000_plus_params())
+    text = "\n\n".join(format_elasticities(name, ranking)
+                       for name, ranking in out.items())
+    write_artifact("sensitivity.txt", text + "\n")
+    return out
+
+
+class TestSensitivityProfiles:
+    def test_cg_feels_the_vector_wire(self, profiles):
+        top = profiles["CG"][0]
+        assert top.parameter in ("put_msg_time", "computation_factor")
+
+    def test_tc_no_stride_feels_per_message_costs(self, profiles):
+        """Thousands of 8-byte messages: the fixed per-message issue
+        costs (prolog and the runtime's per-message work) dominate."""
+        by_name = {e.parameter: e for e in profiles["TC no st"]}
+        assert by_name["put_prolog_time"].elasticity > \
+            by_name["put_msg_time"].elasticity
+
+    def test_matmul_feels_computation_most(self, profiles):
+        """Overlapped bulk transfer: computation is the whole story."""
+        assert profiles["MatMul"][0].parameter == "computation_factor"
+
+    def test_every_profile_nonempty(self, profiles):
+        for name, ranking in profiles.items():
+            assert ranking, name
+            assert any(e.elasticity > 0 for e in ranking), name
+
+
+class TestThroughput:
+    def test_elasticity_scan_cost(self, benchmark, evaluation):
+        runs, _ = evaluation
+        trace = runs["TC st"].trace
+
+        def scan():
+            return parameter_elasticities(
+                trace, ap1000_plus_params(),
+                parameters=("put_msg_time", "computation_factor",
+                            "put_prolog_time"))
+
+        ranking = benchmark.pedantic(scan, rounds=2, iterations=1)
+        assert len(ranking) == 3

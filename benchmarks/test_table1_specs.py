@@ -1,0 +1,42 @@
+"""Table 1 — AP1000+ specifications.
+
+Regenerates the specification table from the configuration model and
+benchmarks machine construction across the product's 4-1024 cell range.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.tables import table1_text
+from repro.machine.config import MEGABYTE, MachineConfig
+from repro.machine.machine import Machine
+
+
+def test_table1_artifact():
+    text = table1_text()
+    write_artifact("table1.txt", text)
+    assert "0.2 - 51.2 GFLOPS" in text
+
+
+def test_official_configuration_sweep():
+    """Every power-of-two configuration in the catalogue validates."""
+    cells = 4
+    rows = []
+    while cells <= 1024:
+        cfg = MachineConfig.official(cells)
+        rows.append((cells, cfg.system_performance_gflops))
+        cells *= 2
+    assert rows[0][1] == pytest.approx(0.2)
+    assert rows[-1][1] == pytest.approx(51.2)
+
+
+def bench_build_machine(num_cells: int) -> Machine:
+    return Machine(MachineConfig(num_cells=num_cells,
+                                 memory_per_cell=1 * MEGABYTE))
+
+
+@pytest.mark.parametrize("cells", [4, 64, 256])
+def test_machine_construction(benchmark, cells):
+    """Time to assemble a functional machine (cells, networks, MSC+)."""
+    machine = benchmark(bench_build_machine, cells)
+    assert machine.topology.num_cells == cells

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `python setup.py develop` work offline
+(the sandbox has no `wheel` package, so PEP 517 editable installs fail)."""
+from setuptools import setup
+
+setup()

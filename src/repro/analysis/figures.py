@@ -1,0 +1,126 @@
+"""Regeneration of the paper's data figures.
+
+* Figure 7 — the component-by-component PUT timeline, printed for both
+  machine models.
+* Figure 8 — "Effect of PUT/GET hardware support": per-application
+  stacked bars (execution / run-time system / overhead / idle) for the
+  AP1000+ and the software-handled model, normalized so each
+  application's AP1000+ total is 100% (the TOMCATV pair shares the
+  TC-stride AP1000+ baseline, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import paper_data
+from repro.mlsim.params import MLSimParams, ap1000_params, ap1000_plus_params
+from repro.mlsim.put_model import put_timeline
+from repro.mlsim.simulator import ModelComparison
+
+SEGMENTS = ("execution", "rtsys", "overhead", "idle")
+SEGMENT_LABELS = {
+    "execution": "Execution time",
+    "rtsys": "Run time system",
+    "overhead": "Overhead",
+    "idle": "Idle time",
+}
+
+
+@dataclass(frozen=True)
+class Figure8Bar:
+    app: str
+    model: str
+    segments: dict[str, float]   # percent of the normalization baseline
+
+    @property
+    def total(self) -> float:
+        return sum(self.segments.values())
+
+
+def figure8_bars(comparisons: dict[str, ModelComparison]) -> list[Figure8Bar]:
+    """Both models' bars per application, paper-normalized.
+
+    Normalization baseline: the application's own AP1000+ mean total —
+    except "TC no st", which (like the paper) is normalized to the
+    TC-stride AP1000+ run so the stride benefit is visible as a taller
+    bar pair.
+    """
+    bars: list[Figure8Bar] = []
+    for name in paper_data.ROW_ORDER:
+        if name not in comparisons:
+            continue
+        cmp = comparisons[name]
+        if name == "TC no st" and "TC st" in comparisons:
+            baseline = comparisons["TC st"].ap1000_plus
+        else:
+            baseline = cmp.ap1000_plus
+        base_total = baseline.mean_total or 1.0
+        for model, result in (("AP1000+", cmp.ap1000_plus),
+                              ("AP1000/SuperSPARC", cmp.ap1000_fast)):
+            segments = {
+                "execution": 100.0 * result.mean_execution / base_total,
+                "rtsys": 100.0 * result.mean_rtsys / base_total,
+                "overhead": 100.0 * result.mean_overhead / base_total,
+                "idle": 100.0 * result.mean_idle / base_total,
+            }
+            bars.append(Figure8Bar(app=name, model=model, segments=segments))
+    return bars
+
+
+def render_figure8(bars: list[Figure8Bar], *, width: int = 56) -> str:
+    """ASCII rendering of Figure 8 (one row per bar, stacked glyphs)."""
+    glyphs = {"execution": "#", "rtsys": "r", "overhead": "o", "idle": "."}
+    max_total = max((b.total for b in bars), default=100.0)
+    scale = width / max(max_total, 1.0)
+    lines = [
+        "Figure 8: Effect of PUT/GET hardware support "
+        "(normalized execution time, %)",
+        "legend: # execution   r run-time system   o overhead   . idle",
+        "",
+    ]
+    for bar in bars:
+        cells = []
+        for seg in SEGMENTS:
+            cells.append(glyphs[seg] * round(bar.segments[seg] * scale))
+        label = f"{bar.app:<9} {bar.model:<18}"
+        lines.append(f"{label}|{''.join(cells):<{width}}| {bar.total:6.1f}%")
+    return "\n".join(lines)
+
+
+#: Figure 7 component order and whose timeline each belongs to.
+_FIG7_COMPONENTS = (
+    ("send CPU (prolog..epilog)", "send_cpu"),
+    ("MSC+ DMA setup (off-CPU)", "dma_setup"),
+    ("send DMA drain", "dma_drain"),
+    ("network (prolog+delay+msg+epilog)", "network"),
+    ("send flag incremented at", "send_flag_at"),
+    ("message arrival at", "arrival_at"),
+    ("receive service", "recv_service"),
+    ("receive flag incremented at", "recv_flag_at"),
+    ("sender CPU total", "sender_cpu_total"),
+    ("receiver CPU stolen", "receiver_cpu_total"),
+)
+
+
+def figure7_text(size: int = 1024, distance: int = 4,
+                 models: tuple[MLSimParams, ...] | None = None) -> str:
+    """The Figure 7 PUT communication model, component by component."""
+    if models is None:
+        models = (ap1000_params(), ap1000_plus_params())
+    timelines = [(p.name, put_timeline(p, size, distance)) for p in models]
+    name_width = max(len(label) for label, _ in _FIG7_COMPONENTS) + 2
+    header = f"{'component (us)':<{name_width}}" + "".join(
+        f"{name:>18}" for name, _ in timelines)
+    lines = [
+        f"Figure 7: PUT communication model "
+        f"({size}-byte message, {distance} hops)",
+        header,
+        "-" * len(header),
+    ]
+    for label, attr in _FIG7_COMPONENTS:
+        row = f"{label:<{name_width}}"
+        for _, tl in timelines:
+            row += f"{getattr(tl, attr):>18.2f}"
+        lines.append(row)
+    return "\n".join(lines)

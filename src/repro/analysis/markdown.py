@@ -1,0 +1,111 @@
+"""Markdown rendering of the evaluation report.
+
+``python -m repro.cli report --format markdown`` (or
+:func:`report_markdown`) emits the whole evaluation as a self-contained
+markdown document — the mechanical core of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import figure8_bars
+from repro.analysis.paper_data import TABLE3
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import table2_rows, table3_rows
+from repro.trace.stats import TABLE3_COLUMNS
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    out += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(out)
+
+
+def table2_markdown(report: ExperimentReport) -> str:
+    rows = []
+    for r in table2_rows(report.comparisons):
+        rows.append([
+            r.name, f"{r.paper_plus:.2f}", f"**{r.ap1000_plus:.2f}**",
+            f"{r.paper_fast:.2f}", f"**{r.ap1000_fast:.2f}**",
+            "yes" if r.ordering_holds else "**no**",
+        ])
+    return "\n".join([
+        "## Table 2 — speedups over the AP1000",
+        "",
+        _table(["App", "AP1000+ (paper)", "measured",
+                "2nd model (paper)", "measured", "HW wins"], rows),
+    ])
+
+
+def table3_markdown(report: ExperimentReport) -> str:
+    headers = ["App"] + [c for c in TABLE3_COLUMNS]
+    rows = []
+    for cmp in table3_rows(report.runs):
+        pe, *vals = cmp.measured
+        rows.append([cmp.name, str(pe)] + [f"{v:.1f}" for v in vals])
+        paper = TABLE3[cmp.name]
+        paper_vals = (paper.send, paper.gop, paper.vgop, paper.sync,
+                      paper.put, paper.puts, paper.get, paper.gets,
+                      paper.msg_bytes)
+        rows.append([f"*{cmp.name} (paper)*", str(paper.pes)]
+                    + [f"*{v:.1f}*" for v in paper_vals])
+    return "\n".join([
+        "## Table 3 — application statistics (per PE)",
+        "",
+        _table(headers, rows),
+    ])
+
+
+def figure8_markdown(report: ExperimentReport) -> str:
+    rows = []
+    for bar in figure8_bars(report.comparisons):
+        rows.append([
+            bar.app, bar.model, f"{bar.total:.1f}%",
+            f"{bar.segments['execution']:.1f}",
+            f"{bar.segments['rtsys']:.1f}",
+            f"{bar.segments['overhead']:.1f}",
+            f"{bar.segments['idle']:.1f}",
+        ])
+    return "\n".join([
+        "## Figure 8 — normalized execution time",
+        "",
+        "Percent of each application's AP1000+ total (TOMCATV pair shares "
+        "the TC-stride baseline).",
+        "",
+        _table(["App", "Model", "Total", "Execution", "Run-time sys",
+                "Overhead", "Idle"], rows),
+    ])
+
+
+def verification_markdown(report: ExperimentReport) -> str:
+    rows = []
+    for name, run in report.runs.items():
+        checks = ", ".join(f"{k}={'ok' if v else 'FAIL'}"
+                           for k, v in run.checks.items())
+        rows.append([name, "verified" if run.verified else "**FAILED**",
+                     checks])
+    return "\n".join([
+        "## Functional verification",
+        "",
+        _table(["App", "Status", "Checks"], rows),
+    ])
+
+
+def report_markdown(report: ExperimentReport) -> str:
+    """The full evaluation as one markdown document."""
+    parts = [
+        "# AP1000+ reproduction — evaluation report",
+        "",
+        "Regenerated from functional runs + MLSim replay "
+        "(`python -m repro.cli report --format markdown`).",
+        "",
+        table2_markdown(report),
+        "",
+        table3_markdown(report),
+        "",
+        figure8_markdown(report),
+        "",
+        verification_markdown(report),
+        "",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,79 @@
+"""Reference numbers transcribed from the paper, for comparison.
+
+Table 2 ("Performance simulation: compared to AP1000") gives the speedup
+of each model over the AP1000.  Table 3 gives per-PE operation counts.
+Figure 8's bar totals are derived from Table 2 (each second-model bar is
+``100 * plus_speedup / fast_speedup`` with the AP1000+ at 100), except
+the TOMCATV pair, whose four bars share the TC-stride AP1000+ baseline;
+the paper prints 150 and 788 over the no-stride bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: (AP1000+ speedup, AP1000-with-SuperSPARC speedup), both vs the AP1000.
+TABLE2: dict[str, tuple[float, float]] = {
+    "EP": (8.00, 8.00),
+    "CG": (4.78, 3.42),
+    "FT": (7.12, 4.14),
+    "SP": (7.62, 6.05),
+    "TC st": (7.83, 6.42),
+    "TC no st": (11.55, 2.20),
+    "MatMul": (8.27, 6.22),
+    "SCG": (7.96, 5.17),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    pes: int
+    send: float
+    gop: float
+    vgop: float
+    sync: float
+    put: float
+    puts: float
+    get: float
+    gets: float
+    msg_bytes: float
+
+
+TABLE3: dict[str, Table3Row] = {
+    "EP": Table3Row(64, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+    "CG": Table3Row(16, 365.6, 810.0, 390.0, 3135.0, 390.0, 0.0, 0.0, 0.0,
+                    700.0),
+    "FT": Table3Row(128, 0.0, 24.0, 0.0, 51.0, 2048.0, 7680.0, 9652.0,
+                    512.0, 1638.4),
+    "SP": Table3Row(64, 1.0, 0.0, 1.0, 42.0, 10880.0, 0.0, 10710.0, 0.0,
+                    1355.3),
+    "TC st": Table3Row(16, 0.0, 20.0, 0.0, 80.0, 0.0, 37.5, 37.5, 0.0,
+                       2056.0),
+    "TC no st": Table3Row(16, 0.0, 20.0, 0.0, 80.0, 9637.5, 0.0, 9637.5,
+                          0.0, 8.0),
+    "MatMul": Table3Row(64, 0.0, 0.0, 0.0, 64.0, 64.0, 0.0, 0.0, 0.0,
+                        76800.0),
+    "SCG": Table3Row(64, 878.1, 893.0, 0.0, 1.0, 878.1, 0.0, 0.0, 0.0,
+                     1600.0),
+}
+
+#: Figure 8 second-model bar totals (percent of the per-app AP1000+ bar),
+#: derived from Table 2; the TOMCATV no-stride pair uses the TC-stride
+#: AP1000+ baseline and is printed in the paper as 150 / 788.
+FIGURE8_SECOND_MODEL_TOTALS: dict[str, float] = {
+    name: 100.0 * plus / fast for name, (plus, fast) in TABLE2.items()
+}
+FIGURE8_TOMCATV_NO_STRIDE = (150.0, 788.0)  # (AP1000+ bar, second model bar)
+
+#: Table 1 — AP1000+ specifications.
+TABLE1 = {
+    "Processor": "SuperSPARC (50 MHz)",
+    "Processor performance": "50 MFLOPS",
+    "Memory per cell": "16, 64 megabytes",
+    "Cache per cell": "36 kilobytes, write-through",
+    "System configuration": "4 - 1024 cells",
+    "System performance": "0.2 - 51.2 GFLOPS",
+}
+
+#: Ordering of rows in the paper's tables and Figure 8.
+ROW_ORDER = ("EP", "CG", "FT", "SP", "TC st", "TC no st", "MatMul", "SCG")

@@ -1,0 +1,102 @@
+"""End-to-end experiment driver.
+
+``run_experiments`` executes the paper's whole evaluation: run every
+workload functionally (with numerical verification), replay each trace
+under the three machine models, and assemble Tables 2/3 and Figure 8.
+``python -m repro.analysis.report`` prints the full report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import paper_data
+from repro.analysis.figures import figure7_text, figure8_bars, render_figure8
+from repro.analysis.tables import (
+    format_table2,
+    format_table3,
+    table1_text,
+    table2_rows,
+    table3_rows,
+)
+from repro.apps.base import AppRun
+from repro.apps.workloads import ORDER, run_all
+from repro.mlsim.simulator import ModelComparison, simulate_models
+
+
+@dataclass
+class ExperimentReport:
+    """Everything the evaluation section produces."""
+
+    runs: dict[str, AppRun]
+    comparisons: dict[str, ModelComparison] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.comparisons:
+            self.comparisons = {
+                name: simulate_models(run.trace)
+                for name, run in self.runs.items()
+            }
+
+    @property
+    def all_verified(self) -> bool:
+        return all(run.verified for run in self.runs.values())
+
+    def table2(self):
+        return table2_rows(self.comparisons)
+
+    def table3(self):
+        return table3_rows(self.runs)
+
+    def figure8(self):
+        return figure8_bars(self.comparisons)
+
+    def render(self) -> str:
+        sections = [
+            "AP1000+ reproduction — full evaluation",
+            "=" * 48,
+            "",
+            "Table 1: AP1000+ specifications",
+            table1_text(),
+            "",
+            figure7_text(),
+            "",
+            format_table2(self.table2()),
+            "",
+            format_table3(self.table3()),
+            "",
+            render_figure8(self.figure8()),
+            "",
+            "Functional verification: " + (
+                "ALL PASSED" if self.all_verified else "FAILURES: " + ", ".join(
+                    name for name, run in self.runs.items()
+                    if not run.verified)),
+        ]
+        return "\n".join(sections)
+
+
+def run_experiments(*, paper_scale: bool = False,
+                    names: tuple[str, ...] = ORDER) -> ExperimentReport:
+    """Run the full evaluation pipeline."""
+    runs = run_all(paper_scale=paper_scale, names=names)
+    return ExperimentReport(runs=runs)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Reproduce the AP1000+ evaluation (Tables 2-3, Fig 8)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's problem sizes and PE counts "
+                             "(slow: minutes of pure-Python simulation)")
+    parser.add_argument("--apps", nargs="*", default=list(ORDER),
+                        help="subset of workloads to run")
+    args = parser.parse_args()
+    report = run_experiments(paper_scale=args.paper_scale,
+                             names=tuple(args.apps))
+    print(report.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,102 @@
+"""Parameter sensitivity analysis.
+
+"MLSim can be tuned to match the performance of real machines by varying
+the communication parameters" (section 5).  This module makes that
+tuning loop a first-class tool: sweep any Figure 6 parameter over a
+range and watch the elapsed time respond, or rank all parameters by
+*elasticity* — the relative change in elapsed time per relative change
+in the parameter — to see which knobs an application actually feels.
+
+The elasticity ranking is effectively a sensitivity-derived profile: CG
+ranks the reduction-path parameters first, MatMul the per-byte costs,
+SCG the flag-check and small-message issue costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.core.errors import ConfigurationError
+from repro.mlsim.params import MLSimParams
+from repro.mlsim.simulator import simulate
+from repro.trace.buffer import TraceBuffer
+
+#: Parameters excluded from sweeps (identity/meta fields).
+_NON_NUMERIC = ("name", "hardware_put_get")
+
+
+def sweepable_parameters(params: MLSimParams) -> list[str]:
+    """Names of all numeric timing parameters."""
+    return [f.name for f in fields(params) if f.name not in _NON_NUMERIC]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    value: float
+    elapsed_us: float
+
+
+def sweep_parameter(trace: TraceBuffer, params: MLSimParams, name: str,
+                    values) -> list[SweepPoint]:
+    """Replay ``trace`` once per parameter value."""
+    if name not in sweepable_parameters(params):
+        raise ConfigurationError(
+            f"{name!r} is not a sweepable MLSim parameter")
+    points = []
+    for value in values:
+        variant = params.with_overrides(**{name: value})
+        result = simulate(trace, variant)
+        points.append(SweepPoint(value=float(value),
+                                 elapsed_us=result.elapsed_us))
+    return points
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """d(log elapsed) / d(log parameter), measured by a finite bump."""
+
+    parameter: str
+    base_value: float
+    elasticity: float
+
+    def describe(self) -> str:
+        return (f"{self.parameter:28s} base={self.base_value:10.4g}  "
+                f"elasticity={self.elasticity:8.4f}")
+
+
+def parameter_elasticities(trace: TraceBuffer, params: MLSimParams, *,
+                           bump: float = 0.5,
+                           parameters=None) -> list[Elasticity]:
+    """Rank parameters by how strongly the elapsed time responds.
+
+    Each parameter is bumped by ``bump`` (relative); zero-valued
+    parameters are skipped (no relative change exists).  Returns the
+    ranking sorted by descending elasticity.
+    """
+    if bump <= 0:
+        raise ConfigurationError("bump must be positive")
+    names = parameters or sweepable_parameters(params)
+    base = simulate(trace, params).elapsed_us
+    out = []
+    for name in names:
+        value = getattr(params, name)
+        if value == 0:
+            continue
+        bumped = simulate(
+            trace, params.with_overrides(**{name: value * (1 + bump)}))
+        rel_time = (bumped.elapsed_us - base) / base
+        out.append(Elasticity(parameter=name, base_value=value,
+                              elasticity=rel_time / bump))
+    out.sort(key=lambda e: -abs(e.elasticity))
+    return out
+
+
+def format_elasticities(label: str,
+                        ranking: list[Elasticity], *,
+                        top: int = 8) -> str:
+    lines = [f"Parameter sensitivity: {label}",
+             "(elasticity = relative elapsed-time change per relative "
+             "parameter change)"]
+    for e in ranking[:top]:
+        lines.append("  " + e.describe())
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Programmatic validation of the paper's qualitative results.
+
+`validate_report` checks an :class:`~repro.analysis.report.ExperimentReport`
+against the shape claims of section 5.4 (the DESIGN.md section 7 list):
+functional verification, Table 2 orderings, the stride effect, Table 3
+structure, and Figure 8 bar relations.  Each check yields a
+:class:`ShapeCheck` with an explanation, so a port or a re-calibration
+can see *which* qualitative result it broke.
+
+``python -m repro.cli report --validate`` prints the checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import table2_rows
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim, tested."""
+
+    name: str
+    passed: bool
+    detail: str
+    paper_quote: str = ""
+
+    def describe(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def _iter_checks(report: ExperimentReport) -> Iterator[ShapeCheck]:
+    # ---- functional correctness ---------------------------------------
+    failures = [name for name, run in report.runs.items()
+                if not run.verified]
+    yield ShapeCheck(
+        name="functional verification",
+        passed=not failures,
+        detail=("every application matches its sequential reference"
+                if not failures else f"failed: {failures}"))
+
+    rows = {r.name: r for r in table2_rows(report.comparisons)}
+
+    # ---- EP: pure processor ratio --------------------------------------
+    if "EP" in rows:
+        ep = rows["EP"]
+        ok = (abs(ep.ap1000_plus - 8.0) < 1e-6
+              and abs(ep.ap1000_fast - 8.0) < 1e-6)
+        yield ShapeCheck(
+            name="EP equals the processor ratio",
+            passed=ok,
+            detail=f"measured {ep.ap1000_plus:.2f} / {ep.ap1000_fast:.2f}",
+            paper_quote="EP has no communication, so both models achieved "
+                        "a rate equal to the processor improvement.")
+
+    # ---- hardware wins every row ----------------------------------------
+    losers = [name for name, r in rows.items() if not r.ordering_holds]
+    yield ShapeCheck(
+        name="hardware PUT/GET beats software handling on every row",
+        passed=not losers,
+        detail="all rows ordered" if not losers else f"violated: {losers}")
+
+    # ---- CG worst case ---------------------------------------------------
+    if "CG" in rows and len(rows) > 1:
+        cg = rows["CG"].ap1000_plus
+        others = [r.ap1000_plus for n, r in rows.items() if n != "CG"]
+        yield ShapeCheck(
+            name="CG is the worst case for the AP1000+",
+            passed=cg <= min(others),
+            detail=f"CG {cg:.2f} vs best-of-rest {min(others):.2f}",
+            paper_quote="CG is the worst case improvement and has high "
+                        "overhead, because large vector global summations "
+                        "dominate in its execution.")
+
+    # ---- stride effect ----------------------------------------------------
+    if {"TC st", "TC no st"} <= rows.keys():
+        t_st = report.comparisons["TC st"].ap1000_plus.mean_total
+        t_no = report.comparisons["TC no st"].ap1000_plus.mean_total
+        yield ShapeCheck(
+            name="TOMCATV faster with stride transfers on the AP1000+",
+            passed=t_no > 1.1 * t_st,
+            detail=f"no-stride/stride time ratio {t_no / t_st:.2f}",
+            paper_quote="TOMCATV with stride data transfers is about 50% "
+                        "faster than that without stride data transfers "
+                        "on the AP1000+ model.")
+        st_stats = report.runs["TC st"].statistics
+        no_stats = report.runs["TC no st"].statistics
+        blowup = (no_stats.put_per_pe
+                  / max(st_stats.puts_per_pe, 1e-9))
+        yield ShapeCheck(
+            name="no-stride message blowup equals the mesh extent",
+            passed=blowup > 10,
+            detail=f"x{blowup:.0f} messages at "
+                   f"{no_stats.avg_message_bytes:.0f} bytes")
+
+    # ---- Table 3 structure -------------------------------------------------
+    if "EP" in report.runs:
+        ep_stats = report.runs["EP"].statistics
+        yield ShapeCheck(
+            name="EP's Table 3 row is all zero",
+            passed=ep_stats.as_row()[1:] == (0.0,) * 9,
+            detail="no communication events recorded")
+    if "SCG" in report.runs:
+        scg_stats = report.runs["SCG"].statistics
+        yield ShapeCheck(
+            name="SCG synchronizes on flags, not barriers",
+            passed=scg_stats.sync_per_pe == 1.0,
+            detail=f"{scg_stats.sync_per_pe:.0f} barrier(s) per PE",
+            paper_quote="The two C language applications use PUT/GET "
+                        "directly and overlap communication with "
+                        "computation.")
+
+    # ---- Figure 8 ------------------------------------------------------------
+    taller = [name for name, cmp in report.comparisons.items()
+              if name != "EP"
+              and cmp.ap1000_fast.mean_total <= cmp.ap1000_plus.mean_total]
+    yield ShapeCheck(
+        name="second-model bars taller than AP1000+ bars",
+        passed=not taller,
+        detail="all communicating rows" if not taller
+        else f"violated: {taller}")
+
+
+def validate_report(report: ExperimentReport) -> list[ShapeCheck]:
+    """All applicable shape checks for this report."""
+    return list(_iter_checks(report))
+
+
+def all_shapes_hold(report: ExperimentReport) -> bool:
+    return all(check.passed for check in validate_report(report))
+
+
+def format_checks(checks: list[ShapeCheck]) -> str:
+    lines = ["Paper-shape validation:"]
+    for check in checks:
+        lines.append("  " + check.describe())
+        if check.paper_quote:
+            lines.append(f'        "{check.paper_quote}"')
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"{passed}/{len(checks)} qualitative results hold")
+    return "\n".join(lines)

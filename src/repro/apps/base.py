@@ -1,0 +1,77 @@
+"""Shared application infrastructure.
+
+Each application module exposes
+
+* ``program(ctx, **params)`` — the SPMD generator run on every cell;
+* ``reference(**params)`` — a sequential numpy computation of the same
+  quantities, used to verify the parallel run;
+* ``run(num_cells=..., **params)`` — build a machine, execute, verify,
+  and return an :class:`AppRun`.
+
+Problem sizes: ``PAPER`` configurations use the exact sizes and PE counts
+of section 5.2 (they can take minutes in a pure-Python simulator);
+``DEFAULT`` configurations shrink the grid/iteration counts while keeping
+the communication *pattern* identical, because MLSim consumes patterns —
+who communicates with whom, how often, with what message sizes — not
+absolute durations.  EXPERIMENTS.md records the scaling for each app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import ConfigurationError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.trace.buffer import TraceBuffer
+from repro.trace.stats import AppStatistics, collect_statistics
+
+
+@dataclass
+class AppRun:
+    """Outcome of one functional application run."""
+
+    name: str
+    machine: Machine
+    results: list[Any]
+    verified: bool
+    checks: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trace(self) -> TraceBuffer:
+        return self.machine.trace
+
+    @property
+    def statistics(self) -> AppStatistics:
+        return collect_statistics(self.trace)
+
+
+def execute(name: str, program: Callable, num_cells: int,
+            verify: Callable[[list[Any], Machine], dict[str, Any]],
+            *, memory_per_cell: int | None = None,
+            trace_capacity: int | None = None,
+            **params) -> AppRun:
+    """Run ``program`` on a fresh machine and verify the results.
+
+    ``verify`` receives the per-cell results and the machine and returns a
+    dict of named checks; every value must be truthy for the run to count
+    as verified.
+    """
+    if num_cells < 1:
+        raise ConfigurationError("application needs at least one cell")
+    kwargs: dict[str, Any] = {"num_cells": num_cells}
+    if memory_per_cell is not None:
+        kwargs["memory_per_cell"] = memory_per_cell
+    if trace_capacity is not None:
+        kwargs["trace_capacity"] = trace_capacity
+    machine = Machine(MachineConfig(**kwargs))
+    results = machine.run(program, **params)
+    checks = verify(results, machine)
+    return AppRun(
+        name=name,
+        machine=machine,
+        results=results,
+        verified=all(bool(v) for v in checks.values()),
+        checks=checks,
+    )

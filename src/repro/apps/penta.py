@@ -1,0 +1,178 @@
+"""Constant-coefficient pentadiagonal solvers (the SP substrate).
+
+The NAS SP kernel solves *scalar pentadiagonal* systems along every grid
+line.  For a symmetric constant-band matrix
+
+    A = penta(a, b, c, b, a)   (bands at offsets -2, -1, 0, +1, +2)
+
+Gaussian elimination without pivoting reduces A to an upper-triangular
+band (c', d', e=a); the multiplier/coefficient recurrences are *scalar*
+(independent of the right-hand side), so a distributed solve can
+precompute them redundantly on every cell and only pipeline the
+right-hand-side elimination (two boundary rows forward) and the
+back-substitution (two boundary rows backward) — exactly the per-line
+neighbour traffic that fills SP's PUT/GET columns in Table 3.
+
+Diagonal dominance (``|c| > 2|a| + 2|b|``) guarantees stability without
+pivoting; the solvers check it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PentaBands:
+    """Symmetric constant bands (a: +-2, b: +-1, c: diagonal)."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if abs(self.c) <= 2 * abs(self.a) + 2 * abs(self.b):
+            raise ConfigurationError(
+                "pentadiagonal bands are not diagonally dominant; "
+                "elimination without pivoting would be unstable")
+
+
+@dataclass(frozen=True)
+class PentaCoefficients:
+    """Precomputed elimination coefficients for a length-``n`` system.
+
+    ``cp[i]``/``dp[i]`` are the reduced diagonal/super-diagonal of row i;
+    ``m1[i]``/``m2[i]`` the multipliers applied to rows i-1 / i-2 when
+    eliminating row i.  All scalar, shared by every right-hand side.
+    """
+
+    bands: PentaBands
+    cp: np.ndarray
+    dp: np.ndarray
+    m1: np.ndarray
+    m2: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.cp)
+
+
+def precompute(bands: PentaBands, n: int) -> PentaCoefficients:
+    """Run the scalar elimination recurrences for a length-``n`` line."""
+    if n < 1:
+        raise ConfigurationError("system must have at least one unknown")
+    a, b, c0, d0, e0 = bands.a, bands.b, bands.c, bands.b, bands.a
+    cp = np.empty(n)
+    dp = np.empty(n)
+    m1 = np.zeros(n)
+    m2 = np.zeros(n)
+    for i in range(n):
+        ci, di = c0, d0
+        beff = b
+        if i >= 2:
+            m2[i] = a / cp[i - 2]
+            beff = b - m2[i] * dp[i - 2]
+            ci -= m2[i] * e0
+        if i >= 1:
+            m1[i] = beff / cp[i - 1]
+            ci -= m1[i] * dp[i - 1]
+            di -= m1[i] * e0
+        cp[i] = ci
+        dp[i] = di
+    return PentaCoefficients(bands=bands, cp=cp, dp=dp, m1=m1, m2=m2)
+
+
+def eliminate_rhs(coeffs: PentaCoefficients, rhs: np.ndarray,
+                  start: int = 0,
+                  boundary: tuple[np.ndarray, np.ndarray] | None = None
+                  ) -> np.ndarray:
+    """Forward-eliminate right-hand sides for rows [start, start+rows).
+
+    ``rhs`` has shape (rows, pencils).  ``boundary`` carries the already
+    eliminated rows ``start-2`` and ``start-1`` (in that order) from the
+    upstream cell; it is required whenever ``start > 0``.
+    """
+    if boundary is None and start != 0:
+        raise ConfigurationError(
+            "forward elimination starting mid-system needs the two "
+            "upstream boundary rows")
+    rows, pencils = rhs.shape
+    ext = np.zeros((rows + 2, pencils))
+    if boundary is not None:
+        ext[0] = boundary[0]   # eliminated row start-2
+        ext[1] = boundary[1]   # eliminated row start-1
+    ext[2:] = rhs
+    for k in range(rows):
+        i = start + k
+        if i >= 2:
+            ext[k + 2] -= coeffs.m2[i] * ext[k]
+        if i >= 1:
+            ext[k + 2] -= coeffs.m1[i] * ext[k + 1]
+    return ext[2:]
+
+
+def back_substitute(coeffs: PentaCoefficients, reduced: np.ndarray,
+                    start: int = 0,
+                    boundary: tuple[np.ndarray, np.ndarray] | None = None
+                    ) -> np.ndarray:
+    """Back-substitute rows [start, start+rows) given the eliminated rhs.
+
+    ``boundary`` carries the solution rows ``start+rows`` and
+    ``start+rows+1`` (in that order) from the downstream cell; it is
+    required whenever the block does not end the system.
+    """
+    rows, pencils = reduced.shape
+    n = coeffs.n
+    if boundary is None and start + rows < n:
+        raise ConfigurationError(
+            "back substitution ending mid-system needs the two "
+            "downstream boundary rows")
+    e0 = coeffs.bands.a
+    ext = np.zeros((rows + 2, pencils))
+    if boundary is not None:
+        ext[rows] = boundary[0]       # solution row start+rows
+        ext[rows + 1] = boundary[1]   # solution row start+rows+1
+    for k in range(rows - 1, -1, -1):
+        i = start + k
+        acc = np.array(reduced[k], dtype=np.float64, copy=True)
+        if i + 1 < n:
+            acc -= coeffs.dp[i] * ext[k + 1]
+        if i + 2 < n:
+            acc -= e0 * ext[k + 2]
+        ext[k] = acc / coeffs.cp[i]
+    return ext[:rows]
+
+
+def solve_lines(bands: PentaBands, rhs: np.ndarray) -> np.ndarray:
+    """Sequential reference: solve A x = rhs for every pencil.
+
+    ``rhs`` has shape (n, pencils); returns the same shape.
+    """
+    coeffs = precompute(bands, rhs.shape[0])
+    reduced = eliminate_rhs(coeffs, rhs)
+    return back_substitute(coeffs, reduced)
+
+
+def solve_along_axis(bands: PentaBands, rhs: np.ndarray,
+                     axis: int) -> np.ndarray:
+    """Solve independent pentadiagonal systems along ``axis`` of an
+    n-dimensional array."""
+    moved = np.moveaxis(rhs, axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    solved = solve_lines(bands, flat).reshape(moved.shape)
+    return np.moveaxis(solved, 0, axis)
+
+
+def apply_penta(bands: PentaBands, u: np.ndarray, axis: int) -> np.ndarray:
+    """y = A u along ``axis`` with zero (Dirichlet) boundaries."""
+    moved = np.moveaxis(u, axis, 0)
+    out = bands.c * moved.copy()
+    out[1:] += bands.b * moved[:-1]
+    out[:-1] += bands.b * moved[1:]
+    out[2:] += bands.a * moved[:-2]
+    out[:-2] += bands.a * moved[2:]
+    return np.moveaxis(out, 0, axis)

@@ -1,0 +1,168 @@
+"""Command-line interface: run workloads, record/replay traces, print
+parameter files, and reproduce the full evaluation.
+
+Usage::
+
+    python -m repro.cli run CG --cells 16 --trace cg.jsonl
+    python -m repro.cli replay cg.jsonl --preset ap1000+
+    python -m repro.cli replay cg.jsonl --params my_model.params
+    python -m repro.cli params ap1000
+    python -m repro.cli report [--paper-scale] [--apps EP MatMul ...]
+    python -m repro.cli list
+
+The ``run``/``replay`` split mirrors the paper's methodology: traces are
+recorded once on the (functional) machine, then replayed through MLSim
+under as many parameter files as desired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import run_experiments
+from repro.apps.workloads import ORDER, workload
+from repro.mlsim.params import PRESETS, format_params, parse_params, preset
+from repro.mlsim.simulator import simulate, simulate_models
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import collect_statistics, format_table3_row
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("workloads (section 5.2):")
+    for name in ORDER:
+        w = workload(name)
+        print(f"  {name:10s} {w.language:12s} default {w.default_pes:3d} "
+              f"cells, paper {w.paper_pes:3d} cells")
+    print("\nparameter presets (Figure 6):", ", ".join(sorted(PRESETS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    w = workload(args.app)
+    run = w.run(paper_scale=args.paper_scale, num_cells=args.cells)
+    status = "VERIFIED" if run.verified else "FAILED"
+    print(f"{run.name}: functional run {status} on "
+          f"{run.machine.config.num_cells} cells, "
+          f"{run.trace.total_events} trace events")
+    for name, value in run.checks.items():
+        print(f"  check {name}: {value}")
+    print(format_table3_row(run.name, run.statistics))
+    if args.trace:
+        save_trace(run.trace, args.trace)
+        print(f"trace written to {args.trace}")
+    if not args.no_replay:
+        cmp = simulate_models(run.trace)
+        plus, fast = cmp.table2_row()
+        print(f"Table 2 speedups vs AP1000: AP1000+ {plus:.2f}, "
+              f"AP1000/SuperSPARC {fast:.2f}")
+    return 0 if run.verified else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if args.params:
+        params = parse_params(args.params, name=args.params)
+    else:
+        params = preset(args.preset)
+    if args.timeline:
+        from repro.mlsim.engine import MLSimEngine
+        from repro.mlsim.timeline import render_timeline
+        trace.coalesce_compute()
+        engine = MLSimEngine(trace, params, record_timeline=True)
+        result = engine.run()
+        print(render_timeline(engine.timeline))
+    else:
+        result = simulate(trace, params)
+    print(f"model {result.model_name}: elapsed {result.elapsed_us:.1f} us, "
+          f"{result.messages} messages, "
+          f"{result.bytes_on_wire} payload bytes")
+    print(f"  mean execution {result.mean_execution:12.1f} us")
+    print(f"  mean rtsys     {result.mean_rtsys:12.1f} us")
+    print(f"  mean overhead  {result.mean_overhead:12.1f} us")
+    print(f"  mean idle      {result.mean_idle:12.1f} us")
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    sys.stdout.write(format_params(preset(args.preset)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = run_experiments(paper_scale=args.paper_scale,
+                             names=tuple(args.apps))
+    if args.format == "markdown":
+        from repro.analysis.markdown import report_markdown
+        print(report_markdown(report))
+    else:
+        print(report.render())
+    if args.validate:
+        from repro.analysis.validate import format_checks, validate_report
+        checks = validate_report(report)
+        print()
+        print(format_checks(checks))
+        if not all(c.passed for c in checks):
+            return 1
+    return 0 if report.all_verified else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AP1000+ PUT/GET reproduction (ASPLOS VI, 1994)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads and presets")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one workload functionally")
+    p_run.add_argument("app", choices=list(ORDER))
+    p_run.add_argument("--cells", type=int, default=None,
+                       help="override the cell count")
+    p_run.add_argument("--paper-scale", action="store_true",
+                       help="use the paper's problem size")
+    p_run.add_argument("--trace", metavar="FILE",
+                       help="write the recorded trace as JSON lines")
+    p_run.add_argument("--no-replay", action="store_true",
+                       help="skip the MLSim replay summary")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_replay = sub.add_parser("replay",
+                              help="replay a recorded trace through MLSim")
+    p_replay.add_argument("trace", help="trace file from `run --trace`")
+    p_replay.add_argument("--preset", default="ap1000+",
+                          choices=sorted(PRESETS),
+                          help="parameter preset (default: ap1000+)")
+    p_replay.add_argument("--params", metavar="FILE",
+                          help="custom Figure 6 style parameter file")
+    p_replay.add_argument("--timeline", action="store_true",
+                          help="print a per-PE ASCII Gantt chart")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_params = sub.add_parser("params",
+                              help="print a parameter file (Figure 6)")
+    p_params.add_argument("preset", choices=sorted(PRESETS))
+    p_params.set_defaults(func=_cmd_params)
+
+    p_report = sub.add_parser("report", help="regenerate the evaluation")
+    p_report.add_argument("--paper-scale", action="store_true")
+    p_report.add_argument("--apps", nargs="*", default=list(ORDER),
+                          choices=list(ORDER))
+    p_report.add_argument("--format", default="text",
+                          choices=("text", "markdown"))
+    p_report.add_argument("--validate", action="store_true",
+                          help="check the paper's qualitative results")
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

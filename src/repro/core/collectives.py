@@ -1,0 +1,160 @@
+"""Schedules for software barriers and reductions over communication
+registers.
+
+The S-net synchronizes *all* cells in hardware; groups synchronize in
+software using the communication registers, "in the same way as global
+summation" (section 4.5).  "If sending addresses are previously calculated
+using algorithms such as binary tree or cross over, global reduction can
+be achieved only by repeating store, execute, and load instructions."
+
+This module computes those precalculated partner schedules:
+
+* :func:`butterfly_schedule` — the "cross over" (recursive doubling)
+  pattern: log2(P) rounds, every rank active, result everywhere.
+* :func:`tree_schedule` — the binary-tree pattern: reduce up to rank 0,
+  then broadcast down.
+
+Ranks are positions inside the group's member list, so any subset of
+cells can run a group collective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Role(Enum):
+    SEND = "send"          # store my value to the partner's register
+    RECEIVE = "receive"    # load the partner's value from my register
+    EXCHANGE = "exchange"  # both (cross-over step)
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One round of a collective: what ``rank`` does and with whom."""
+
+    round_index: int
+    partner: int  # rank within the group, -1 when idle
+    role: Role
+
+
+def _check(rank: int, size: int) -> None:
+    if size < 1:
+        raise ValueError("group size must be at least 1")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range for group of {size}")
+
+
+def butterfly_schedule(rank: int, size: int) -> list[Step]:
+    """Cross-over (recursive doubling) schedule for ``rank`` of ``size``.
+
+    For non-power-of-two sizes the extra ranks first fold their value onto
+    a partner inside the largest power of two, the butterfly runs there,
+    and the result is copied back out — the standard construction.
+    """
+    _check(rank, size)
+    pow2 = 1 << (size.bit_length() - 1)
+    if pow2 == size:
+        core = size
+        steps: list[Step] = []
+    else:
+        core = pow2
+        steps = []
+        if rank >= core:
+            # Fold in, wait for the core to finish, then receive the result.
+            steps.append(Step(0, rank - core, Role.SEND))
+        elif rank < size - core:
+            steps.append(Step(0, rank + core, Role.RECEIVE))
+        else:
+            steps.append(Step(0, -1, Role.IDLE))
+
+    base = len(steps)
+    rounds = int(math.log2(core)) if core > 1 else 0
+    for r in range(rounds):
+        if rank < core:
+            steps.append(Step(base + r, rank ^ (1 << r), Role.EXCHANGE))
+        else:
+            steps.append(Step(base + r, -1, Role.IDLE))
+
+    if pow2 != size:
+        final = base + rounds
+        if rank >= core:
+            steps.append(Step(final, rank - core, Role.RECEIVE))
+        elif rank < size - core:
+            steps.append(Step(final, rank + core, Role.SEND))
+        else:
+            steps.append(Step(final, -1, Role.IDLE))
+    return steps
+
+
+def butterfly_rounds(size: int) -> int:
+    """Number of rounds a butterfly needs for a group of ``size``."""
+    if size < 1:
+        raise ValueError("group size must be at least 1")
+    pow2 = 1 << (size.bit_length() - 1)
+    rounds = int(math.log2(pow2)) if pow2 > 1 else 0
+    return rounds + (2 if pow2 != size else 0)
+
+
+def tree_schedule(rank: int, size: int) -> list[Step]:
+    """Binary-tree reduce-then-broadcast schedule rooted at rank 0."""
+    _check(rank, size)
+    steps: list[Step] = []
+    # Reduce phase: in round r, ranks that are multiples of 2^(r+1)
+    # receive from rank + 2^r when that child exists.
+    r = 0
+    stride = 1
+    while stride < size:
+        if rank % (2 * stride) == 0:
+            child = rank + stride
+            if child < size:
+                steps.append(Step(r, child, Role.RECEIVE))
+            else:
+                steps.append(Step(r, -1, Role.IDLE))
+        elif rank % (2 * stride) == stride:
+            steps.append(Step(r, rank - stride, Role.SEND))
+        else:
+            steps.append(Step(r, -1, Role.IDLE))
+        stride *= 2
+        r += 1
+    # Broadcast phase mirrors the reduce phase in reverse.
+    reduce_rounds = r
+    stride = 1 << max(reduce_rounds - 1, 0)
+    while stride >= 1 and size > 1:
+        if rank % (2 * stride) == 0:
+            child = rank + stride
+            if child < size:
+                steps.append(Step(r, child, Role.SEND))
+            else:
+                steps.append(Step(r, -1, Role.IDLE))
+        elif rank % (2 * stride) == stride:
+            steps.append(Step(r, rank - stride, Role.RECEIVE))
+        else:
+            steps.append(Step(r, -1, Role.IDLE))
+        stride //= 2
+        r += 1
+    return steps
+
+
+#: Reduction operators supported by the collective layer.
+REDUCE_OPS = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+    "band": lambda a, b: a & b,
+    "bor": lambda a, b: a | b,
+}
+
+
+def combine(op: str, left, right):
+    """Apply a named reduction operator."""
+    try:
+        return REDUCE_OPS[op](left, right)
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the AP1000+ reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  The sub-hierarchy mirrors
+the machine's own fault model: address/protection faults detected by the
+MC's MMU, queue capacity faults handled by the MSC+, synchronization
+failures (deadlock) detected by the functional scheduler, and trace-buffer
+overflow, which the paper itself hit ("MLSim simulated the first 10
+iterations because of trace buffer limitations").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, application, or simulator was configured inconsistently."""
+
+
+class AddressError(ReproError):
+    """An address is outside any mapped region (detected by the MMU)."""
+
+
+class PageFaultError(AddressError):
+    """A logical address missed the page table: the hardware raises a
+    program interrupt and, for in-flight remote messages, the MSC+ pulls
+    the remainder of the message from the network (paper section 4.1)."""
+
+
+class ProtectionError(AddressError):
+    """An access violated a page's protection bits."""
+
+
+class QueueOverflowError(ReproError):
+    """A command queue overflowed and no spill buffer could absorb it."""
+
+
+class CommunicationError(ReproError):
+    """A malformed or unroutable message was issued."""
+
+
+class DeadlockError(ReproError):
+    """All runnable cells are blocked and no condition can make progress."""
+
+
+class TraceBufferOverflowError(ReproError):
+    """The bounded trace buffer filled up, as on the real AP1000 probes."""
+
+
+class SimulationError(ReproError):
+    """MLSim reached an inconsistent state while replaying a trace."""

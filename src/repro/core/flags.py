@@ -1,0 +1,83 @@
+"""Flag objects for PUT/GET completion detection.
+
+"Flags are normal variables specified in the user programs and their
+addresses are logical" (section 4.1).  A flag is a 4-byte counter in cell
+memory; the MC's incrementer bumps it when a send or receive DMA
+completes, and programs detect communication completion by comparing the
+counter against the number of transfers they expect.
+
+Flags are allocated *symmetrically*: every cell allocates its flags in the
+same order from the same flag area, so flag ``k`` lives at the same
+logical address on every cell.  A PUT that names a receive flag therefore
+increments the *destination cell's* instance of that flag — exactly the
+convention compiler-generated SPMD code relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.memory import WORD_BYTES
+
+#: Byte offset of the flag area in every cell's memory.  Address 0 is the
+#: "no flag" sentinel so the area starts above it.
+FLAG_AREA_BASE = 64
+#: Maximum flags per cell; bounds the symmetric flag area.
+MAX_FLAGS_PER_PE = 4096
+
+
+@dataclass(frozen=True)
+class Flag:
+    """A handle to one symmetric flag.
+
+    ``index`` identifies the flag slot (same on every cell); ``owner`` is
+    the cell whose program allocated the handle.  ``addr`` is the logical
+    address of the flag word, identical on all cells.
+    """
+
+    index: int
+    owner: int
+
+    @property
+    def addr(self) -> int:
+        return FLAG_AREA_BASE + self.index * WORD_BYTES
+
+    def id_on(self, pe: int) -> int:
+        """Global id of this flag slot's instance on cell ``pe``.
+
+        Global ids start at 1; 0 means "no flag" in trace events.
+        """
+        return flag_global_id(pe, self.index)
+
+
+def flag_global_id(pe: int, index: int) -> int:
+    """Machine-global identifier of flag slot ``index`` on cell ``pe``."""
+    if not 0 <= index < MAX_FLAGS_PER_PE:
+        raise ValueError(f"flag index {index} outside flag area")
+    return pe * MAX_FLAGS_PER_PE + index + 1
+
+
+def flag_area_end() -> int:
+    """First byte past the symmetric flag area."""
+    return FLAG_AREA_BASE + MAX_FLAGS_PER_PE * WORD_BYTES
+
+
+@dataclass
+class FlagCounter:
+    """Convenience pairing of a flag with the count a program expects.
+
+    Typical producer/consumer usage::
+
+        fc = FlagCounter(flag)
+        ...                 # peer PUTs with recv_flag=fc.flag
+        fc.expect()         # we expect one more increment
+        yield from ctx.flag_wait(fc.flag, fc.expected)
+    """
+
+    flag: Flag
+    expected: int = 0
+
+    def expect(self, count: int = 1) -> int:
+        """Record ``count`` more expected increments; returns the total."""
+        self.expected += count
+        return self.expected

@@ -1,0 +1,105 @@
+"""Element-level stride descriptions and array-layout helpers.
+
+The AP1000+ supports one-dimensional stride transfer in hardware "as a
+compromise between the hardware cost of implementing high-dimensional
+stride data transfer and the processing overhead of one-dimensional
+stride data transfer" (section 4); higher dimensions are built by
+repeating 1-D strides.  This module converts between element-level stride
+patterns (what a compiler derives from array subscripts) and the
+byte-level :class:`~repro.network.packet.StrideSpec` the hardware consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.packet import StrideSpec
+
+
+@dataclass(frozen=True)
+class ElementStride:
+    """``count`` runs of ``items_per_block`` consecutive elements, with
+    ``skip`` elements between run starts (in elements, not bytes)."""
+
+    items_per_block: int
+    count: int
+    skip: int
+
+    def to_bytes(self, itemsize: int) -> StrideSpec:
+        return StrideSpec(
+            item_size=self.items_per_block * itemsize,
+            count=self.count,
+            skip=self.skip * itemsize,
+        )
+
+    @property
+    def total_elements(self) -> int:
+        return self.items_per_block * self.count
+
+
+def contiguous_elements(count: int, itemsize: int) -> StrideSpec:
+    """Stride spec for ``count`` consecutive elements."""
+    return StrideSpec.contiguous(count * itemsize)
+
+
+def column_of(array: np.ndarray, col: int) -> tuple[int, ElementStride]:
+    """(element offset, stride) selecting one column of a C-ordered 2-D array.
+
+    This is the canonical stride case from the paper: in ``B(K, J)`` with
+    the loop over the second dimension, consecutive elements of the global
+    array are a whole row apart in memory (List 1 discussion, section 2.2).
+    """
+    if array.ndim != 2:
+        raise ValueError("column_of needs a 2-D array")
+    rows, cols = array.shape
+    if not 0 <= col < cols:
+        raise ValueError(f"column {col} out of range for shape {array.shape}")
+    stride = ElementStride(items_per_block=1, count=rows, skip=cols)
+    return col, stride
+
+
+def row_block_of(array: np.ndarray, row: int, col_start: int,
+                 col_count: int) -> tuple[int, ElementStride]:
+    """(offset, stride) selecting a contiguous slice of one row."""
+    if array.ndim != 2:
+        raise ValueError("row_block_of needs a 2-D array")
+    rows, cols = array.shape
+    if not (0 <= row < rows and 0 <= col_start
+            and col_start + col_count <= cols):
+        raise ValueError("row block out of range")
+    offset = row * cols + col_start
+    return offset, ElementStride(items_per_block=col_count, count=1,
+                                 skip=max(col_count, 1))
+
+
+def submatrix_columns(array: np.ndarray, col_start: int,
+                      col_count: int) -> tuple[int, ElementStride]:
+    """(offset, stride) selecting ``col_count`` adjacent columns of every row.
+
+    One 1-D stride covers the whole 2-D sub-matrix: each row contributes a
+    block of ``col_count`` elements, rows are ``cols`` elements apart.
+    This is the OVERLAP FIX pattern when the overlap area runs along the
+    second dimension (Figure 2).
+    """
+    if array.ndim != 2:
+        raise ValueError("submatrix_columns needs a 2-D array")
+    rows, cols = array.shape
+    if not (0 <= col_start and col_start + col_count <= cols):
+        raise ValueError("column range out of bounds")
+    stride = ElementStride(items_per_block=col_count, count=rows, skip=cols)
+    return col_start, stride
+
+
+def stride_message_count(total_elements: int, use_stride: bool,
+                         block: int = 1) -> int:
+    """How many PUT/GET operations a transfer needs.
+
+    With hardware stride support one operation moves everything; without
+    it, each ``block`` of contiguous elements becomes its own message —
+    the ×257 blowup of TOMCATV-without-stride in section 5.4.
+    """
+    if use_stride:
+        return 1
+    return -(-total_elements // max(block, 1))

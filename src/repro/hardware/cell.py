@@ -1,0 +1,50 @@
+"""Assembly of one AP1000+ cell (Figure 5).
+
+A cell is a SuperSPARC (modelled abstractly — computation is charged by
+the timing simulator, not executed cycle-by-cycle), DRAM behind the MC,
+a write-through cache, and the MSC+ connecting the cell to the T-net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cache import WriteThroughCache
+from repro.hardware.mc import MemoryController
+from repro.hardware.memory import CellMemory
+from repro.hardware.msc import MSCPlus
+from repro.network.tnet import TNet
+
+#: Default DRAM per cell used by the functional machine.  The real machine
+#: ships 16 or 64 MB; the functional default is small because simulated
+#: applications allocate only what they touch.
+DEFAULT_MEMORY_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class HardwareCell:
+    """The hardware complement of one cell."""
+
+    cell_id: int
+    memory: CellMemory
+    mc: MemoryController
+    cache: WriteThroughCache
+    msc: MSCPlus
+
+    @classmethod
+    def build(cls, cell_id: int, tnet: TNet,
+              memory_bytes: int = DEFAULT_MEMORY_BYTES,
+              *, identity_map: bool = True) -> "HardwareCell":
+        """Construct a cell wired to ``tnet``.
+
+        With ``identity_map`` the MC maps the whole DRAM logical==physical
+        (how the functional machine boots); pass False to set up page
+        tables explicitly in tests.
+        """
+        memory = CellMemory(memory_bytes)
+        mc = MemoryController(memory)
+        if identity_map:
+            mc.identity_map()
+        cache = WriteThroughCache()
+        msc = MSCPlus(cell_id, mc, tnet, cache=cache)
+        return cls(cell_id=cell_id, memory=memory, mc=mc, cache=cache, msc=msc)

@@ -1,0 +1,167 @@
+"""MMU and TLB of the memory controller (MC).
+
+PUT/GET parameters carry *logical* addresses: "Using the MMU in the MC,
+the MSC+ converts the logical address to a physical address.  The MC has a
+translation lookaside buffer (TLB), which is direct-mapped and has 256
+entries for every 4-kilobyte page and 64 entries for every 256-kilobyte
+page" (section 4.1).  A PUT/GET naming an unmapped logical address raises a
+page fault; if the fault happens in a *remote* cell mid-transfer, the MSC+
+interrupts the OS and pulls the remaining message from the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import AddressError, PageFaultError, ProtectionError
+
+PAGE_4K = 4 * 1024
+PAGE_256K = 256 * 1024
+TLB_ENTRIES_4K = 256
+TLB_ENTRIES_256K = 64
+
+
+@dataclass(frozen=True)
+class PageEntry:
+    """One page-table entry: logical page -> physical frame."""
+
+    physical_base: int
+    size: int  # PAGE_4K or PAGE_256K
+    writable: bool = True
+
+
+class _DirectMappedTLB:
+    """A direct-mapped TLB for one page size."""
+
+    def __init__(self, entries: int, page_size: int) -> None:
+        self.entries = entries
+        self.page_size = page_size
+        self._slots: dict[int, tuple[int, PageEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, page_number: int) -> PageEntry | None:
+        index = page_number % self.entries
+        slot = self._slots.get(index)
+        if slot is not None and slot[0] == page_number:
+            self.hits += 1
+            return slot[1]
+        self.misses += 1
+        return None
+
+    def fill(self, page_number: int, entry: PageEntry) -> None:
+        self._slots[page_number % self.entries] = (page_number, entry)
+
+    def flush(self) -> None:
+        self._slots.clear()
+
+
+@dataclass
+class MMU:
+    """Page table plus the MC's two direct-mapped TLBs.
+
+    The page table maps logical page numbers to :class:`PageEntry` values;
+    a miss in both TLBs triggers a table walk (counted, so timing models
+    can charge the walker), and a miss in the table raises
+    :class:`PageFaultError`.
+    """
+
+    tlb_4k: _DirectMappedTLB = field(
+        default_factory=lambda: _DirectMappedTLB(TLB_ENTRIES_4K, PAGE_4K)
+    )
+    tlb_256k: _DirectMappedTLB = field(
+        default_factory=lambda: _DirectMappedTLB(TLB_ENTRIES_256K, PAGE_256K)
+    )
+    _table_4k: dict[int, PageEntry] = field(default_factory=dict)
+    _table_256k: dict[int, PageEntry] = field(default_factory=dict)
+    walks: int = 0
+    faults: int = 0
+
+    def map_page(self, logical_base: int, physical_base: int,
+                 size: int = PAGE_4K, writable: bool = True) -> None:
+        """Install one page mapping.  ``logical_base`` must be page-aligned."""
+        if size not in (PAGE_4K, PAGE_256K):
+            raise AddressError(f"unsupported page size {size}")
+        if logical_base % size or physical_base % size:
+            raise AddressError("page bases must be aligned to the page size")
+        entry = PageEntry(physical_base=physical_base, size=size, writable=writable)
+        table = self._table_4k if size == PAGE_4K else self._table_256k
+        table[logical_base // size] = entry
+
+    def map_range(self, logical_base: int, physical_base: int, size: int,
+                  page_size: int = PAGE_4K, writable: bool = True) -> None:
+        """Identity-shaped mapping of a whole range with one page size."""
+        if size <= 0:
+            raise AddressError("mapped range must be non-empty")
+        start = (logical_base // page_size) * page_size
+        end = logical_base + size
+        offset = physical_base - logical_base
+        page = start
+        while page < end:
+            self.map_page(page, page + offset, size=page_size, writable=writable)
+            page += page_size
+
+    def unmap_page(self, logical_base: int, size: int = PAGE_4K) -> None:
+        table = self._table_4k if size == PAGE_4K else self._table_256k
+        table.pop(logical_base // size, None)
+        tlb = self.tlb_4k if size == PAGE_4K else self.tlb_256k
+        tlb.flush()
+
+    def translate(self, logical: int, *, write: bool = False) -> int:
+        """Translate one logical address, filling the TLB on a walk."""
+        entry = self._lookup(logical)
+        if write and not entry.writable:
+            raise ProtectionError(f"write to read-only page at {logical:#x}")
+        page_size = entry.size
+        return entry.physical_base + (logical % page_size)
+
+    def translate_range(self, logical: int, size: int, *, write: bool = False) -> int:
+        """Translate a range, verifying every touched page is mapped.
+
+        Returns the physical address of the first byte.  This models the
+        MSC+ checking DMA parameters for illegal addresses *in hardware*
+        because user-level command issue bypasses the operating system
+        (section 3.2).
+        """
+        if size < 0:
+            raise AddressError("negative range size")
+        first = self.translate(logical, write=write)
+        if size == 0:
+            return first
+        probe = (logical // PAGE_4K + 1) * PAGE_4K
+        end = logical + size
+        while probe < end:
+            self.translate(probe, write=write)
+            probe += PAGE_4K
+        return first
+
+    def _lookup(self, logical: int) -> PageEntry:
+        if logical < 0:
+            self.faults += 1
+            raise PageFaultError(f"negative logical address {logical:#x}")
+        hit = self.tlb_4k.lookup(logical // PAGE_4K)
+        if hit is not None:
+            return hit
+        hit = self.tlb_256k.lookup(logical // PAGE_256K)
+        if hit is not None:
+            return hit
+        # TLB miss: hardware walker searches the page tables.
+        self.walks += 1
+        entry = self._table_4k.get(logical // PAGE_4K)
+        if entry is not None:
+            self.tlb_4k.fill(logical // PAGE_4K, entry)
+            return entry
+        entry = self._table_256k.get(logical // PAGE_256K)
+        if entry is not None:
+            self.tlb_256k.fill(logical // PAGE_256K, entry)
+            return entry
+        self.faults += 1
+        raise PageFaultError(f"no mapping for logical address {logical:#x}")
+
+    @property
+    def tlb_hits(self) -> int:
+        return self.tlb_4k.hits + self.tlb_256k.hits
+
+    @property
+    def tlb_misses(self) -> int:
+        return self.tlb_4k.misses + self.tlb_256k.misses

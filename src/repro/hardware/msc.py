@@ -1,0 +1,355 @@
+"""The MSC+ message controller — the heart of the AP1000+ PUT/GET hardware.
+
+The MSC+ interfaces the cell to the T-net and implements, without any
+processor involvement (section 4.1):
+
+* the **user-level command interface**: a program issues a PUT/GET by
+  writing 8 parameter words to a special address; once the last word
+  lands, the MSC+ activates the send DMA — the whole software cost is
+  eight store instructions;
+* **five queues** (user send, system send, remote access, GET reply,
+  remote-load reply) with automatic spill to DRAM on overflow;
+* the **send controller** that pops commands, gathers (optionally strided)
+  data via send DMA, injects the packet, and asks the MC to increment the
+  send flag at DMA completion;
+* the **receive controller** that parses arriving headers, scatters data
+  via receive DMA, invalidates the cached copies of the written range, and
+  increments the receive flag — and that *automatically answers GET
+  requests* from the reply queue;
+* the translation of shared-space physical addresses into remote
+  load/store packets (section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import CommunicationError, PageFaultError
+from repro.hardware.cache import WriteThroughCache
+from repro.hardware.dma import DMAEngine
+from repro.hardware.mc import NO_FLAG, MemoryController
+from repro.hardware.queues import COMMAND_WORDS, CommandQueue
+from repro.network.packet import Packet, PacketKind, StrideSpec
+from repro.network.tnet import TNet
+
+#: Word count of a plain PUT/GET command (8 parameter stores).
+PUT_COMMAND_WORDS = COMMAND_WORDS
+#: Stride commands carry six extra parameters (item/cnt/skip for each side).
+STRIDE_COMMAND_WORDS = COMMAND_WORDS + 4
+
+
+class CommandKind(enum.Enum):
+    PUT = "put"
+    GET = "get"
+    REMOTE_LOAD = "remote_load"
+    REMOTE_STORE = "remote_store"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One entry in an MSC+ send queue."""
+
+    kind: CommandKind
+    dst: int
+    raddr: int
+    laddr: int
+    send_stride: StrideSpec
+    recv_stride: StrideSpec
+    send_flag: int = NO_FLAG
+    recv_flag: int = NO_FLAG
+    ack: bool = False
+    context: int = 0
+
+    @property
+    def words(self) -> int:
+        plain = (self.send_stride.count <= 1 and self.recv_stride.count <= 1)
+        return PUT_COMMAND_WORDS if plain else STRIDE_COMMAND_WORDS
+
+
+@dataclass
+class MSCStats:
+    puts_sent: int = 0
+    gets_sent: int = 0
+    get_replies_sent: int = 0
+    sends_sent: int = 0
+    puts_received: int = 0
+    get_requests_received: int = 0
+    get_replies_received: int = 0
+    sends_received: int = 0
+    remote_loads: int = 0
+    remote_stores: int = 0
+    faults_pulled: int = 0
+
+
+class MSCPlus:
+    """Message controller of one cell."""
+
+    def __init__(self, cell_id: int, mc: MemoryController, tnet: TNet,
+                 cache: WriteThroughCache | None = None) -> None:
+        self.cell_id = cell_id
+        self.mc = mc
+        self.tnet = tnet
+        self.cache = cache
+        self.user_send_queue = CommandQueue("user-send")
+        self.system_send_queue = CommandQueue("system-send")
+        self.remote_access_queue = CommandQueue("remote-access")
+        self.get_reply_queue = CommandQueue("get-reply")
+        self.remote_load_reply_queue = CommandQueue("remote-load-reply")
+        self.send_dma = DMAEngine("send")
+        self.recv_dma = DMAEngine("recv")
+        self.stats = MSCStats()
+        #: Implicit per-cell acknowledge counter for remote stores.
+        self.remote_store_acks = 0
+        #: Where SEND packets are deposited (set by the cell: a ring buffer).
+        self.send_sink = None
+        #: Remote-load replies awaiting pickup by the stalled processor.
+        self._load_replies: list[Packet] = []
+
+    # ------------------------------------------------------------------
+    # Command issue (user writes 8 parameter words; the queue is the
+    # special address window)
+    # ------------------------------------------------------------------
+
+    def issue(self, command: Command, *, system: bool = False) -> None:
+        """Issue a PUT/GET command at user (or system) level."""
+        if command.kind in (CommandKind.REMOTE_LOAD, CommandKind.REMOTE_STORE):
+            self.remote_access_queue.push(command, command.words)
+        elif system:
+            self.system_send_queue.push(command, command.words)
+        else:
+            self.user_send_queue.push(command, command.words)
+
+    # ------------------------------------------------------------------
+    # Send controller
+    # ------------------------------------------------------------------
+
+    def pump_send(self) -> int:
+        """Process every queued send-side command.  Returns #packets sent.
+
+        Queue priority: remote access first (the processor is stalled on
+        remote loads), then system, then user; GET replies are sent from
+        :meth:`pump_replies`.
+        """
+        sent = 0
+        for queue in (self.remote_access_queue, self.system_send_queue,
+                      self.user_send_queue):
+            while queue:
+                self._execute(queue.pop())
+                sent += 1
+        return sent
+
+    def _execute(self, command: Command) -> None:
+        if command.kind is CommandKind.PUT:
+            self._send_put(command)
+        elif command.kind is CommandKind.GET:
+            self._send_get(command)
+        elif command.kind is CommandKind.REMOTE_STORE:
+            self._send_remote_store(command)
+        elif command.kind is CommandKind.REMOTE_LOAD:
+            self._send_remote_load(command)
+        else:  # pragma: no cover - enum is exhaustive
+            raise CommunicationError(f"unknown command kind {command.kind}")
+
+    def _gather_payload(self, command: Command) -> bytes:
+        paddr = self.mc.translate(
+            command.laddr, command.send_stride.extent_bytes, write=False)
+        return self.send_dma.gather(self.mc.memory, paddr, command.send_stride)
+
+    def _send_put(self, command: Command) -> None:
+        data = self._gather_payload(command)
+        stride = command.recv_stride.count > 1 or command.send_stride.count > 1
+        packet = Packet(
+            kind=PacketKind.PUT_STRIDE if stride else PacketKind.PUT,
+            src=self.cell_id, dst=command.dst,
+            payload_bytes=len(data), data=data,
+            remote_addr=command.raddr,
+            recv_flag=command.recv_flag,
+            recv_stride=command.recv_stride,
+            context=command.context,
+        )
+        self.tnet.inject(packet)
+        self.stats.puts_sent += 1
+        # Send DMA complete: combined flag update on the sending side.
+        self.mc.increment_flag(command.send_flag)
+
+    def _send_get(self, command: Command) -> None:
+        packet = Packet(
+            kind=PacketKind.GET_REQUEST,
+            src=self.cell_id, dst=command.dst,
+            payload_bytes=0,
+            remote_addr=command.raddr, local_addr=command.laddr,
+            recv_flag=command.recv_flag,
+            send_stride=command.send_stride,  # remote-side gather layout
+            recv_stride=command.recv_stride,  # local scatter layout
+            context=command.context,
+        )
+        self.tnet.inject(packet)
+        self.stats.gets_sent += 1
+        # The GET request itself has left: sending-side flag updates now.
+        self.mc.increment_flag(command.send_flag)
+
+    def send_message(self, dst: int, data: bytes, *, context: int = 0,
+                     send_flag: int = NO_FLAG) -> Packet:
+        """SEND (two-sided model): same hardware as PUT, but the packet is
+        addressed to the destination's ring buffer rather than a specific
+        remote address (section 4.3).  Returns the injected packet so the
+        probe layer can record its serial for SEND/RECEIVE matching."""
+        packet = Packet(
+            kind=PacketKind.SEND, src=self.cell_id, dst=dst,
+            payload_bytes=len(data), data=data, context=context,
+        )
+        self.tnet.inject(packet)
+        self.stats.sends_sent += 1
+        self.mc.increment_flag(send_flag)
+        return packet
+
+    def _send_remote_store(self, command: Command) -> None:
+        data = self._gather_payload(command)
+        self.tnet.inject(Packet(
+            kind=PacketKind.REMOTE_STORE, src=self.cell_id, dst=command.dst,
+            payload_bytes=len(data), data=data, remote_addr=command.raddr,
+        ))
+        self.stats.remote_stores += 1
+
+    def _send_remote_load(self, command: Command) -> None:
+        self.tnet.inject(Packet(
+            kind=PacketKind.REMOTE_LOAD, src=self.cell_id, dst=command.dst,
+            payload_bytes=0, remote_addr=command.raddr,
+            local_addr=command.laddr,
+            send_stride=command.send_stride,
+        ))
+        self.stats.remote_loads += 1
+
+    # ------------------------------------------------------------------
+    # Receive controller
+    # ------------------------------------------------------------------
+
+    def deliver(self, packet: Packet) -> None:
+        """Handle one packet arriving from the T-net."""
+        if packet.dst != self.cell_id:
+            raise CommunicationError(
+                f"packet for cell {packet.dst} delivered to cell {self.cell_id}")
+        kind = packet.kind
+        if kind in (PacketKind.PUT, PacketKind.PUT_STRIDE):
+            self._receive_put(packet)
+        elif kind is PacketKind.GET_REQUEST:
+            self.stats.get_requests_received += 1
+            self.get_reply_queue.push(packet, PUT_COMMAND_WORDS)
+        elif kind is PacketKind.GET_REPLY:
+            self._receive_get_reply(packet)
+        elif kind is PacketKind.SEND:
+            self._receive_send(packet)
+        elif kind is PacketKind.REMOTE_STORE:
+            self._receive_remote_store(packet)
+        elif kind is PacketKind.REMOTE_STORE_ACK:
+            self.remote_store_acks += 1
+        elif kind is PacketKind.REMOTE_LOAD:
+            self.remote_load_reply_queue.push(packet, PUT_COMMAND_WORDS)
+        elif kind is PacketKind.REMOTE_LOAD_REPLY:
+            self._load_replies.append(packet)
+        else:
+            raise CommunicationError(f"cell {self.cell_id}: unroutable {kind}")
+
+    def _scatter_with_invalidate(self, laddr: int, stride: StrideSpec,
+                                 data: bytes) -> None:
+        try:
+            paddr = self.mc.translate(laddr, stride.extent_bytes, write=True)
+        except PageFaultError:
+            # Page fault in a remote cell during transfer: interrupt the OS
+            # and pull the remaining message from the network (section 4.1).
+            self.stats.faults_pulled += 1
+            raise
+        self.recv_dma.scatter(self.mc.memory, paddr, stride, data)
+        # Cache invalidation happens at message reception, in hardware.
+        if self.cache is not None:
+            self.cache.invalidate_range(paddr, stride.extent_bytes)
+
+    def _receive_put(self, packet: Packet) -> None:
+        stride = packet.recv_stride or StrideSpec.contiguous(packet.payload_bytes)
+        assert packet.data is not None
+        self._scatter_with_invalidate(packet.remote_addr, stride, packet.data)
+        self.stats.puts_received += 1
+        # Receive DMA complete: combined flag update on the receiving side.
+        self.mc.increment_flag(packet.recv_flag)
+
+    def _receive_get_reply(self, packet: Packet) -> None:
+        stride = packet.recv_stride or StrideSpec.contiguous(packet.payload_bytes)
+        if packet.payload_bytes:
+            assert packet.data is not None
+            self._scatter_with_invalidate(packet.remote_addr, stride, packet.data)
+        self.stats.get_replies_received += 1
+        self.mc.increment_flag(packet.recv_flag)
+
+    def _receive_send(self, packet: Packet) -> None:
+        self.stats.sends_received += 1
+        if self.send_sink is None:
+            raise CommunicationError(
+                f"cell {self.cell_id} received SEND but has no ring buffer")
+        self.send_sink(packet)
+
+    def _receive_remote_store(self, packet: Packet) -> None:
+        assert packet.data is not None
+        self._scatter_with_invalidate(
+            packet.remote_addr, StrideSpec.contiguous(len(packet.data)),
+            packet.data)
+        # Completion of a remote store is acknowledged automatically.
+        self.tnet.inject(Packet(
+            kind=PacketKind.REMOTE_STORE_ACK, src=self.cell_id,
+            dst=packet.src, payload_bytes=0))
+
+    # ------------------------------------------------------------------
+    # Reply controller (GET requests answered without the processor)
+    # ------------------------------------------------------------------
+
+    def pump_replies(self) -> int:
+        """Serve queued GET requests and remote loads; returns #replies.
+
+        Remote-load replies precede GET replies (the requesting processor
+        is stalled on a remote load).
+        """
+        sent = 0
+        while self.remote_load_reply_queue:
+            self._reply_remote_load(self.remote_load_reply_queue.pop())
+            sent += 1
+        while self.get_reply_queue:
+            self._reply_get(self.get_reply_queue.pop())
+            sent += 1
+        return sent
+
+    def _reply_get(self, request: Packet) -> None:
+        if request.remote_addr == 0:
+            # Acknowledge idiom: GET to address 0 copies nothing; the reply
+            # merely increments the requester's flag (section 4.1).
+            data = b""
+            stride = StrideSpec.contiguous(0)
+        else:
+            gather = request.send_stride or StrideSpec.contiguous(0)
+            paddr = self.mc.translate(
+                request.remote_addr, gather.extent_bytes, write=False)
+            data = self.send_dma.gather(self.mc.memory, paddr, gather)
+            stride = request.recv_stride or StrideSpec.contiguous(len(data))
+        self.tnet.inject(Packet(
+            kind=PacketKind.GET_REPLY, src=self.cell_id, dst=request.src,
+            payload_bytes=len(data), data=data,
+            remote_addr=request.local_addr,  # requester's landing address
+            recv_flag=request.recv_flag,
+            recv_stride=stride,
+            context=request.context,
+        ))
+        self.stats.get_replies_sent += 1
+
+    def _reply_remote_load(self, request: Packet) -> None:
+        size = request.send_stride.total_bytes if request.send_stride else 4
+        paddr = self.mc.translate(request.remote_addr, size, write=False)
+        data = self.mc.memory.read(paddr, size)
+        self.tnet.inject(Packet(
+            kind=PacketKind.REMOTE_LOAD_REPLY, src=self.cell_id,
+            dst=request.src, payload_bytes=len(data), data=data,
+            remote_addr=request.local_addr))
+
+    def take_load_reply(self) -> Packet | None:
+        """Pop a pending remote-load reply (the stalled processor resumes)."""
+        if self._load_replies:
+            return self._load_replies.pop(0)
+        return None

@@ -1,0 +1,120 @@
+"""Write-through pages: software-coherent caching of shared memory.
+
+Section 4.2: "The AP1000+ supports so called write through page to
+efficiently execute ... shared memory programming.  This mechanism uses
+part of local memory as a cache for distributed shared memory space, and
+enables the replacement of remote accesses with local accesses.  A more
+detailed discussion of write through page is beyond the scope of this
+paper."  The conclusion adds the design philosophy: "message passing
+based machines with added software cache coherent ... have better
+cost-performance than cache coherent based machines with added message
+passing mechanisms."
+
+This module reconstructs the mechanism from those constraints:
+
+* a cell may **bind** a remote cell's shared page to a page-sized area
+  of its own local memory (the local copy);
+* **reads** of a bound page are served from the local copy — a remote
+  access replaced by a local access;
+* **writes** go through: the word is stored to the local copy *and* a
+  remote store updates the home cell (hence "write-through page");
+* coherence is **software-managed**: there is no hardware snooping
+  between cells.  A cell whose copy may be stale calls
+  :meth:`WriteThroughPageTable.refresh` (re-fetch from home), typically
+  after a barrier — the same discipline the OVERLAP FIX / MOVEWAIT model
+  uses for overlap areas.
+
+Counters expose the claim being made: how many remote reads were
+replaced by local ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import AddressError, ConfigurationError
+
+#: Write-through pages use the MMU's small page size.
+WT_PAGE_BYTES = 4 * 1024
+
+
+@dataclass(frozen=True)
+class PageBinding:
+    """One bound page: (home cell, home page base) -> local copy base."""
+
+    home_cell: int
+    home_base: int
+    local_base: int
+
+
+@dataclass
+class WriteThroughPageTable:
+    """Per-cell table of write-through page bindings.
+
+    The table is pure bookkeeping plus counters; the data movement (the
+    initial fetch, the write-through stores, refreshes) is driven by the
+    machine layer, which owns the communication paths.
+    """
+
+    page_bytes: int = WT_PAGE_BYTES
+    _bindings: dict[tuple[int, int], PageBinding] = field(default_factory=dict)
+    _by_local: dict[int, PageBinding] = field(default_factory=dict)
+    local_reads: int = 0
+    write_throughs: int = 0
+    refreshes: int = 0
+    faults: int = 0
+
+    def bind(self, home_cell: int, home_base: int,
+             local_base: int) -> PageBinding:
+        """Install a binding.  Bases must be page-aligned and unique."""
+        if home_base % self.page_bytes or local_base % self.page_bytes:
+            raise AddressError(
+                "write-through pages must be page-aligned "
+                f"({self.page_bytes} bytes)")
+        key = (home_cell, home_base)
+        if key in self._bindings:
+            raise ConfigurationError(
+                f"page {home_base:#x} of cell {home_cell} already bound")
+        if local_base in self._by_local:
+            raise ConfigurationError(
+                f"local page {local_base:#x} already backs another binding")
+        binding = PageBinding(home_cell=home_cell, home_base=home_base,
+                              local_base=local_base)
+        self._bindings[key] = binding
+        self._by_local[local_base] = binding
+        return binding
+
+    def unbind(self, home_cell: int, home_base: int) -> None:
+        binding = self._bindings.pop((home_cell, home_base), None)
+        if binding is None:
+            raise ConfigurationError(
+                f"page {home_base:#x} of cell {home_cell} is not bound")
+        del self._by_local[binding.local_base]
+
+    def lookup(self, home_cell: int, home_addr: int) -> PageBinding | None:
+        """Find the binding covering a home-cell address, if any."""
+        base = home_addr - home_addr % self.page_bytes
+        return self._bindings.get((home_cell, base))
+
+    def local_address(self, home_cell: int, home_addr: int) -> int | None:
+        """Translate a home address into the local copy, or None (miss)."""
+        binding = self.lookup(home_cell, home_addr)
+        if binding is None:
+            self.faults += 1
+            return None
+        return binding.local_base + (home_addr - binding.home_base)
+
+    def note_local_read(self) -> None:
+        self.local_reads += 1
+
+    def note_write_through(self) -> None:
+        self.write_throughs += 1
+
+    def note_refresh(self) -> None:
+        self.refreshes += 1
+
+    def bindings(self) -> list[PageBinding]:
+        return list(self._bindings.values())
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,121 @@
+"""Data distributions (index partitions).
+
+VPP Fortran decomposes arrays and DO loops with *index partition*
+directives, corresponding to HPF's ALIGN + DISTRIBUTE (section 2.3); both
+models include "block and cyclic decomposition".  A distribution maps a
+global index range [0, n) onto ``parts`` processors; the runtime uses it
+to translate global subscripts into (owner, local index) pairs — the
+"index calculation code" the translator inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BlockDistribution:
+    """Contiguous blocks, as even as possible: the first ``n % parts``
+    processors get one extra element (numpy ``array_split`` convention)."""
+
+    n: int
+    parts: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ConfigurationError("extent must be non-negative")
+        if self.parts < 1:
+            raise ConfigurationError("need at least one part")
+
+    def local_size(self, part: int) -> int:
+        self._check_part(part)
+        q, r = divmod(self.n, self.parts)
+        return q + (1 if part < r else 0)
+
+    def start(self, part: int) -> int:
+        """First global index owned by ``part``."""
+        self._check_part(part)
+        q, r = divmod(self.n, self.parts)
+        return part * q + min(part, r)
+
+    def part_range(self, part: int) -> tuple[int, int]:
+        """[start, end) of global indices owned by ``part``."""
+        start = self.start(part)
+        return start, start + self.local_size(part)
+
+    def owner(self, global_index: int) -> int:
+        self._check_index(global_index)
+        q, r = divmod(self.n, self.parts)
+        boundary = r * (q + 1)
+        if global_index < boundary:
+            return global_index // (q + 1)
+        if q == 0:
+            raise ConfigurationError(
+                f"index {global_index} beyond distributed extent")
+        return r + (global_index - boundary) // q
+
+    def local_index(self, global_index: int) -> int:
+        return global_index - self.start(self.owner(global_index))
+
+    def global_index(self, part: int, local_index: int) -> int:
+        if not 0 <= local_index < self.local_size(part):
+            raise ConfigurationError(
+                f"local index {local_index} outside part {part}'s "
+                f"{self.local_size(part)} elements")
+        return self.start(part) + local_index
+
+    def _check_part(self, part: int) -> None:
+        if not 0 <= part < self.parts:
+            raise ConfigurationError(
+                f"part {part} out of range for {self.parts} parts")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n:
+            raise ConfigurationError(
+                f"global index {index} out of range for extent {self.n}")
+
+
+@dataclass(frozen=True)
+class CyclicDistribution:
+    """Round-robin assignment: global index ``g`` lives on ``g % parts``."""
+
+    n: int
+    parts: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ConfigurationError("extent must be non-negative")
+        if self.parts < 1:
+            raise ConfigurationError("need at least one part")
+
+    def local_size(self, part: int) -> int:
+        self._check_part(part)
+        q, r = divmod(self.n, self.parts)
+        return q + (1 if part < r else 0)
+
+    def owner(self, global_index: int) -> int:
+        self._check_index(global_index)
+        return global_index % self.parts
+
+    def local_index(self, global_index: int) -> int:
+        self._check_index(global_index)
+        return global_index // self.parts
+
+    def global_index(self, part: int, local_index: int) -> int:
+        if not 0 <= local_index < self.local_size(part):
+            raise ConfigurationError(
+                f"local index {local_index} outside part {part}'s "
+                f"{self.local_size(part)} elements")
+        return local_index * self.parts + part
+
+    def _check_part(self, part: int) -> None:
+        if not 0 <= part < self.parts:
+            raise ConfigurationError(
+                f"part {part} out of range for {self.parts} parts")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n:
+            raise ConfigurationError(
+                f"global index {index} out of range for extent {self.n}")

@@ -1,0 +1,145 @@
+"""Global arrays: VPP Fortran's global memory space (Figure 1).
+
+A global array is declared identically on every cell; an index partition
+block-distributes one axis across the processors.  Each cell allocates
+its own block — plus, optionally, an *overlap area*: "a boundary data
+area replicated in adjacent processors" (Figure 2), kept current with
+OVERLAP FIX.
+
+Every cell allocates the same *maximum* block extent (the first part's
+size), even when the distribution is uneven, so blocks are symmetric:
+identical shape and logical address on every cell.  PUT/GET commands can
+therefore target a remote block with locally computed addresses — this is
+how the runtime implements the global address space on distributed
+memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.lang.distribution import BlockDistribution
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.program import CellContext, LocalArray
+
+
+class GlobalArray:
+    """One cell's view of a block-distributed 1-D or 2-D global array."""
+
+    def __init__(self, ctx: "CellContext", shape, dtype=np.float64, *,
+                 dist_axis: int = 0, overlap: int = 0) -> None:
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        if len(shape) not in (1, 2):
+            raise ConfigurationError(
+                f"global arrays are 1-D or 2-D, got shape {shape}")
+        if not 0 <= dist_axis < len(shape):
+            raise ConfigurationError(
+                f"distribution axis {dist_axis} invalid for shape {shape}")
+        if overlap < 0:
+            raise ConfigurationError("overlap width must be non-negative")
+        self.ctx = ctx
+        self.shape = shape
+        self.dist_axis = dist_axis
+        self.overlap = overlap
+        self.dist = BlockDistribution(shape[dist_axis], ctx.num_cells)
+        self.lo, self.hi = self.dist.part_range(ctx.pe)
+        # Part 0 always has the maximum block size; allocating that extent
+        # everywhere keeps the blocks symmetric across cells.
+        alloc_extent = self.dist.local_size(0) + 2 * overlap
+        local_shape = list(shape)
+        local_shape[dist_axis] = alloc_extent
+        #: The local block *including* the overlap area on both sides
+        #: (identical shape and address on every cell).
+        self.block: "LocalArray" = ctx.alloc(tuple(local_shape), dtype)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.block.dtype
+
+    @property
+    def local_extent(self) -> int:
+        """Owned extent along the distributed axis (without overlap)."""
+        return self.hi - self.lo
+
+    def owner(self, global_index: int) -> int:
+        """The cell owning ``global_index`` along the distributed axis."""
+        return self.dist.owner(global_index)
+
+    def owns(self, global_index: int) -> bool:
+        return self.lo <= global_index < self.hi
+
+    def to_local(self, global_index: int) -> int:
+        """Local index (into :attr:`block`, overlap included) of an owned
+        or overlap-covered global index along the distributed axis."""
+        return self._to_local_on(self.ctx.pe, global_index)
+
+    def _to_local_on(self, part: int, global_index: int) -> int:
+        lo, hi = self.dist.part_range(part)
+        local = global_index - lo + self.overlap
+        limit = (hi - lo) + 2 * self.overlap
+        if not 0 <= local < limit:
+            raise ConfigurationError(
+                f"global index {global_index} outside cell {part}'s block "
+                f"[{lo}, {hi}) with overlap {self.overlap}")
+        return local
+
+    def interior(self) -> np.ndarray:
+        """Numpy view of the owned block (overlap and padding excluded)."""
+        sl = [slice(None)] * len(self.shape)
+        sl[self.dist_axis] = slice(self.overlap, self.overlap + self.local_extent)
+        return self.block.data[tuple(sl)]
+
+    def with_overlap(self) -> np.ndarray:
+        """Numpy view of the owned block plus its overlap areas."""
+        sl = [slice(None)] * len(self.shape)
+        sl[self.dist_axis] = slice(0, self.local_extent + 2 * self.overlap)
+        return self.block.data[tuple(sl)]
+
+    def flat_index(self, *global_indices: int) -> int:
+        """Flat element offset in this cell's :attr:`block` of a global
+        coordinate (the translator's inserted index calculation)."""
+        return self.flat_index_on(self.ctx.pe, *global_indices)
+
+    def flat_index_on(self, part: int, *global_indices: int) -> int:
+        """Flat element offset of a global coordinate inside ``part``'s
+        block.  Valid on any cell because blocks are symmetric."""
+        if len(global_indices) != len(self.shape):
+            raise ConfigurationError(
+                f"{len(self.shape)}-D array needs {len(self.shape)} indices")
+        local = list(global_indices)
+        local[self.dist_axis] = self._to_local_on(
+            part, global_indices[self.dist_axis])
+        if len(local) == 1:
+            return local[0]
+        row, col = local
+        ncols = self.block.shape[1]
+        if not 0 <= col < ncols or not 0 <= row < self.block.shape[0]:
+            raise ConfigurationError(
+                f"coordinate {global_indices} maps outside the local block")
+        return row * ncols + col
+
+    def gather_global(self) -> np.ndarray:
+        """Debug/test helper: assemble the full global array by reading
+        every cell's memory directly (no simulated communication)."""
+        machine = self.ctx.machine
+        full = np.zeros(self.shape, dtype=self.dtype)
+        for part in range(machine.config.num_cells):
+            lo, hi = self.dist.part_range(part)
+            raw = machine.hw_cells[part].memory.view(
+                self.block.addr, self.block.nbytes)
+            other = raw.view(self.dtype).reshape(self.block.shape)
+            sl_local = [slice(None)] * len(self.shape)
+            sl_local[self.dist_axis] = slice(self.overlap,
+                                             self.overlap + (hi - lo))
+            sl_global = [slice(None)] * len(self.shape)
+            sl_global[self.dist_axis] = slice(lo, hi)
+            full[tuple(sl_global)] = other[tuple(sl_local)]
+        return full

@@ -1,0 +1,156 @@
+"""Global reduction implementations (section 4.5).
+
+Two concrete mechanisms, matching the paper:
+
+* **Scalar reductions over communication registers** — "since
+  communication registers are allocated in shared memory space, sending
+  data from communication registers to other communication registers can
+  be performed with a simple store instruction ...  If sending addresses
+  are previously calculated using algorithms such as binary tree or cross
+  over, global reduction can be achieved only by repeating store,
+  execute, and load instructions."  :class:`CommRegisterReducer` runs the
+  cross-over (butterfly) schedule over the hardware register files, with
+  doubles carried in 8-byte register pairs and p-bit blocking providing
+  the synchronization.
+
+* **Vector reductions over ring buffers with SEND/RECEIVE** —
+  :func:`ring_vector_reduce` pipelines the vector around the group ring;
+  each cell combines the incoming vector *directly out of the ring
+  buffer* (``in_place`` receive, no user-area copy) and forwards it, then
+  the root circulates the result.  This is the mechanism whose blocking
+  SENDs dominate CG in section 5.4.
+
+(The probe layer's composite GOP/VGOP events, used by the standard
+applications, model the same mechanisms in MLSim; these implementations
+exist to validate them functionally and to exercise the register/ring
+hardware end to end.)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.core.collectives import Role, butterfly_schedule, combine
+from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.program import CellContext, Group
+
+#: Register slots used per in-flight reduction generation.
+_SLOTS_PER_GENERATION = 2  # an 8-byte (two-register) value per round slot
+_ROUNDS_SUPPORTED = 16     # up to 2^16 cells
+_GENERATIONS = 2           # adjacent generations may overlap by one
+
+
+def _pack(value: float) -> tuple[int, int]:
+    raw = struct.pack("<d", value)
+    return (int.from_bytes(raw[:4], "little"),
+            int.from_bytes(raw[4:], "little"))
+
+
+def _unpack(low: int, high: int) -> float:
+    raw = low.to_bytes(4, "little") + high.to_bytes(4, "little")
+    return struct.unpack("<d", raw)[0]
+
+
+class CommRegisterReducer:
+    """Scalar reductions over the communication registers.
+
+    Register layout: generation ``g`` (mod ``_GENERATIONS``) and round
+    ``r`` use the 8-byte register pair starting at
+    ``(g * _ROUNDS_SUPPORTED + r) * 2``.  Because the butterfly
+    synchronizes transitively each round, members can lag each other by
+    at most one generation, so two generations of slots suffice.
+    """
+
+    def __init__(self, ctx: "CellContext", group: "Group | None" = None) -> None:
+        self.ctx = ctx
+        self.group = group or ctx.world
+        if ctx.pe not in self.group:
+            raise ConfigurationError(
+                f"cell {ctx.pe} not a member of the reduction group")
+        self.rank = self.group.rank_of(ctx.pe)
+        self._generation = 0
+        needed = _GENERATIONS * _ROUNDS_SUPPORTED * _SLOTS_PER_GENERATION
+        if needed > ctx.hw.mc.registers.num_registers:
+            raise ConfigurationError(
+                "communication register file too small for the reducer")
+
+    def _slot(self, round_index: int) -> int:
+        gen = self._generation % _GENERATIONS
+        return (gen * _ROUNDS_SUPPORTED + round_index) * _SLOTS_PER_GENERATION
+
+    def reduce(self, value: float, op: str = "sum") -> Iterator[None]:
+        """Reduce ``value`` across the group; every member receives the
+        result.  Blocking loads ride the registers' p-bits."""
+        size = self.group.size
+        mine = float(value)
+        if size > 1:
+            for step in butterfly_schedule(self.rank, size):
+                slot = self._slot(step.round_index)
+                if step.role is Role.IDLE:
+                    continue
+                partner_pe = self.group.members[step.partner]
+                if step.role in (Role.SEND, Role.EXCHANGE):
+                    low, high = _pack(mine)
+                    self.ctx.creg_store(partner_pe, slot, low)
+                    self.ctx.creg_store(partner_pe, slot + 1, high)
+                if step.role in (Role.RECEIVE, Role.EXCHANGE):
+                    low = yield from self.ctx.creg_load(slot)
+                    high = yield from self.ctx.creg_load(slot + 1)
+                    other = _unpack(low, high)
+                    if step.role is Role.RECEIVE and step.round_index > 0:
+                        # Fold-out round: adopt the finished result.
+                        mine = other
+                    else:
+                        mine = combine(op, mine, other)
+        self._generation += 1
+        return mine
+
+
+def ring_vector_reduce(ctx: "CellContext", vector: np.ndarray,
+                       op: str = "sum",
+                       group: "Group | None" = None) -> Iterator[None]:
+    """Vector reduction over the SEND/RECEIVE ring buffers.
+
+    The partial vector travels rank 0 -> 1 -> ... -> P-1, each cell
+    combining its contribution directly out of the ring buffer; the last
+    rank holds the result and circulates it back around the ring.
+    Returns the reduced vector on every member.
+    """
+    grp = group or ctx.world
+    rank = grp.rank_of(ctx.pe)
+    size = grp.size
+    acc = np.array(vector, dtype=np.float64, copy=True)
+    if size == 1:
+        return acc
+    succ = grp.members[(rank + 1) % size]
+    reduce_ctx, bcast_ctx = 101, 102
+    # Reduce lap: partial vectors flow rank 0 -> 1 -> ... -> size-1.
+    if rank > 0:
+        packet = yield from ctx.recv(context=reduce_ctx, in_place=True)
+        incoming = np.frombuffer(packet.data, dtype=np.float64)
+        if op == "sum":
+            acc = acc + incoming
+        elif op == "max":
+            acc = np.maximum(acc, incoming)
+        elif op == "min":
+            acc = np.minimum(acc, incoming)
+        elif op == "prod":
+            acc = acc * incoming
+        else:
+            raise ConfigurationError(f"vector reduction op {op!r} unknown")
+    if rank < size - 1:
+        ctx.send(succ, acc, context=reduce_ctx)
+    # Broadcast lap: the last rank holds the result and circulates it.
+    if rank == size - 1:
+        ctx.send(succ, acc, context=bcast_ctx)
+    else:
+        packet = yield from ctx.recv(context=bcast_ctx, in_place=True)
+        acc = np.frombuffer(packet.data, dtype=np.float64).copy()
+        if (rank + 1) % size != size - 1:
+            ctx.send(succ, acc, context=bcast_ctx)
+    return acc

@@ -1,0 +1,85 @@
+"""Machine configurations (Table 1).
+
+===========================  =========================================
+Processor                    SuperSPARC (50 MHz)
+Processor performance        50 MFLOPS
+Memory per cell              16, 64 megabytes
+Cache per cell               36 kilobytes, write-through
+System configuration         4 - 1024 cells
+System performance           0.2 - 51.2 GFLOPS
+===========================  =========================================
+
+The same chassis also describes the predecessor AP1000 (25 MHz SPARC with
+software message handling); MLSim distinguishes the two via its parameter
+file, but the functional machine needs processor constants for converting
+operation counts into trace work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.trace.buffer import DEFAULT_CAPACITY
+
+MEGABYTE = 1024 * 1024
+
+#: Official cell-count range of the product (Table 1).
+MIN_CELLS = 4
+MAX_CELLS = 1024
+#: Official memory options per cell.
+MEMORY_OPTIONS = (16 * MEGABYTE, 64 * MEGABYTE)
+
+#: Peak floating-point performance per cell (SuperSPARC, Table 1).
+PEAK_MFLOPS_PER_CELL = 50.0
+
+#: Work unit conversion: microseconds of base-SPARC time per floating-point
+#: operation.  The paper takes the SuperSPARC to be 8x the SPARC, so with
+#: MLSim's AP1000+ ``computation_factor`` of 0.125 this constant yields
+#: 1/0.16/0.125 = 50 MFLOPS on the AP1000+ and 6.25 MFLOPS on the AP1000.
+SPARC_US_PER_FLOP = 0.16
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of a functional machine instance."""
+
+    num_cells: int = 64
+    memory_per_cell: int = 16 * MEGABYTE
+    clock_mhz: float = 50.0
+    cache_bytes: int = 36 * 1024
+    trace_capacity: int = DEFAULT_CAPACITY
+    #: Permit cell counts / memory sizes outside the product catalogue
+    #: (handy for tests); official configurations leave this False.
+    allow_nonstandard: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 1:
+            raise ConfigurationError("a machine needs at least one cell")
+        if self.memory_per_cell < 1024:
+            raise ConfigurationError("cell memory unrealistically small")
+        if not self.allow_nonstandard:
+            if not MIN_CELLS <= self.num_cells <= MAX_CELLS:
+                raise ConfigurationError(
+                    f"official configurations have {MIN_CELLS}-{MAX_CELLS} "
+                    f"cells, got {self.num_cells}")
+            if self.memory_per_cell not in MEMORY_OPTIONS:
+                raise ConfigurationError(
+                    f"official memory options are 16 or 64 MB per cell, got "
+                    f"{self.memory_per_cell} bytes")
+
+    @property
+    def peak_mflops_per_cell(self) -> float:
+        return PEAK_MFLOPS_PER_CELL * (self.clock_mhz / 50.0)
+
+    @property
+    def system_performance_gflops(self) -> float:
+        """Peak system performance; 0.2 GFLOPS at 4 cells, 51.2 at 1024."""
+        return self.num_cells * self.peak_mflops_per_cell / 1000.0
+
+    @classmethod
+    def official(cls, num_cells: int,
+                 memory_per_cell: int = 16 * MEGABYTE) -> "MachineConfig":
+        """An as-shipped configuration, validated against Table 1."""
+        return cls(num_cells=num_cells, memory_per_cell=memory_per_cell,
+                   allow_nonstandard=False)

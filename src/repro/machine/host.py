@@ -1,0 +1,133 @@
+"""The host workstation and B-net data distribution (Figure 4).
+
+"The host is a Sun workstation.  Cells are connected by three
+independent networks: ... a broadcast network, or B-net, for broadcast
+communication and data distribution and collection."
+
+The host loads programs and initial data onto the cells and collects
+results; in the paper's methodology this happens *outside* the measured
+region (the probes instrument the communication and synchronization
+libraries, not program loading), so host traffic is functional-only and
+deliberately not traced.
+
+Cell-side, programs receive distributed data with
+:meth:`CellContext-style <HostChannel.receive>` blocking reads; host
+broadcasts are seen by every cell in the same total order (the B-net is
+one shared bus).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.core.errors import CommunicationError
+from repro.network.bnet import HOST_ID, BNet
+from repro.network.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.machine.program import CellContext
+
+
+class Host:
+    """The front-end workstation driving a machine over the B-net."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.bnet: BNet = machine.bnet
+        self._collected: dict[int, list[bytes]] = {}
+
+    # ------------------------------------------------------------------
+    # Distribution (host -> cells)
+    # ------------------------------------------------------------------
+
+    def broadcast(self, data: np.ndarray | bytes, *, context: int = 0) -> None:
+        """Broadcast one payload to every cell (total order)."""
+        payload = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        self.bnet.broadcast(Packet(
+            kind=PacketKind.SEND, src=HOST_ID, dst=-2,
+            payload_bytes=len(payload), data=payload, context=context))
+
+    def scatter(self, chunks, *, context: int = 0) -> None:
+        """Distribute one chunk per cell (``chunks[pe]`` goes to cell
+        ``pe``) over the shared bus."""
+        if len(chunks) != self.machine.config.num_cells:
+            raise CommunicationError(
+                f"scatter needs one chunk per cell "
+                f"({self.machine.config.num_cells}), got {len(chunks)}")
+        packets = []
+        for pe, chunk in enumerate(chunks):
+            payload = (chunk.tobytes() if isinstance(chunk, np.ndarray)
+                       else bytes(chunk))
+            packets.append(Packet(
+                kind=PacketKind.SEND, src=HOST_ID, dst=pe,
+                payload_bytes=len(payload), data=payload, context=context))
+        self.bnet.scatter(packets)
+
+    def scatter_array(self, array: np.ndarray, *, context: int = 0) -> None:
+        """Block-distribute an array along its first axis (the classic
+        host-side data load)."""
+        from repro.lang.distribution import BlockDistribution
+
+        dist = BlockDistribution(array.shape[0],
+                                 self.machine.config.num_cells)
+        self.scatter([array[slice(*dist.part_range(pe))]
+                      for pe in range(self.machine.config.num_cells)],
+                     context=context)
+
+    # ------------------------------------------------------------------
+    # Collection (cells -> host)
+    # ------------------------------------------------------------------
+
+    def deposit(self, pe: int, payload: bytes) -> None:
+        """Called by the cell side to send a result to the host."""
+        self._collected.setdefault(pe, []).append(payload)
+
+    def collect(self, dtype=np.float64) -> dict[int, np.ndarray]:
+        """Everything the cells sent up, decoded per cell."""
+        return {pe: np.concatenate([
+            np.frombuffer(chunk, dtype=dtype) for chunk in chunks])
+            for pe, chunks in sorted(self._collected.items())}
+
+    def collect_array(self, dtype=np.float64) -> np.ndarray:
+        """Concatenate the per-cell results in cell order (the inverse of
+        :meth:`scatter_array` for 1-D payloads)."""
+        per_cell = self.collect(dtype)
+        if len(per_cell) != self.machine.config.num_cells:
+            missing = set(range(self.machine.config.num_cells)) - set(per_cell)
+            raise CommunicationError(
+                f"collection incomplete; nothing from cells {sorted(missing)}")
+        return np.concatenate([per_cell[pe] for pe in sorted(per_cell)])
+
+
+class HostChannel:
+    """Cell-side access to host traffic (used inside programs)."""
+
+    def __init__(self, ctx: "CellContext", host: Host) -> None:
+        self.ctx = ctx
+        self.host = host
+
+    def receive(self, *, context: int | None = None) -> Iterator[None]:
+        """Blocking receive of the next host packet for this cell."""
+        bnet = self.host.bnet
+        while bnet.pending(self.ctx.pe) == 0:
+            yield
+        self.ctx.machine.note_progress()
+        packet = bnet.receive(self.ctx.pe)
+        if context is not None and packet.context != context:
+            raise CommunicationError(
+                f"cell {self.ctx.pe} expected host context {context}, got "
+                f"{packet.context}")
+        return packet
+
+    def receive_array(self, dtype=np.float64, *,
+                      context: int | None = None) -> Iterator[None]:
+        packet = yield from self.receive(context=context)
+        return np.frombuffer(packet.data or b"", dtype=dtype).copy()
+
+    def send_result(self, data: np.ndarray | bytes) -> None:
+        """Send a result up to the host (collection)."""
+        payload = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        self.host.deposit(self.ctx.pe, payload)

@@ -1,0 +1,355 @@
+"""The functional AP1000+ machine: cells, networks, and the SPMD scheduler.
+
+The machine plays the role the *real AP1000 hardware* played in the
+paper's methodology: it executes applications for real (bytes move, flags
+count, barriers synchronize) while the probe layer records the trace that
+MLSim later replays under different timing models.
+
+Scheduling is cooperative.  Each cell's program is a generator; the
+scheduler round-robins over unfinished programs, resuming each until it
+either finishes or yields (blocks).  Blocking helpers re-check their
+condition on every resume, and bump a progress counter when they pass, so
+the scheduler can distinguish "still working" from deadlock.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.completion import AckPolicy
+from repro.core.errors import CommunicationError, ConfigurationError, DeadlockError
+from repro.core.flags import flag_area_end
+from repro.hardware.cell import HardwareCell
+from repro.hardware.msc import Command, CommandKind
+from repro.machine.config import MachineConfig
+from repro.machine.program import CellContext, Group, LocalArray
+from repro.machine.ringbuffer import RingBuffer
+from repro.network.bnet import BNet
+from repro.network.packet import PacketKind, StrideSpec
+from repro.network.snet import SNet
+from repro.network.tnet import TNet
+from repro.network.topology import TorusTopology
+from repro.trace.buffer import TraceBuffer
+from repro.core.collectives import combine
+
+#: Heap allocations start above the flag area, page-aligned.
+_HEAP_ALIGN = 64
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class _BarrierState:
+    __slots__ = ("generation", "arrived")
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self.arrived: set[int] = set()
+
+
+class _ReductionState:
+    __slots__ = ("per_pe_generation", "slots", "results", "fetches")
+
+    def __init__(self) -> None:
+        self.per_pe_generation: dict[int, int] = {}
+        self.slots: dict[int, dict[int, Any]] = {}
+        self.results: dict[int, Any] = {}
+        self.fetches: dict[int, int] = {}
+
+
+class Machine:
+    """A functional AP1000+ with ``config.num_cells`` cells."""
+
+    def __init__(self, config: MachineConfig | int = MachineConfig(), *,
+                 ack_policy: str = AckPolicy.EVERY_PUT) -> None:
+        if isinstance(config, int):
+            config = MachineConfig(num_cells=config)
+        self.config = config
+        self.ack_policy = ack_policy
+        n = config.num_cells
+        self.topology = TorusTopology.for_cells(n)
+        self.tnet = TNet(self.topology)
+        self.snet = SNet(n)
+        self.bnet = BNet(n)
+        self.hw_cells = [
+            HardwareCell.build(pe, self.tnet, config.memory_per_cell)
+            for pe in range(n)
+        ]
+        self.rings = [RingBuffer() for _ in range(n)]
+        for cell, ring in zip(self.hw_cells, self.rings):
+            cell.msc.send_sink = ring.deposit
+        self.trace = TraceBuffer(num_pes=n, capacity=config.trace_capacity)
+        self.world_group = Group(gid=0, members=tuple(range(n)))
+        self._heap_next = [_align(flag_area_end(), _HEAP_ALIGN)] * n
+        # Private (non-symmetric) allocations grow downward from the top
+        # of DRAM so they never desynchronize the symmetric heap.
+        self._private_next = [config.memory_per_cell] * n
+        self._barriers: dict[int, _BarrierState] = {}
+        self._reductions: dict[int, _ReductionState] = {}
+        self._dirty: set[int] = set()
+        #: Progress counter; blocking helpers bump it when their condition
+        #: passes, packet deliveries bump it too.
+        self.progress = 0
+
+    # ------------------------------------------------------------------
+    # Memory allocation
+    # ------------------------------------------------------------------
+
+    def alloc_array(self, pe: int, shape, dtype,
+                    align: int = _HEAP_ALIGN) -> LocalArray:
+        dtype = np.dtype(dtype)
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        nbytes = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        nbytes = max(nbytes, dtype.itemsize)
+        addr = _align(self._heap_next[pe], align)
+        end = addr + nbytes
+        if end > self._private_next[pe]:
+            raise ConfigurationError(
+                f"cell {pe} out of memory: heap would reach {end} bytes "
+                f"against the private area at {self._private_next[pe]}")
+        self._heap_next[pe] = _align(end, _HEAP_ALIGN)
+        raw = self.hw_cells[pe].memory.view(addr, nbytes)
+        data = raw.view(dtype).reshape(shape)
+        return LocalArray(data=data, addr=addr)
+
+    def alloc_private(self, pe: int, nbytes: int,
+                      align: int = _HEAP_ALIGN) -> LocalArray:
+        """Allocate a per-cell *private* byte buffer from the top of DRAM.
+
+        Private areas (e.g. write-through page copies) may be allocated
+        by any subset of cells without breaking symmetric-heap address
+        agreement, because they never touch the upward-growing heap.
+        """
+        if nbytes <= 0:
+            raise ConfigurationError("private allocation must be non-empty")
+        addr = self._private_next[pe] - nbytes
+        addr -= addr % align
+        if addr < self._heap_next[pe]:
+            raise ConfigurationError(
+                f"cell {pe} out of memory: private area would reach {addr} "
+                f"against the heap at {self._heap_next[pe]}")
+        self._private_next[pe] = addr
+        raw = self.hw_cells[pe].memory.view(addr, nbytes)
+        return LocalArray(data=raw, addr=addr)
+
+    # ------------------------------------------------------------------
+    # Packet movement
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self, pe: int) -> None:
+        self._dirty.add(pe)
+
+    def note_progress(self) -> None:
+        self.progress += 1
+
+    def pump(self) -> None:
+        """Move the machine to communication quiescence.
+
+        Drains every dirty MSC+ queue and every in-flight packet; GET
+        requests delivered to a cell dirty that cell (its MSC+ must send
+        the reply) so the loop runs until nothing moves.
+        """
+        while True:
+            dirty = self._dirty
+            if not dirty and self.tnet.injected_count == self.tnet.delivered_count:
+                return
+            self._dirty = set()
+            for pe in dirty:
+                msc = self.hw_cells[pe].msc
+                msc.pump_send()
+                msc.pump_replies()
+            for packet in self.tnet.drain_all():
+                msc = self.hw_cells[packet.dst].msc
+                msc.deliver(packet)
+                self.progress += 1
+                if packet.kind in (PacketKind.GET_REQUEST,
+                                   PacketKind.REMOTE_LOAD):
+                    self._dirty.add(packet.dst)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+
+    def barrier_arrive(self, group: Group, pe: int) -> int:
+        state = self._barriers.setdefault(group.gid, _BarrierState())
+        if pe in state.arrived:
+            raise CommunicationError(
+                f"cell {pe} arrived twice at barrier of group {group.gid}")
+        if pe not in group:
+            raise CommunicationError(
+                f"cell {pe} synchronizing with group {group.gid} it does "
+                "not belong to")
+        state.arrived.add(pe)
+        generation = state.generation
+        if len(state.arrived) == group.size:
+            state.arrived.clear()
+            state.generation += 1
+            self.progress += 1
+            if group.gid == 0:
+                # The all-cells barrier is the hardware S-net's job.
+                for member in group.members:
+                    self.snet.arrive(member)
+        return generation
+
+    def barrier_passed(self, gid: int, generation: int) -> bool:
+        state = self._barriers.get(gid)
+        return state is not None and state.generation > generation
+
+    def reduce(self, group: Group, pe: int, value: Any, op: str):
+        """Generator implementing one member's part of a reduction."""
+        if pe not in group:
+            raise CommunicationError(
+                f"cell {pe} reducing with group {group.gid} it does not "
+                "belong to")
+        state = self._reductions.setdefault(group.gid, _ReductionState())
+        generation = state.per_pe_generation.get(pe, 0)
+        state.per_pe_generation[pe] = generation + 1
+        slot = state.slots.setdefault(generation, {})
+        if pe in slot:
+            raise CommunicationError(
+                f"cell {pe} contributed twice to reduction {generation} "
+                f"of group {group.gid}")
+        slot[pe] = value
+        if len(slot) == group.size:
+            contributions = [slot[m] for m in group.members]
+            state.results[generation] = functools.reduce(
+                lambda a, b: _combine_values(op, a, b), contributions)
+            state.fetches[generation] = 0
+            del state.slots[generation]
+            self.progress += 1
+        while generation not in state.results:
+            yield
+        self.note_progress()
+        result = state.results[generation]
+        state.fetches[generation] += 1
+        if state.fetches[generation] == group.size:
+            del state.results[generation]
+            del state.fetches[generation]
+        return result
+
+    # ------------------------------------------------------------------
+    # Distributed shared memory
+    # ------------------------------------------------------------------
+
+    def remote_store(self, src: int, dst: int, remote_addr: int,
+                     data: bytes) -> None:
+        """Issue a hardware remote store from ``src`` to ``dst``."""
+        scratch = self.alloc_scratch(src, data)
+        command = Command(
+            kind=CommandKind.REMOTE_STORE, dst=dst, raddr=remote_addr,
+            laddr=scratch.addr, send_stride=StrideSpec.contiguous(len(data)),
+            recv_stride=StrideSpec.contiguous(len(data)))
+        self.hw_cells[src].msc.issue(command)
+        self.mark_dirty(src)
+        self.pump()
+
+    def remote_load(self, src: int, target: int, remote_addr: int,
+                    size: int) -> bytes:
+        """Blocking remote load: returns the bytes read from ``target``."""
+        scratch = self.alloc_scratch(src, bytes(size))
+        command = Command(
+            kind=CommandKind.REMOTE_LOAD, dst=target, raddr=remote_addr,
+            laddr=scratch.addr, send_stride=StrideSpec.contiguous(size),
+            recv_stride=StrideSpec.contiguous(size))
+        self.hw_cells[src].msc.issue(command)
+        self.mark_dirty(src)
+        self.pump()
+        reply = self.hw_cells[src].msc.take_load_reply()
+        if reply is None:
+            raise CommunicationError(
+                f"remote load from cell {target} produced no reply")
+        assert reply.data is not None
+        return reply.data
+
+    _SCRATCH_BYTES = 4096
+
+    def alloc_scratch(self, pe: int, data: bytes) -> LocalArray:
+        """A small per-cell staging buffer for shared-memory traffic."""
+        if len(data) > self._SCRATCH_BYTES:
+            raise CommunicationError(
+                f"remote access of {len(data)} bytes exceeds the "
+                f"{self._SCRATCH_BYTES}-byte staging buffer; use PUT/GET")
+        scratch = getattr(self, "_scratch", None)
+        if scratch is None:
+            scratch = [self.alloc_array(p, self._SCRATCH_BYTES, np.uint8)
+                       for p in range(self.config.num_cells)]
+            self._scratch = scratch
+        buf = scratch[pe]
+        if data:
+            buf.data[:len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return buf
+
+    # ------------------------------------------------------------------
+    # SPMD scheduling
+    # ------------------------------------------------------------------
+
+    def run(self, program: Callable, *args, **kwargs) -> list[Any]:
+        """Execute ``program(ctx, *args, **kwargs)`` on every cell.
+
+        Returns the per-cell return values.  Raises
+        :class:`~repro.core.errors.DeadlockError` when every unfinished
+        program is blocked and nothing can make progress.
+        """
+        n = self.config.num_cells
+        contexts = [CellContext(self, pe) for pe in range(n)]
+        results: list[Any] = [None] * n
+        generators: dict[int, Any] = {}
+        for pe in range(n):
+            outcome = program(contexts[pe], *args, **kwargs)
+            if inspect.isgenerator(outcome):
+                generators[pe] = outcome
+            else:
+                results[pe] = outcome
+        stalled_passes = 0
+        while generators:
+            before = self.progress
+            for pe in sorted(generators):
+                try:
+                    next(generators[pe])
+                except StopIteration as stop:
+                    results[pe] = stop.value
+                    del generators[pe]
+                    self.progress += 1
+            if self.progress == before:
+                stalled_passes += 1
+                if stalled_passes >= 3:
+                    raise DeadlockError(self._deadlock_report(generators))
+            else:
+                stalled_passes = 0
+        self.pump()
+        return results
+
+    def _deadlock_report(self, generators: dict[int, Any]) -> str:
+        blocked = sorted(generators)
+        lines = [
+            f"deadlock: {len(blocked)} cell(s) blocked with no progress "
+            f"possible: {blocked[:16]}{'...' if len(blocked) > 16 else ''}"
+        ]
+        for gid, state in self._barriers.items():
+            if state.arrived:
+                lines.append(
+                    f"  barrier group {gid}: {len(state.arrived)} arrived, "
+                    f"waiting for more")
+        in_flight = self.tnet.injected_count - self.tnet.delivered_count
+        lines.append(f"  packets in flight: {in_flight}")
+        return "\n".join(lines)
+
+
+def _combine_values(op: str, left: Any, right: Any) -> Any:
+    """Reduction combine supporting scalars and numpy arrays."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        if op == "sum":
+            return left + right
+        if op == "max":
+            return np.maximum(left, right)
+        if op == "min":
+            return np.minimum(left, right)
+        if op == "prod":
+            return left * right
+        raise ConfigurationError(f"vector reduction op {op!r} not supported")
+    return combine(op, left, right)

@@ -1,0 +1,619 @@
+"""The per-cell programming interface of the functional machine.
+
+An application is an SPMD *program*: a generator function
+``program(ctx, **params)`` executed once per cell, where ``ctx`` is this
+module's :class:`CellContext`.  Non-blocking operations (PUT, GET, SEND,
+computation charging) are plain method calls whose functional effect —
+bytes moving between cell memories, flags incrementing — happens
+immediately.  Blocking operations (flag waits, RECEIVE, barriers,
+reductions, communication-register loads) are generator methods used with
+``yield from``; each ``yield`` returns control to the scheduler until the
+condition can be satisfied by another cell's progress.
+
+Every operation is recorded as a :class:`~repro.trace.events.TraceEvent`,
+so running a program produces both a *numerical result* (testable against
+a sequential reference) and a *trace* (consumed by MLSim for timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.core.completion import AckTracker
+from repro.core.errors import CommunicationError, ConfigurationError
+from repro.core.flags import MAX_FLAGS_PER_PE, Flag
+from repro.core.stride import ElementStride
+from repro.hardware.mc import NO_FLAG
+from repro.hardware.msc import Command, CommandKind
+from repro.machine.config import SPARC_US_PER_FLOP
+from repro.network.packet import Packet, StrideSpec
+from repro.trace.events import EventKind, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class Group:
+    """A synchronization group: a subset of cells with a stable rank order."""
+
+    gid: int
+    members: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def rank_of(self, pe: int) -> int:
+        try:
+            return self.members.index(pe)
+        except ValueError:
+            raise CommunicationError(
+                f"cell {pe} is not a member of group {self.gid}") from None
+
+    def __contains__(self, pe: int) -> bool:
+        return pe in self.members
+
+
+class LocalArray:
+    """A numpy array carved out of a cell's simulated DRAM.
+
+    ``data`` is a live view into the cell's memory buffer, so PUT/GET DMA
+    (which moves raw bytes through :class:`~repro.hardware.memory.CellMemory`)
+    and numpy computation see the same storage.  ``addr`` is the logical
+    base address used in communication commands.
+    """
+
+    __slots__ = ("data", "addr")
+
+    def __init__(self, data: np.ndarray, addr: int) -> None:
+        self.data = data
+        self.addr = addr
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def element_addr(self, offset_elements: int) -> int:
+        """Logical address of element ``offset_elements`` (flat order)."""
+        if not 0 <= offset_elements <= self.size:
+            raise ConfigurationError(
+                f"element offset {offset_elements} outside array of "
+                f"{self.size} elements")
+        return self.addr + offset_elements * self.itemsize
+
+    def __getitem__(self, key):
+        return self.data[key]
+
+    def __setitem__(self, key, value) -> None:
+        self.data[key] = value
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class WriteThroughArray:
+    """A remote array bound through write-through pages (section 4.2).
+
+    ``data`` is the local page copy viewed with the array's dtype; reads
+    through it are plain local loads (no communication event — that is
+    the mechanism's whole point).  :meth:`write` updates the copy *and*
+    writes through to the home cell.  Coherence is software-managed: the
+    copy only changes when the owner of this handle writes through it or
+    calls ``ctx.wt_refresh``.
+    """
+
+    __slots__ = ("ctx", "home", "array", "copy", "span_base", "data")
+
+    def __init__(self, ctx: "CellContext", home: int, array: "LocalArray",
+                 copy: "LocalArray", span_base: int) -> None:
+        self.ctx = ctx
+        self.home = home
+        self.array = array
+        self.copy = copy
+        self.span_base = span_base
+        offset = array.addr - span_base
+        raw = copy.data[offset:offset + array.nbytes]
+        self.data = raw.view(array.dtype).reshape(array.shape)
+
+    def read(self, offset: int):
+        """Read one element — a remote access replaced by a local one."""
+        table = self.ctx._wt_table
+        assert table is not None
+        table.note_local_read()
+        return self.data.reshape(-1)[offset]
+
+    def write(self, offset: int, value) -> None:
+        """Write one element through to the home cell."""
+        table = self.ctx._wt_table
+        assert table is not None
+        self.data.reshape(-1)[offset] = value
+        self.ctx.remote_store_word(self.home, self.array, offset, value)
+        table.note_write_through()
+
+
+class CellContext:
+    """The programming interface one cell's program sees."""
+
+    def __init__(self, machine: "Machine", pe: int) -> None:
+        self.machine = machine
+        self.pe = pe
+        self.hw = machine.hw_cells[pe]
+        self.ring = machine.rings[pe]
+        self._next_flag = 0
+        # Every cell allocates its acknowledge flag first (slot 0), the
+        # implicit flag the Ack & Barrier model counts GET replies on.
+        self.ack_flag = self.alloc_flag()
+        self.acks = AckTracker(self.ack_flag, policy=machine.ack_policy)
+        # Write-through page state.  The fetch flag is allocated eagerly
+        # (slot 1 on every cell) so that cells which never bind pages stay
+        # in symmetric-allocation lockstep with cells that do.
+        self._wt_flag: Flag = self.alloc_flag()
+        self._wt_table = None
+        self._wt_fetches = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return self.machine.config.num_cells
+
+    @property
+    def world(self) -> Group:
+        return self.machine.world_group
+
+    def _trace(self, kind: EventKind, **fields) -> TraceEvent:
+        return self.machine.trace.record(TraceEvent(kind, pe=self.pe, **fields))
+
+    # ------------------------------------------------------------------
+    # Memory and flags
+    # ------------------------------------------------------------------
+
+    def alloc(self, shape, dtype=np.float64) -> LocalArray:
+        """Allocate an array in this cell's DRAM.
+
+        SPMD programs that allocate in the same order on every cell get
+        *symmetric* arrays: the same logical address everywhere, which is
+        what PUT/GET commands target on remote cells.
+        """
+        return self.machine.alloc_array(self.pe, shape, dtype)
+
+    def alloc_flag(self) -> Flag:
+        """Allocate the next symmetric flag slot.
+
+        Flags start at zero because cell memory is zeroed at machine
+        construction.  Allocation deliberately does *not* write the flag:
+        a peer that runs ahead may already have PUT to this cell and
+        incremented the flag before this cell reaches its own allocation
+        point — exactly as on real SPMD hardware, where flags live in
+        zero-initialized storage and are never "initialized" at use time.
+        """
+        if self._next_flag >= MAX_FLAGS_PER_PE:
+            raise ConfigurationError("flag area exhausted")
+        flag = Flag(index=self._next_flag, owner=self.pe)
+        self._next_flag += 1
+        return flag
+
+    def flag_read(self, flag: Flag) -> int:
+        return self.hw.mc.read_flag(flag.addr)
+
+    def flag_clear(self, flag: Flag) -> None:
+        self.hw.mc.write_flag(flag.addr, 0)
+
+    # ------------------------------------------------------------------
+    # Computation charging
+    # ------------------------------------------------------------------
+
+    def compute(self, work_us: float) -> None:
+        """Charge ``work_us`` microseconds of base-SPARC computation."""
+        if work_us < 0:
+            raise ConfigurationError("work must be non-negative")
+        if work_us:
+            self._trace(EventKind.COMPUTE, work=float(work_us))
+
+    def compute_flops(self, flops: float) -> None:
+        """Charge computation by floating-point operation count."""
+        self.compute(flops * SPARC_US_PER_FLOP)
+
+    def rtsys(self, work_us: float) -> None:
+        """Charge run-time system work (address calculation and the like)."""
+        if work_us < 0:
+            raise ConfigurationError("work must be non-negative")
+        if work_us:
+            self._trace(EventKind.RTSYS, work=float(work_us))
+
+    # ------------------------------------------------------------------
+    # PUT / GET (the paper's interface, array-level)
+    # ------------------------------------------------------------------
+
+    def _flag_addr(self, flag: Flag | None) -> int:
+        return flag.addr if flag is not None else NO_FLAG
+
+    def _issue(self, command: Command) -> None:
+        self.hw.msc.issue(command)
+        self.machine.mark_dirty(self.pe)
+        self.machine.pump()
+
+    def put(self, dst: int, dest: LocalArray, src: LocalArray, *,
+            count: int | None = None, dest_offset: int = 0,
+            src_offset: int = 0, send_flag: Flag | None = None,
+            recv_flag: Flag | None = None, ack: bool = False) -> None:
+        """PUT ``count`` elements of ``src`` into ``dest`` on cell ``dst``.
+
+        ``dest`` is this cell's handle of a *symmetric* array — the write
+        lands at the same logical address in the destination cell.  The
+        send flag is incremented here when the send DMA completes; the
+        receive flag is incremented on ``dst`` when its receive DMA
+        completes (combined flag update, section 4.1).  With ``ack=True``
+        the acknowledge policy decides whether a GET-to-address-0 follows
+        immediately.
+        """
+        if count is None:
+            count = src.size - src_offset
+        nbytes = count * src.itemsize
+        self._check_transfer(dest, src, dest_offset, src_offset, count)
+        command = Command(
+            kind=CommandKind.PUT, dst=dst,
+            raddr=dest.element_addr(dest_offset),
+            laddr=src.element_addr(src_offset),
+            send_stride=StrideSpec.contiguous(nbytes),
+            recv_stride=StrideSpec.contiguous(nbytes),
+            send_flag=self._flag_addr(send_flag),
+            recv_flag=self._flag_addr(recv_flag),
+        )
+        self._trace(
+            EventKind.PUT, partner=dst, size=nbytes,
+            send_flag=send_flag.id_on(self.pe) if send_flag else 0,
+            recv_flag=recv_flag.id_on(dst) if recv_flag else 0,
+        )
+        self._issue(command)
+        if ack and self.acks.record_put(dst):
+            self.ack_get(dst)
+
+    def put_stride(self, dst: int, dest: LocalArray, src: LocalArray,
+                   send_stride: ElementStride, recv_stride: ElementStride, *,
+                   dest_offset: int = 0, src_offset: int = 0,
+                   send_flag: Flag | None = None,
+                   recv_flag: Flag | None = None, ack: bool = False) -> None:
+        """PUT with one-dimensional stride gather/scatter (Figure 3).
+
+        Strides are given in *elements*; the hardware sees bytes.  The
+        total element counts on both sides must agree.
+        """
+        if send_stride.total_elements != recv_stride.total_elements:
+            raise CommunicationError(
+                f"stride element counts disagree: send moves "
+                f"{send_stride.total_elements}, recv expects "
+                f"{recv_stride.total_elements}")
+        nbytes = send_stride.total_elements * src.itemsize
+        command = Command(
+            kind=CommandKind.PUT, dst=dst,
+            raddr=dest.element_addr(dest_offset),
+            laddr=src.element_addr(src_offset),
+            send_stride=send_stride.to_bytes(src.itemsize),
+            recv_stride=recv_stride.to_bytes(dest.itemsize),
+            send_flag=self._flag_addr(send_flag),
+            recv_flag=self._flag_addr(recv_flag),
+        )
+        self._trace(
+            EventKind.PUT, partner=dst, size=nbytes, stride=True,
+            send_flag=send_flag.id_on(self.pe) if send_flag else 0,
+            recv_flag=recv_flag.id_on(dst) if recv_flag else 0,
+        )
+        self._issue(command)
+        if ack and self.acks.record_put(dst):
+            self.ack_get(dst)
+
+    def get(self, src_pe: int, remote: LocalArray, local: LocalArray, *,
+            count: int | None = None, remote_offset: int = 0,
+            local_offset: int = 0, send_flag: Flag | None = None,
+            recv_flag: Flag | None = None) -> None:
+        """GET ``count`` elements from ``remote`` on ``src_pe`` into
+        ``local``.
+
+        Both flags live on the requesting cell: the send flag counts the
+        request leaving, the receive flag counts the reply data landing.
+        """
+        if count is None:
+            count = local.size - local_offset
+        nbytes = count * local.itemsize
+        self._check_transfer(local, remote, local_offset, remote_offset, count)
+        command = Command(
+            kind=CommandKind.GET, dst=src_pe,
+            raddr=remote.element_addr(remote_offset),
+            laddr=local.element_addr(local_offset),
+            send_stride=StrideSpec.contiguous(nbytes),   # remote gather
+            recv_stride=StrideSpec.contiguous(nbytes),   # local scatter
+            send_flag=self._flag_addr(send_flag),
+            recv_flag=self._flag_addr(recv_flag),
+        )
+        self._trace(
+            EventKind.GET, partner=src_pe, size=nbytes,
+            send_flag=send_flag.id_on(self.pe) if send_flag else 0,
+            recv_flag=recv_flag.id_on(self.pe) if recv_flag else 0,
+        )
+        self._issue(command)
+
+    def get_stride(self, src_pe: int, remote: LocalArray, local: LocalArray,
+                   remote_stride: ElementStride, local_stride: ElementStride, *,
+                   remote_offset: int = 0, local_offset: int = 0,
+                   send_flag: Flag | None = None,
+                   recv_flag: Flag | None = None) -> None:
+        """GET with stride gather on the remote side and stride scatter
+        locally."""
+        if remote_stride.total_elements != local_stride.total_elements:
+            raise CommunicationError(
+                f"stride element counts disagree: remote provides "
+                f"{remote_stride.total_elements}, local expects "
+                f"{local_stride.total_elements}")
+        nbytes = remote_stride.total_elements * local.itemsize
+        command = Command(
+            kind=CommandKind.GET, dst=src_pe,
+            raddr=remote.element_addr(remote_offset),
+            laddr=local.element_addr(local_offset),
+            send_stride=remote_stride.to_bytes(remote.itemsize),
+            recv_stride=local_stride.to_bytes(local.itemsize),
+            send_flag=self._flag_addr(send_flag),
+            recv_flag=self._flag_addr(recv_flag),
+        )
+        self._trace(
+            EventKind.GET, partner=src_pe, size=nbytes, stride=True,
+            send_flag=send_flag.id_on(self.pe) if send_flag else 0,
+            recv_flag=recv_flag.id_on(self.pe) if recv_flag else 0,
+        )
+        self._issue(command)
+
+    def _check_transfer(self, dest: LocalArray, src: LocalArray,
+                        dest_offset: int, src_offset: int, count: int) -> None:
+        if count < 0:
+            raise CommunicationError("negative transfer count")
+        if dest.itemsize != src.itemsize:
+            raise CommunicationError(
+                f"transfer between arrays of different item sizes "
+                f"({src.itemsize} vs {dest.itemsize})")
+        if src_offset + count > src.size or dest_offset + count > dest.size:
+            raise CommunicationError("transfer exceeds array bounds")
+
+    # ------------------------------------------------------------------
+    # Acknowledge idiom and completion
+    # ------------------------------------------------------------------
+
+    def ack_get(self, dst: int) -> None:
+        """Issue the acknowledging GET to remote address 0 (section 4.1).
+
+        The reply copies nothing; it only increments this cell's
+        acknowledge flag, and — because the T-net delivers in order per
+        (source, destination) pair — proves every earlier PUT to ``dst``
+        has been received.
+        """
+        command = Command(
+            kind=CommandKind.GET, dst=dst, raddr=0, laddr=0,
+            send_stride=StrideSpec.contiguous(0),
+            recv_stride=StrideSpec.contiguous(0),
+            recv_flag=self.ack_flag.addr,
+        )
+        self._trace(
+            EventKind.GET, partner=dst, size=0, is_ack=True,
+            recv_flag=self.ack_flag.id_on(self.pe),
+        )
+        self._issue(command)
+
+    def finish_puts(self) -> Iterator[None]:
+        """Complete the Ack side of the Ack & Barrier model.
+
+        Issues any deferred per-destination acknowledging GETs (under the
+        LAST_PER_DEST policy) and waits until every expected acknowledge
+        has arrived.  Callers typically follow with :meth:`barrier`.
+        """
+        for dst in self.acks.destinations_to_ack():
+            self.ack_get(dst)
+        yield from self.flag_wait(self.ack_flag, self.acks.expected_acks)
+        self.acks.reset_phase()
+
+    def flag_wait(self, flag: Flag, target: int) -> Iterator[None]:
+        """Block until ``flag``'s counter on this cell reaches ``target``."""
+        self._trace(EventKind.FLAG_WAIT, flag=flag.id_on(self.pe),
+                    target=int(target))
+        while self.hw.mc.read_flag(flag.addr) < target:
+            yield
+        self.machine.note_progress()
+
+    # ------------------------------------------------------------------
+    # SEND / RECEIVE (two-sided model, section 4.3)
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, data: np.ndarray | bytes, *,
+             context: int = 0) -> None:
+        """Blocking SEND into the destination cell's ring buffer."""
+        payload = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        packet = self.hw.msc.send_message(dst, payload, context=context)
+        self._trace(EventKind.SEND, partner=dst, size=len(payload),
+                    msg_id=packet.serial)
+        self.machine.pump()
+
+    def recv(self, src: int | None = None, context: int | None = None,
+             in_place: bool = False) -> Iterator[None]:
+        """RECEIVE: block until a matching message is in the ring buffer.
+
+        Returns the :class:`~repro.network.packet.Packet`; with
+        ``in_place`` the message is consumed directly out of the ring
+        (no user-area copy — the vector-reduction path of section 4.5).
+        """
+        while True:
+            taker = self.ring.consume_in_place if in_place else self.ring.receive
+            packet = taker(src=src, context=context)
+            if packet is not None:
+                break
+            yield
+        self.machine.note_progress()
+        self._trace(EventKind.RECV, partner=packet.src,
+                    size=packet.payload_bytes, msg_id=packet.serial)
+        return packet
+
+    def recv_array(self, dtype, src: int | None = None,
+                   context: int | None = None) -> Iterator[None]:
+        """RECEIVE and decode the payload as a numpy array."""
+        packet = yield from self.recv(src=src, context=context)
+        return np.frombuffer(packet.data or b"", dtype=dtype).copy()
+
+    # ------------------------------------------------------------------
+    # Barrier and global reductions
+    # ------------------------------------------------------------------
+
+    def make_group(self, members) -> Group:
+        """Register (or look up) a synchronization group."""
+        key = tuple(sorted(set(int(m) for m in members)))
+        gid = self.machine.trace.groups.intern(key)
+        return Group(gid=gid, members=key)
+
+    def barrier(self, group: Group | None = None) -> Iterator[None]:
+        """Barrier-synchronize with the group (default: all cells).
+
+        The all-cells barrier rides the S-net in hardware; group barriers
+        run in software over communication registers — MLSim charges them
+        differently, the functional semantics are the same.
+        """
+        grp = group or self.world
+        self._trace(EventKind.BARRIER, group=grp.gid, group_size=grp.size)
+        generation = self.machine.barrier_arrive(grp, self.pe)
+        while not self.machine.barrier_passed(grp.gid, generation):
+            yield
+        self.machine.note_progress()
+
+    def gop(self, value: float, op: str = "sum",
+            group: Group | None = None) -> Iterator[None]:
+        """Scalar global reduction; every member receives the result."""
+        grp = group or self.world
+        self._trace(EventKind.GOP, group=grp.gid, group_size=grp.size, size=8)
+        result = yield from self.machine.reduce(grp, self.pe, float(value), op)
+        return result
+
+    def vgop(self, vector: np.ndarray, op: str = "sum",
+             group: Group | None = None) -> Iterator[None]:
+        """Vector global reduction (element-wise); returns a new array.
+
+        On the AP1000+ this runs over ring buffers with SEND/RECEIVE
+        (section 4.5); the probe records it as one "V Gop" event with the
+        vector size, as the paper's Table 3 does.
+        """
+        grp = group or self.world
+        self._trace(EventKind.VGOP, group=grp.gid, group_size=grp.size,
+                    size=int(vector.nbytes))
+        result = yield from self.machine.reduce(
+            grp, self.pe, np.array(vector, copy=True), op)
+        return np.array(result, copy=True)
+
+    # ------------------------------------------------------------------
+    # Distributed shared memory and communication registers
+    # ------------------------------------------------------------------
+
+    def remote_store_word(self, dst: int, array: LocalArray,
+                          offset: int, value: float) -> None:
+        """Non-blocking remote STORE of one element into ``dst``'s instance
+        of a symmetric array (hardware-generated, section 4.2)."""
+        scratch = np.array([value], dtype=array.dtype)
+        self._trace(EventKind.REMOTE_STORE, partner=dst,
+                    size=scratch.nbytes)
+        self.machine.remote_store(self.pe, dst,
+                                  array.element_addr(offset),
+                                  scratch.tobytes())
+
+    def remote_load_word(self, src_pe: int, array: LocalArray,
+                         offset: int) -> float:
+        """Blocking remote LOAD of one element from ``src_pe``."""
+        itemsize = array.itemsize
+        self._trace(EventKind.REMOTE_LOAD, partner=src_pe, size=itemsize)
+        raw = self.machine.remote_load(self.pe, src_pe,
+                                       array.element_addr(offset), itemsize)
+        return np.frombuffer(raw, dtype=array.dtype)[0]
+
+    def creg_store(self, dst: int, index: int, value: int) -> None:
+        """Store into a communication register on ``dst`` (remote store to
+        shared space; sets the register's p-bit)."""
+        self._trace(EventKind.CREG_STORE, partner=dst, size=4)
+        self.machine.hw_cells[dst].mc.registers.store(index, value)
+        self.machine.note_progress()
+
+    def creg_load(self, index: int) -> Iterator[None]:
+        """Load from an own communication register, blocking until its
+        p-bit is set (hardware retry, section 4.4)."""
+        self._trace(EventKind.CREG_LOAD, partner=self.pe, size=4)
+        while True:
+            value = self.hw.mc.registers.try_load(index)
+            if value is not None:
+                break
+            yield
+        self.machine.note_progress()
+        return value
+
+    # ------------------------------------------------------------------
+    # Write-through pages (section 4.2)
+    # ------------------------------------------------------------------
+
+    def wt_bind(self, home: int, array: LocalArray) -> Iterator[None]:
+        """Bind ``home``'s instance of a symmetric array into local
+        write-through pages and fetch the initial copy.
+
+        Returns a :class:`WriteThroughArray`: reads are local (no
+        communication event at all — the replaced remote access), writes
+        go through to the home cell, and :meth:`wt_refresh` revalidates
+        the copy after a synchronization point.
+        """
+        from repro.hardware.wtpage import WT_PAGE_BYTES, WriteThroughPageTable
+
+        if self._wt_table is None:
+            self._wt_table = WriteThroughPageTable()
+        table = self._wt_table
+        span_base = array.addr - array.addr % WT_PAGE_BYTES
+        span_end = -(-(array.addr + array.nbytes) // WT_PAGE_BYTES) \
+            * WT_PAGE_BYTES
+        span = span_end - span_base
+        copy = self.machine.alloc_private(self.pe, span, align=WT_PAGE_BYTES)
+        for off in range(0, span, WT_PAGE_BYTES):
+            table.bind(home, span_base + off, copy.addr + off)
+        handle = WriteThroughArray(ctx=self, home=home, array=array,
+                                   copy=copy, span_base=span_base)
+        yield from self.wt_refresh(handle, initial=True)
+        return handle
+
+    def wt_refresh(self, handle: "WriteThroughArray", *,
+                   initial: bool = False) -> Iterator[None]:
+        """Re-fetch the bound pages from the home cell (software
+        coherence: call after a barrier when the home data may have
+        changed)."""
+        assert self._wt_table is not None and self._wt_flag is not None
+        span = handle.copy.nbytes
+        command = Command(
+            kind=CommandKind.GET, dst=handle.home,
+            raddr=handle.span_base, laddr=handle.copy.addr,
+            send_stride=StrideSpec.contiguous(span),
+            recv_stride=StrideSpec.contiguous(span),
+            recv_flag=self._wt_flag.addr)
+        self._trace(EventKind.GET, partner=handle.home, size=span,
+                    recv_flag=self._wt_flag.id_on(self.pe))
+        self._issue(command)
+        self._wt_fetches += 1
+        yield from self.flag_wait(self._wt_flag, self._wt_fetches)
+        if not initial:
+            self._wt_table.note_refresh()

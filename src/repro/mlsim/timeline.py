@@ -1,0 +1,100 @@
+"""Per-PE timelines: a span log of where simulated time went.
+
+With ``record_timeline=True`` the engine logs one :class:`Span` per
+contiguous stretch of busy or idle time, labelled with the trace event
+that caused it — the simulator's equivalent of Figure 7's horizontal
+bars, but for a whole run.  The text renderer draws an ASCII Gantt
+chart; the spans themselves are plain data for ad-hoc analysis
+(e.g. "what exactly is PE 3 waiting on between 400 us and 900 us?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Bucket names as used by the engine.
+BUCKETS = ("execution", "rtsys", "overhead", "idle")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous accounted interval on one PE's clock."""
+
+    pe: int
+    start: float
+    end: float
+    bucket: str           # execution | rtsys | overhead | idle
+    label: str            # event kind (and partner where meaningful)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """All spans of one replay, per PE."""
+
+    num_pes: int
+    _spans: list[list[Span]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._spans:
+            self._spans = [[] for _ in range(self.num_pes)]
+
+    def add(self, span: Span) -> None:
+        if span.duration > 0:
+            self._spans[span.pe].append(span)
+
+    def spans_for(self, pe: int) -> list[Span]:
+        return self._spans[pe]
+
+    def busy_fraction(self, pe: int) -> float:
+        spans = self._spans[pe]
+        if not spans:
+            return 0.0
+        total = spans[-1].end
+        busy = sum(s.duration for s in spans if s.bucket != "idle")
+        return busy / total if total else 0.0
+
+    def dominant_label(self, pe: int, bucket: str) -> str | None:
+        """The label accounting for the most time in a bucket."""
+        totals: dict[str, float] = {}
+        for span in self._spans[pe]:
+            if span.bucket == bucket:
+                totals[span.label] = totals.get(span.label, 0.0) \
+                    + span.duration
+        if not totals:
+            return None
+        return max(totals, key=totals.get)
+
+    def window(self, pe: int, start: float, end: float) -> list[Span]:
+        """Spans overlapping [start, end) on one PE."""
+        return [s for s in self._spans[pe]
+                if s.end > start and s.start < end]
+
+
+_GLYPHS = {"execution": "#", "rtsys": "r", "overhead": "o", "idle": "."}
+
+
+def render_timeline(timeline: Timeline, *, width: int = 72,
+                    pes: list[int] | None = None) -> str:
+    """ASCII Gantt chart: one row per PE, time left to right."""
+    pes = pes if pes is not None else list(range(timeline.num_pes))
+    horizon = max((timeline.spans_for(pe)[-1].end
+                   for pe in pes if timeline.spans_for(pe)), default=0.0)
+    if horizon <= 0:
+        return "(empty timeline)"
+    scale = width / horizon
+    lines = [f"timeline, 0 .. {horizon:.1f} us "
+             f"(# exec, r rtsys, o overhead, . idle)"]
+    for pe in pes:
+        row = [" "] * width
+        for span in timeline.spans_for(pe):
+            a = min(int(span.start * scale), width - 1)
+            b = min(max(int(span.end * scale), a + 1), width)
+            glyph = _GLYPHS.get(span.bucket, "?")
+            for i in range(a, b):
+                row[i] = glyph
+        lines.append(f"PE {pe:3d} |{''.join(row)}|")
+    return "\n".join(lines)

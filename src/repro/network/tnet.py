@@ -1,0 +1,97 @@
+"""Functional model of the T-net point-to-point torus network.
+
+The T-net uses static (dimension-order) routing, so packets between a fixed
+(source, destination) pair never reorder.  The functional model enforces
+exactly that invariant: one FIFO channel per ordered cell pair.  Timing is
+not modelled here — MLSim (:mod:`repro.mlsim`) charges network time from its
+parameter file; this model is about *ordering and delivery semantics*, which
+the acknowledge idiom (GET after PUT) depends on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import CommunicationError
+from repro.network.packet import Packet
+from repro.network.topology import TorusTopology
+
+#: Peak bandwidth of one T-net link in megabytes per second (Table 1 / Fig 5).
+LINK_BANDWIDTH_MB_S = 25.0
+#: Number of parallel links per cell.
+LINKS_PER_CELL = 4
+
+
+@dataclass
+class TNet:
+    """In-order per-pair packet transport over a 2-D torus."""
+
+    topology: TorusTopology
+    _channels: dict[tuple[int, int], deque[Packet]] = field(default_factory=dict)
+    delivered_count: int = 0
+    injected_count: int = 0
+
+    def inject(self, packet: Packet) -> None:
+        """Accept a packet from a cell's MSC+ for transport."""
+        n = self.topology.num_cells
+        if not (0 <= packet.src < n and 0 <= packet.dst < n):
+            raise CommunicationError(
+                f"packet endpoints ({packet.src} -> {packet.dst}) outside "
+                f"{n}-cell machine"
+            )
+        self._channels.setdefault((packet.src, packet.dst), deque()).append(packet)
+        self.injected_count += 1
+
+    def pending(self, src: int, dst: int) -> int:
+        """Number of packets in flight from ``src`` to ``dst``."""
+        return len(self._channels.get((src, dst), ()))
+
+    def pending_for(self, dst: int) -> int:
+        """Number of packets in flight toward ``dst`` from anyone."""
+        return sum(
+            len(q) for (s, d), q in self._channels.items() if d == dst
+        )
+
+    def deliver_next(self, src: int, dst: int) -> Packet:
+        """Pop the oldest in-flight packet on the (src, dst) channel."""
+        queue = self._channels.get((src, dst))
+        if not queue:
+            raise CommunicationError(f"no packet in flight from {src} to {dst}")
+        self.delivered_count += 1
+        return queue.popleft()
+
+    def drain_to(self, dst: int) -> list[Packet]:
+        """Deliver every in-flight packet destined to ``dst``.
+
+        Packets from different sources are interleaved by injection order
+        (their serial numbers), which is one legal network ordering; packets
+        from the same source stay in order, which is the *guaranteed*
+        ordering.
+        """
+        ready: list[Packet] = []
+        for (src, d), queue in self._channels.items():
+            if d == dst:
+                ready.extend(queue)
+                queue.clear()
+        ready.sort(key=lambda p: p.serial)
+        self.delivered_count += len(ready)
+        return ready
+
+    def drain_all(self) -> list[Packet]:
+        """Deliver everything in flight, in injection order."""
+        ready: list[Packet] = []
+        for queue in self._channels.values():
+            ready.extend(queue)
+            queue.clear()
+        ready.sort(key=lambda p: p.serial)
+        self.delivered_count += len(ready)
+        return ready
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(q) for q in self._channels.values())
+
+    def transfer_time_us(self, payload_bytes: int) -> float:
+        """Wire time for a payload at peak link bandwidth, in microseconds."""
+        return payload_bytes / LINK_BANDWIDTH_MB_S

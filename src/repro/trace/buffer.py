@@ -1,0 +1,88 @@
+"""Bounded trace buffer.
+
+The real AP1000 probes stored events "in a trace buffer along with time
+and message information", and the buffer was finite — the paper could
+only simulate the first 10 iterations of SP and TOMCATV "because of trace
+buffer limitations", and could not simulate FT without stride transfers
+at all because the trace overflowed.  We keep the same failure mode (it
+is part of faithfully reproducing the methodology) but with a
+configurable, much larger bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import TraceBufferOverflowError
+from repro.trace.events import EventKind, GroupTable, TraceEvent
+
+#: Default machine-wide event capacity.
+DEFAULT_CAPACITY = 4_000_000
+
+
+@dataclass
+class TraceBuffer:
+    """Per-PE event lists with a machine-wide capacity bound."""
+
+    num_pes: int
+    capacity: int = DEFAULT_CAPACITY
+    groups: GroupTable | None = None
+    _events: list[list[TraceEvent]] = field(default_factory=list)
+    _seq: int = 0
+    total_events: int = 0
+
+    def __post_init__(self) -> None:
+        if not self._events:
+            self._events = [[] for _ in range(self.num_pes)]
+        if self.groups is None:
+            self.groups = GroupTable(tuple(range(self.num_pes)))
+
+    def record(self, event: TraceEvent) -> TraceEvent:
+        """Append an event, assigning its global sequence number."""
+        if self.total_events >= self.capacity:
+            raise TraceBufferOverflowError(
+                f"trace buffer full at {self.capacity} events (the AP1000 "
+                "probes hit the same limit; raise `capacity` or shrink the "
+                "workload)"
+            )
+        event.seq = self._seq
+        self._seq += 1
+        self._events[event.pe].append(event)
+        self.total_events += 1
+        return event
+
+    def events_for(self, pe: int) -> list[TraceEvent]:
+        return self._events[pe]
+
+    def all_events(self) -> list[TraceEvent]:
+        """Every event in global issue order."""
+        merged = [ev for pe_events in self._events for ev in pe_events]
+        merged.sort(key=lambda ev: ev.seq)
+        return merged
+
+    def count(self, kind: EventKind, pe: int | None = None) -> int:
+        if pe is not None:
+            return sum(1 for ev in self._events[pe] if ev.kind is kind)
+        return sum(
+            1 for pe_events in self._events for ev in pe_events
+            if ev.kind is kind
+        )
+
+    def coalesce_compute(self) -> None:
+        """Merge adjacent COMPUTE (and adjacent RTSYS) events per PE.
+
+        Applications may charge work in many small slices; MLSim timing is
+        unaffected by merging, and replay gets cheaper.
+        """
+        for pe in range(self.num_pes):
+            merged: list[TraceEvent] = []
+            for ev in self._events[pe]:
+                if (merged
+                        and ev.kind in (EventKind.COMPUTE, EventKind.RTSYS)
+                        and merged[-1].kind is ev.kind):
+                    merged[-1].work += ev.work
+                else:
+                    merged.append(ev)
+            removed = len(self._events[pe]) - len(merged)
+            self._events[pe] = merged
+            self.total_events -= removed

@@ -1,0 +1,93 @@
+"""Trace comparison: diff two traces event-by-event.
+
+Functional runs are deterministic (fixed seeds, deterministic
+scheduling), so two runs of the same configuration must produce
+*identical* traces — this module verifies that, and when traces differ
+(e.g. after a code change), reports the first divergence precisely
+instead of a bare assertion failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import TraceEvent
+
+#: Fields that define an event's identity for comparison (``seq`` is
+#: included: global issue order is part of determinism).
+COMPARE_FIELDS = (
+    "kind", "pe", "seq", "partner", "size", "stride", "send_flag",
+    "recv_flag", "is_ack", "flag", "target", "group", "group_size", "work",
+)
+#: ``msg_id`` carries a process-global packet serial, so it is excluded
+#: by default: two machines in one process draw from one counter.
+VOLATILE_FIELDS = ("msg_id",)
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first point at which two traces disagree."""
+
+    pe: int
+    index: int
+    field: str
+    left: object
+    right: object
+
+    def describe(self) -> str:
+        return (f"PE {self.pe}, event {self.index}: {self.field} differs "
+                f"({self.left!r} vs {self.right!r})")
+
+
+@dataclass(frozen=True)
+class LengthMismatch:
+    pe: int
+    left_events: int
+    right_events: int
+
+    def describe(self) -> str:
+        return (f"PE {self.pe}: {self.left_events} events vs "
+                f"{self.right_events}")
+
+
+def _event_key(ev: TraceEvent, fields) -> tuple:
+    return tuple(getattr(ev, f) for f in fields)
+
+
+def compare_traces(left: TraceBuffer, right: TraceBuffer, *,
+                   fields=COMPARE_FIELDS):
+    """Return None if the traces match, else the first divergence."""
+    if left.num_pes != right.num_pes:
+        return LengthMismatch(pe=-1, left_events=left.num_pes,
+                              right_events=right.num_pes)
+    for pe in range(left.num_pes):
+        levs = left.events_for(pe)
+        revs = right.events_for(pe)
+        if len(levs) != len(revs):
+            return LengthMismatch(pe=pe, left_events=len(levs),
+                                  right_events=len(revs))
+        for i, (le, re_) in enumerate(zip(levs, revs)):
+            for field in fields:
+                lv, rv = getattr(le, field), getattr(re_, field)
+                if lv != rv:
+                    return TraceDivergence(pe=pe, index=i, field=field,
+                                           left=lv, right=rv)
+    return None
+
+
+def assert_traces_equal(left: TraceBuffer, right: TraceBuffer, *,
+                        fields=COMPARE_FIELDS) -> None:
+    """Raise ``AssertionError`` with a precise message on divergence."""
+    divergence = compare_traces(left, right, fields=fields)
+    if divergence is not None:
+        raise AssertionError(f"traces differ: {divergence.describe()}")
+
+
+def trace_fingerprint(trace: TraceBuffer, *, fields=COMPARE_FIELDS) -> int:
+    """A cheap order-sensitive hash of a trace (for regression logs)."""
+    acc = hash((trace.num_pes,))
+    for pe in range(trace.num_pes):
+        for ev in trace.events_for(pe):
+            acc = hash((acc, _event_key(ev, fields)))
+    return acc

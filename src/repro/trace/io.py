@@ -1,0 +1,97 @@
+"""Trace serialization.
+
+Traces are written as JSON lines: one header object (machine size, groups)
+followed by one object per event in global order.  The format exists so a
+long functional run can be recorded once and replayed through MLSim many
+times with different parameter files — the same decoupling the paper's
+methodology relied on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.core.errors import SimulationError
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import EventKind, GroupTable, TraceEvent
+
+_FIELDS = (
+    "kind", "pe", "seq", "partner", "size", "stride", "send_flag",
+    "recv_flag", "is_ack", "msg_id", "flag", "target", "group",
+    "group_size", "work",
+)
+
+
+def _event_to_dict(ev: TraceEvent) -> dict:
+    out = {}
+    for name in _FIELDS:
+        value = getattr(ev, name)
+        if name == "kind":
+            value = int(value)
+        out[name] = value
+    return out
+
+
+def _event_from_dict(obj: dict) -> TraceEvent:
+    kwargs = dict(obj)
+    kwargs["kind"] = EventKind(kwargs["kind"])
+    return TraceEvent(**kwargs)
+
+
+def save_trace(trace: TraceBuffer, target: str | Path | IO[str]) -> None:
+    """Write a trace as JSON lines."""
+    assert trace.groups is not None
+    header = {
+        "format": "ap1000-trace-v1",
+        "num_pes": trace.num_pes,
+        "groups": {str(gid): list(trace.groups.members(gid))
+                   for gid in range(len(trace.groups))},
+    }
+
+    def _write(fh: IO[str]) -> None:
+        fh.write(json.dumps(header) + "\n")
+        for ev in trace.all_events():
+            fh.write(json.dumps(_event_to_dict(ev)) + "\n")
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            _write(fh)
+    else:
+        _write(target)
+
+
+def load_trace(source: str | Path | IO[str]) -> TraceBuffer:
+    """Read a trace written by :func:`save_trace`."""
+
+    def _read(fh: IO[str]) -> TraceBuffer:
+        header_line = fh.readline()
+        if not header_line:
+            raise SimulationError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "ap1000-trace-v1":
+            raise SimulationError(
+                f"unrecognized trace format {header.get('format')!r}")
+        num_pes = header["num_pes"]
+        groups = GroupTable(tuple(range(num_pes)))
+        for gid_str, members in sorted(
+                header["groups"].items(), key=lambda kv: int(kv[0])):
+            if int(gid_str) == 0:
+                continue
+            groups.intern(tuple(members))
+        trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            ev = _event_from_dict(json.loads(line))
+            seq = ev.seq
+            trace.record(ev)
+            ev.seq = seq  # preserve the original global order
+        return trace
+
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as fh:
+            return _read(fh)
+    return _read(source)

@@ -1,0 +1,94 @@
+"""Application statistics in the shape of the paper's Table 3.
+
+For each application, Table 3 reports per-PE averages of SEND, Gop, V Gop,
+Sync, PUT, PUTS, GET, GETS, and the average PUT/GET message size in bytes
+"without GET for acknowledge".  This module derives exactly those columns
+from a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import EventKind
+
+TABLE3_COLUMNS = (
+    "PE", "SEND", "Gop", "V Gop", "Sync",
+    "PUT", "PUTS", "GET", "GETS", "Size of Msg.",
+)
+
+
+@dataclass(frozen=True)
+class AppStatistics:
+    """One row of Table 3."""
+
+    num_pes: int
+    send_per_pe: float
+    gop_per_pe: float
+    vgop_per_pe: float
+    sync_per_pe: float
+    put_per_pe: float
+    puts_per_pe: float
+    get_per_pe: float
+    gets_per_pe: float
+    avg_message_bytes: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.num_pes, self.send_per_pe, self.gop_per_pe,
+            self.vgop_per_pe, self.sync_per_pe, self.put_per_pe,
+            self.puts_per_pe, self.get_per_pe, self.gets_per_pe,
+            self.avg_message_bytes,
+        )
+
+
+def collect_statistics(trace: TraceBuffer) -> AppStatistics:
+    """Compute the Table 3 row for a recorded trace."""
+    n = trace.num_pes
+    counts = {kind: 0 for kind in EventKind}
+    puts_stride = gets_stride = 0
+    msg_bytes = 0
+    msg_count = 0
+    for pe in range(n):
+        for ev in trace.events_for(pe):
+            counts[ev.kind] += 1
+            if ev.kind is EventKind.PUT:
+                if ev.stride:
+                    puts_stride += 1
+                msg_bytes += ev.size
+                msg_count += 1
+            elif ev.kind is EventKind.GET:
+                if ev.is_ack:
+                    # "without GET for acknowledge": excluded from both the
+                    # GET count column and the message-size average.
+                    counts[ev.kind] -= 1
+                    continue
+                if ev.stride:
+                    gets_stride += 1
+                msg_bytes += ev.size
+                msg_count += 1
+
+    def per_pe(value: int) -> float:
+        return value / n
+
+    return AppStatistics(
+        num_pes=n,
+        send_per_pe=per_pe(counts[EventKind.SEND]),
+        gop_per_pe=per_pe(counts[EventKind.GOP]),
+        vgop_per_pe=per_pe(counts[EventKind.VGOP]),
+        sync_per_pe=per_pe(counts[EventKind.BARRIER]),
+        put_per_pe=per_pe(counts[EventKind.PUT] - puts_stride),
+        puts_per_pe=per_pe(puts_stride),
+        get_per_pe=per_pe(counts[EventKind.GET] - gets_stride),
+        gets_per_pe=per_pe(gets_stride),
+        avg_message_bytes=(msg_bytes / msg_count) if msg_count else 0.0,
+    )
+
+
+def format_table3_row(name: str, stats: AppStatistics) -> str:
+    """Render one application's row in the paper's layout."""
+    row = stats.as_row()
+    cells = [f"{name:<10}", f"{row[0]:>4d}"]
+    cells += [f"{v:>10.1f}" for v in row[1:]]
+    return "  ".join(cells)

@@ -1,0 +1,124 @@
+"""Unit tests for the tables/figures generators and the report driver."""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.figures import figure7_text, figure8_bars, render_figure8
+from repro.analysis.report import ExperimentReport, run_experiments
+from repro.analysis.tables import (
+    format_table2,
+    format_table3,
+    table1_text,
+    table2_rows,
+    table3_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One small end-to-end evaluation shared by all analysis tests."""
+    return run_experiments(names=("EP", "MatMul", "TC st", "TC no st"))
+
+
+class TestPaperData:
+    def test_table2_has_all_rows(self):
+        assert set(paper_data.TABLE2) == set(paper_data.ROW_ORDER)
+
+    def test_ep_is_exactly_eight(self):
+        assert paper_data.TABLE2["EP"] == (8.00, 8.00)
+
+    def test_cg_is_worst_case(self):
+        plus = {k: v[0] for k, v in paper_data.TABLE2.items()}
+        assert min(plus, key=plus.get) == "CG"
+
+    def test_table3_ep_row_zero(self):
+        row = paper_data.TABLE3["EP"]
+        assert row.put == row.get == row.send == row.sync == 0.0
+
+    def test_figure8_totals_derived_consistently(self):
+        for name, (plus, fast) in paper_data.TABLE2.items():
+            expected = 100.0 * plus / fast
+            assert paper_data.FIGURE8_SECOND_MODEL_TOTALS[name] == \
+                pytest.approx(expected)
+
+
+class TestTable1:
+    def test_contains_paper_specs(self):
+        text = table1_text()
+        assert "SuperSPARC (50 MHz)" in text
+        assert "50 MFLOPS" in text
+        assert "4 - 1024 cells" in text
+        assert "0.2 - 51.2 GFLOPS" in text
+        assert "36 kilobytes, write-through" in text
+
+
+class TestTable2Generation:
+    def test_rows_in_paper_order(self, report):
+        rows = table2_rows(report.comparisons)
+        assert [r.name for r in rows] == ["EP", "TC st", "TC no st",
+                                          "MatMul"]
+
+    def test_ordering_claim_holds(self, report):
+        for row in table2_rows(report.comparisons):
+            assert row.ordering_holds
+
+    def test_format(self, report):
+        text = format_table2(table2_rows(report.comparisons))
+        assert "AP1000+" in text and "paper+" in text
+        assert "MatMul" in text
+
+
+class TestTable3Generation:
+    def test_measured_and_paper_columns(self, report):
+        rows = table3_rows(report.runs)
+        text = format_table3(rows)
+        assert "Paper values:" in text
+        assert text.count("EP") == 2
+
+    def test_ep_measured_zero(self, report):
+        rows = {r.name: r for r in table3_rows(report.runs)}
+        assert all(v == 0.0 for v in rows["EP"].measured[1:])
+
+
+class TestFigure8:
+    def test_two_bars_per_app(self, report):
+        bars = figure8_bars(report.comparisons)
+        apps = [b.app for b in bars]
+        assert apps.count("MatMul") == 2
+
+    def test_ap1000_plus_is_baseline_100(self, report):
+        for bar in figure8_bars(report.comparisons):
+            if bar.model == "AP1000+" and bar.app not in ("TC no st",):
+                assert bar.total == pytest.approx(100.0)
+
+    def test_tomcatv_pair_shares_baseline(self, report):
+        bars = {(b.app, b.model): b for b in figure8_bars(report.comparisons)}
+        no_st_plus = bars[("TC no st", "AP1000+")]
+        # Normalized against TC st: the no-stride run is slower, so > 100.
+        assert no_st_plus.total > 100.0
+
+    def test_render(self, report):
+        text = render_figure8(figure8_bars(report.comparisons))
+        assert "Effect of PUT/GET hardware support" in text
+        assert "legend" in text
+
+
+class TestFigure7:
+    def test_both_models_printed(self):
+        text = figure7_text(size=1024, distance=4)
+        assert "AP1000" in text and "AP1000+" in text
+        assert "receive flag incremented at" in text
+
+
+class TestReport:
+    def test_all_verified(self, report):
+        assert report.all_verified
+
+    def test_render_contains_everything(self, report):
+        text = report.render()
+        for marker in ("Table 1", "Figure 7", "Table 2", "Table 3",
+                       "Figure 8", "ALL PASSED"):
+            assert marker in text
+
+    def test_report_type(self, report):
+        assert isinstance(report, ExperimentReport)

@@ -1,0 +1,66 @@
+"""Tests for the markdown report exporter."""
+
+import pytest
+
+from repro.analysis.markdown import (
+    figure8_markdown,
+    report_markdown,
+    table2_markdown,
+    table3_markdown,
+    verification_markdown,
+)
+from repro.analysis.report import run_experiments
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_experiments(names=("EP", "MatMul"))
+
+
+class TestMarkdown:
+    def test_full_document_sections(self, report):
+        doc = report_markdown(report)
+        for heading in ("# AP1000+ reproduction", "## Table 2",
+                        "## Table 3", "## Figure 8",
+                        "## Functional verification"):
+            assert heading in doc
+
+    def test_table2_rows_and_pipes(self, report):
+        md = table2_markdown(report)
+        lines = [line for line in md.splitlines() if line.startswith("|")]
+        # header + separator + one row per app
+        assert len(lines) == 2 + 2
+        assert all(line.count("|") == 7 for line in lines)
+
+    def test_table3_interleaves_paper_rows(self, report):
+        md = table3_markdown(report)
+        assert "*EP (paper)*" in md
+        assert "*MatMul (paper)*" in md
+
+    def test_figure8_has_two_rows_per_app(self, report):
+        md = figure8_markdown(report)
+        assert md.count("| EP |") == 2
+        assert md.count("| MatMul |") == 2
+
+    def test_verification_status(self, report):
+        md = verification_markdown(report)
+        assert "verified" in md
+        assert "FAILED" not in md
+
+    def test_valid_table_structure(self, report):
+        """Every markdown table has a separator row matching its header
+        width."""
+        doc = report_markdown(report)
+        lines = doc.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and set(line) <= set("|- "):
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|")
+
+
+class TestCliFormat:
+    def test_cli_markdown(self, capsys):
+        from repro.cli import main
+        assert main(["report", "--apps", "EP", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# AP1000+")

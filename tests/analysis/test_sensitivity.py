@@ -1,0 +1,117 @@
+"""Tests for the parameter sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    Elasticity,
+    format_elasticities,
+    parameter_elasticities,
+    sweep_parameter,
+    sweepable_parameters,
+)
+from repro.apps import cg, matmul, scg
+from repro.core.errors import ConfigurationError
+from repro.mlsim.params import ap1000_plus_params
+
+
+@pytest.fixture(scope="module")
+def cg_trace():
+    return cg.run(num_cells=4, n=120, outer=1, inner=4).trace
+
+
+@pytest.fixture(scope="module")
+def mm_trace():
+    return matmul.run(num_cells=4, n=64).trace
+
+
+class TestSweep:
+    def test_sweepable_excludes_meta(self):
+        names = sweepable_parameters(ap1000_plus_params())
+        assert "name" not in names and "hardware_put_get" not in names
+        assert "put_prolog_time" in names
+        assert "computation_factor" in names
+
+    def test_sweep_monotone_in_wire_time(self, mm_trace):
+        points = sweep_parameter(mm_trace, ap1000_plus_params(),
+                                 "put_msg_time", (0.01, 0.05, 0.25))
+        times = [p.elapsed_us for p in points]
+        assert times == sorted(times)
+
+    def test_sweep_records_requested_values(self, mm_trace):
+        points = sweep_parameter(mm_trace, ap1000_plus_params(),
+                                 "barrier_net_time", (1.0, 2.0))
+        assert [p.value for p in points] == [1.0, 2.0]
+
+    def test_unknown_parameter_rejected(self, mm_trace):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(mm_trace, ap1000_plus_params(),
+                            "hardware_put_get", (0, 1))
+
+
+class TestElasticity:
+    def test_cg_is_reduction_dominated(self, cg_trace):
+        """CG's strongest knob is the vector wire time — the reductions'
+        payload — with computation second; per-message issue costs
+        trail far behind, and even those enter only through the
+        reduction-stage setup (CG issues no PUTs of its own)."""
+        ranking = parameter_elasticities(cg_trace, ap1000_plus_params())
+        assert ranking[0].parameter in ("put_msg_time",
+                                        "computation_factor")
+        by_name = {e.parameter: e for e in ranking}
+        assert by_name["put_msg_time"].elasticity > \
+            5 * by_name["put_prolog_time"].elasticity
+        assert by_name["gop_step_time"].elasticity > 0
+
+    def test_matmul_overlap_hides_wire_time(self, mm_trace):
+        """MatMul overlaps communication with computation (the C-app
+        design): at the hardware wire rate the elapsed time is
+        insensitive to put_msg_time — until the wire time outgrows the
+        per-step compute, where the sweep kinks upward."""
+        points = sweep_parameter(mm_trace, ap1000_plus_params(),
+                                 "put_msg_time", (0.01, 0.05, 0.4))
+        hidden = points[1].elapsed_us - points[0].elapsed_us
+        exposed = points[2].elapsed_us - points[1].elapsed_us
+        assert hidden == pytest.approx(0.0, abs=1.0)
+        assert exposed > 100.0
+
+    def test_computation_factor_unit_elasticity_for_compute_bound(self):
+        """A compute-only trace responds one-for-one to the computation
+        factor and not at all to communication parameters."""
+        from repro.apps import ep
+        trace = ep.run(num_cells=2, log2_pairs=8).trace
+        ranking = parameter_elasticities(
+            trace, ap1000_plus_params(),
+            parameters=("computation_factor", "put_msg_time"))
+        by_name = {e.parameter: e for e in ranking}
+        assert by_name["computation_factor"].elasticity == \
+            pytest.approx(1.0, abs=1e-6)
+        assert by_name["put_msg_time"].elasticity == pytest.approx(0.0)
+
+    def test_zero_valued_parameters_skipped(self, mm_trace):
+        ranking = parameter_elasticities(
+            mm_trace, ap1000_plus_params(),
+            parameters=("put_epilog_time",))   # 0.0 on the AP1000+
+        assert ranking == []
+
+    def test_bump_must_be_positive(self, mm_trace):
+        with pytest.raises(ConfigurationError):
+            parameter_elasticities(mm_trace, ap1000_plus_params(), bump=0)
+
+    def test_ranking_sorted_by_magnitude(self, cg_trace):
+        ranking = parameter_elasticities(cg_trace, ap1000_plus_params())
+        magnitudes = [abs(e.elasticity) for e in ranking]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestFormatting:
+    def test_format(self, mm_trace):
+        ranking = parameter_elasticities(
+            mm_trace, ap1000_plus_params(),
+            parameters=("put_msg_time", "put_prolog_time"))
+        text = format_elasticities("MatMul", ranking)
+        assert "Parameter sensitivity: MatMul" in text
+        assert "put_msg_time" in text
+
+    def test_describe(self):
+        e = Elasticity(parameter="x", base_value=1.0, elasticity=0.5)
+        assert "elasticity" in e.describe()

@@ -1,0 +1,58 @@
+"""Tests for the paper-shape validator."""
+
+import pytest
+
+from repro.analysis.report import run_experiments
+from repro.analysis.validate import (
+    ShapeCheck,
+    all_shapes_hold,
+    format_checks,
+    validate_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_experiments(names=("EP", "CG", "TC st", "TC no st", "SCG"))
+
+
+class TestValidator:
+    def test_all_shapes_hold_on_default_runs(self, report):
+        checks = validate_report(report)
+        failing = [c.describe() for c in checks if not c.passed]
+        assert not failing, failing
+        assert all_shapes_hold(report)
+
+    def test_check_inventory(self, report):
+        names = {c.name for c in validate_report(report)}
+        assert "functional verification" in names
+        assert "EP equals the processor ratio" in names
+        assert "CG is the worst case for the AP1000+" in names
+        assert any("stride" in n for n in names)
+
+    def test_checks_carry_paper_quotes(self, report):
+        quoted = [c for c in validate_report(report) if c.paper_quote]
+        assert len(quoted) >= 3
+
+    def test_format(self, report):
+        text = format_checks(validate_report(report))
+        assert "[PASS]" in text
+        assert "qualitative results hold" in text
+
+    def test_subset_reports_skip_inapplicable_checks(self):
+        small = run_experiments(names=("EP",))
+        names = {c.name for c in validate_report(small)}
+        assert "CG is the worst case for the AP1000+" not in names
+        assert all_shapes_hold(small)
+
+    def test_shapecheck_describe(self):
+        check = ShapeCheck(name="x", passed=False, detail="boom")
+        assert check.describe() == "[FAIL] x: boom"
+
+
+class TestCliValidate:
+    def test_cli_flag(self, capsys):
+        from repro.cli import main
+        assert main(["report", "--apps", "EP", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper-shape validation" in out

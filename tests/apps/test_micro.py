@@ -1,0 +1,116 @@
+"""Tests for the communication microbenchmarks."""
+
+import pytest
+
+from repro.apps.micro import (
+    SIZE_SWEEP,
+    collective_sweep,
+    format_collective_table,
+    format_latency_table,
+    half_bandwidth_point,
+    latency_sweep,
+    ping_pong,
+)
+from repro.mlsim.params import (
+    ap1000_fast_params,
+    ap1000_params,
+    ap1000_plus_params,
+)
+from repro.network.tnet import LINK_BANDWIDTH_MB_S
+
+
+class TestPingPong:
+    def test_latency_grows_with_size(self):
+        p = ap1000_plus_params()
+        small = ping_pong(p, 8)
+        large = ping_pong(p, 1 << 20)
+        assert large.one_way_us > small.one_way_us
+
+    def test_hardware_small_message_latency_much_lower(self):
+        """The headline microbenchmark: short-message latency is
+        dominated by software handling on the AP1000."""
+        slow = ping_pong(ap1000_params(), 8)
+        fast = ping_pong(ap1000_plus_params(), 8)
+        assert slow.one_way_us / fast.one_way_us > 20
+
+    def test_large_message_bandwidth_limits(self):
+        """At megabyte sizes the AP1000+ reaches the wire rate
+        (put_msg_time = 0.05 us/B = 20 MB/s); the AP1000 stays capped by
+        its per-byte software costs (cache post + flush add 0.08 us/B,
+        so at most ~7.7 MB/s sustained)."""
+        slow = ping_pong(ap1000_params(), 1 << 20)
+        fast = ping_pong(ap1000_plus_params(), 1 << 20)
+        assert fast.bandwidth_mb_s == pytest.approx(20.0, rel=0.15)
+        assert fast.bandwidth_mb_s < LINK_BANDWIDTH_MB_S
+        assert 4.0 < slow.bandwidth_mb_s < 8.0
+        assert fast.bandwidth_mb_s / slow.bandwidth_mb_s > 2.5
+
+    def test_distance_adds_latency_only(self):
+        p = ap1000_plus_params()
+        near = ping_pong(p, 1024, distance_cells=2)
+        far = ping_pong(p, 1024, distance_cells=16)
+        assert far.one_way_us > near.one_way_us
+        assert far.one_way_us - near.one_way_us < 5.0   # per-hop delay only
+
+    def test_round_trip_twice_one_way(self):
+        p = ap1000_plus_params()
+        point = ping_pong(p, 4096)
+        assert point.round_trip_us == pytest.approx(2 * point.one_way_us)
+
+
+class TestSweeps:
+    def test_sweep_covers_requested_sizes(self):
+        points = latency_sweep(ap1000_plus_params(), sizes=(8, 64, 512))
+        assert [p.size_bytes for p in points] == [8, 64, 512]
+
+    def test_bandwidth_monotone_in_size(self):
+        points = latency_sweep(ap1000_plus_params())
+        bws = [p.bandwidth_mb_s for p in points]
+        assert all(b2 >= b1 * 0.99 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_half_bandwidth_point_smaller_on_hardware(self):
+        """n_1/2 measures per-message overhead: hardware handling reaches
+        half bandwidth at far smaller messages."""
+        slow = half_bandwidth_point(latency_sweep(ap1000_params()))
+        fast = half_bandwidth_point(latency_sweep(ap1000_plus_params()))
+        assert fast < slow
+
+    def test_default_sweep_shape(self):
+        assert SIZE_SWEEP[0] == 4
+        assert SIZE_SWEEP[-1] == 4 ** 10
+
+
+class TestCollectives:
+    def test_costs_grow_with_machine_size(self):
+        rows = collective_sweep(ap1000_plus_params(), cell_counts=(4, 64))
+        assert rows[1].gop_us > rows[0].gop_us
+        assert rows[1].vgop_1k_us > rows[0].vgop_1k_us
+
+    def test_snet_barrier_nearly_flat(self):
+        """The hardware barrier does not scale with P (it is a dedicated
+        network); reductions do."""
+        rows = collective_sweep(ap1000_plus_params(), cell_counts=(4, 256))
+        assert rows[1].barrier_us < 2 * rows[0].barrier_us
+        assert rows[1].vgop_1k_us > 4 * rows[0].vgop_1k_us
+
+    def test_software_model_reductions_costlier(self):
+        plus = collective_sweep(ap1000_plus_params(), cell_counts=(16,))[0]
+        fast = collective_sweep(ap1000_fast_params(), cell_counts=(16,))[0]
+        assert fast.gop_us > plus.gop_us
+        assert fast.vgop_1k_us > plus.vgop_1k_us
+
+
+class TestFormatting:
+    def test_latency_table(self):
+        points = {name: latency_sweep(maker(), sizes=(8, 1024))
+                  for name, maker in (("AP1000", ap1000_params),
+                                      ("AP1000+", ap1000_plus_params))}
+        text = format_latency_table(points)
+        assert "n1/2" in text
+        assert "AP1000+ MB/s" in text
+
+    def test_collective_table(self):
+        rows = {"AP1000+": collective_sweep(ap1000_plus_params(),
+                                            cell_counts=(4, 16))}
+        text = format_collective_table(rows)
+        assert "barrier" in text and "vgop" in text

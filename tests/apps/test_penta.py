@@ -1,0 +1,128 @@
+"""Unit tests for the pentadiagonal solver substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.penta import (
+    PentaBands,
+    apply_penta,
+    back_substitute,
+    eliminate_rhs,
+    precompute,
+    solve_along_axis,
+    solve_lines,
+)
+from repro.core.errors import ConfigurationError
+
+BANDS = PentaBands(a=-0.05, b=-0.3, c=2.0)
+
+
+def dense_matrix(bands, n):
+    m = np.zeros((n, n))
+    for i in range(n):
+        m[i, i] = bands.c
+        if i >= 1:
+            m[i, i - 1] = m[i - 1, i] = bands.b
+        if i >= 2:
+            m[i, i - 2] = m[i - 2, i] = bands.a
+    return m
+
+
+class TestSequentialSolve:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 17, 64])
+    def test_matches_dense_solve(self, n):
+        rng = np.random.default_rng(n)
+        rhs = rng.standard_normal((n, 3))
+        x = solve_lines(BANDS, rhs)
+        expected = np.linalg.solve(dense_matrix(BANDS, n), rhs)
+        assert np.allclose(x, expected, atol=1e-10)
+
+    def test_residual_small(self):
+        rng = np.random.default_rng(7)
+        rhs = rng.standard_normal((40, 6))
+        x = solve_lines(BANDS, rhs)
+        assert np.abs(apply_penta(BANDS, x, 0) - rhs).max() < 1e-12
+
+    def test_solve_along_any_axis(self):
+        rng = np.random.default_rng(9)
+        cube = rng.standard_normal((6, 7, 8))
+        for axis in range(3):
+            x = solve_along_axis(BANDS, cube, axis)
+            assert np.allclose(apply_penta(BANDS, x, axis), cube, atol=1e-11)
+
+    def test_apply_penta_dense_equivalence(self):
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal((12, 2))
+        assert np.allclose(apply_penta(BANDS, u, 0),
+                           dense_matrix(BANDS, 12) @ u)
+
+
+class TestStability:
+    def test_non_dominant_bands_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PentaBands(a=1.0, b=1.0, c=1.0)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            precompute(BANDS, 0)
+
+
+class TestDistributedBlocks:
+    def test_block_elimination_equals_sequential(self):
+        n = 23
+        rng = np.random.default_rng(5)
+        rhs = rng.standard_normal((n, 4))
+        coeffs = precompute(BANDS, n)
+        seq = eliminate_rhs(coeffs, rhs)
+        blocks = [(0, 7), (7, 15), (15, 23)]
+        boundary = None
+        parts = []
+        for lo, hi in blocks:
+            part = eliminate_rhs(coeffs, rhs[lo:hi], start=lo,
+                                 boundary=boundary)
+            parts.append(part)
+            boundary = (part[-2], part[-1])
+        assert np.allclose(np.vstack(parts), seq, atol=1e-12)
+
+    def test_block_backsub_equals_sequential(self):
+        n = 19
+        rng = np.random.default_rng(6)
+        rhs = rng.standard_normal((n, 2))
+        coeffs = precompute(BANDS, n)
+        reduced = eliminate_rhs(coeffs, rhs)
+        seq = back_substitute(coeffs, reduced)
+        blocks = [(0, 6), (6, 12), (12, 19)]
+        boundary = None
+        parts = [None] * 3
+        for bi in (2, 1, 0):
+            lo, hi = blocks[bi]
+            part = back_substitute(coeffs, reduced[lo:hi], start=lo,
+                                   boundary=boundary)
+            parts[bi] = part
+            boundary = (part[0], part[1])
+        assert np.allclose(np.vstack(parts), seq, atol=1e-12)
+
+    def test_interior_block_without_boundary_rejected(self):
+        coeffs = precompute(BANDS, 10)
+        with pytest.raises(ConfigurationError):
+            eliminate_rhs(coeffs, np.zeros((3, 1)), start=2)
+        with pytest.raises(ConfigurationError):
+            back_substitute(coeffs, np.zeros((3, 1)), start=2)
+
+    def test_tiny_blocks_of_one_row(self):
+        """Blocks of a single row (the 64-cell SP edge case)."""
+        n = 8
+        rng = np.random.default_rng(8)
+        rhs = rng.standard_normal((n, 2))
+        coeffs = precompute(BANDS, n)
+        seq_red = eliminate_rhs(coeffs, rhs)
+        boundary = None
+        parts = []
+        carry = [np.zeros(2), np.zeros(2)]
+        for i in range(n):
+            part = eliminate_rhs(coeffs, rhs[i:i + 1], start=i,
+                                 boundary=None if i == 0 else
+                                 (carry[0], carry[1]))
+            parts.append(part)
+            carry = [carry[1], part[-1]]
+        assert np.allclose(np.vstack(parts), seq_red, atol=1e-12)

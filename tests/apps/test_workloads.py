@@ -1,0 +1,46 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.apps.workloads import ORDER, WORKLOADS, run_all, workload
+from repro.core.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_eight_rows_in_paper_order(self):
+        assert ORDER == ("EP", "CG", "FT", "SP", "TC st", "TC no st",
+                         "MatMul", "SCG")
+        assert set(WORKLOADS) == set(ORDER)
+
+    def test_languages(self):
+        assert workload("CG").language == "VPP Fortran"
+        assert workload("MatMul").language == "C"
+        assert workload("SCG").language == "C"
+
+    def test_paper_pe_counts(self):
+        assert workload("CG").paper_pes == 16
+        assert workload("FT").paper_pes == 128
+        assert workload("MatMul").paper_pes == 64
+
+    def test_tomcatv_pair_differs_only_in_stride(self):
+        st = workload("TC st").default_params
+        no = workload("TC no st").default_params
+        assert st["use_stride"] and not no["use_stride"]
+        assert st["n"] == no["n"]
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            workload("LU")
+
+
+class TestRunning:
+    def test_run_with_overrides(self):
+        run = workload("MatMul").run(num_cells=2, n=16)
+        assert run.verified
+        assert run.machine.config.num_cells == 2
+
+    def test_run_all_subset(self):
+        runs = run_all(names=("EP", "MatMul"),
+                       **{})
+        assert set(runs) == {"EP", "MatMul"}
+        assert all(r.verified for r in runs.values())

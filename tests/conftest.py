@@ -1,0 +1,52 @@
+"""Shared fixtures for the AP1000+ reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.cell import HardwareCell
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.network.tnet import TNet
+from repro.network.topology import TorusTopology
+
+
+@pytest.fixture
+def topology4x2() -> TorusTopology:
+    return TorusTopology(width=4, height=2)
+
+
+@pytest.fixture
+def tnet(topology4x2) -> TNet:
+    return TNet(topology4x2)
+
+
+@pytest.fixture
+def cell_pair(tnet):
+    """Two hardware cells wired to one T-net (1 MB of DRAM each)."""
+    a = HardwareCell.build(0, tnet, memory_bytes=1 << 20)
+    b = HardwareCell.build(1, tnet, memory_bytes=1 << 20)
+    return a, b
+
+
+def small_machine(num_cells: int = 4, **kwargs) -> Machine:
+    cfg = MachineConfig(num_cells=num_cells,
+                        memory_per_cell=kwargs.pop("memory_per_cell", 1 << 22),
+                        **kwargs)
+    return Machine(cfg)
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    return small_machine(4)
+
+
+@pytest.fixture
+def machine8() -> Machine:
+    return small_machine(8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

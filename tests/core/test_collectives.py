@@ -1,0 +1,139 @@
+"""Unit tests for butterfly / tree collective schedules.
+
+Full end-to-end semantics of these schedules (values actually reduced
+over communication registers) are covered by the CommRegisterReducer
+tests in ``tests/lang``; here we verify the schedules' structure.
+"""
+
+import pytest
+
+from repro.core.collectives import (
+    REDUCE_OPS,
+    Role,
+    butterfly_rounds,
+    butterfly_schedule,
+    combine,
+    tree_schedule,
+)
+
+
+class TestButterflyPowerOfTwo:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_exchange_allreduce_sums(self, size):
+        """Simulate the pure-exchange butterfly: every rank ends with the
+        total."""
+        state = [float(i + 1) for i in range(size)]
+        for rnd in range(butterfly_rounds(size)):
+            snapshot = list(state)
+            for rank in range(size):
+                step = butterfly_schedule(rank, size)[rnd]
+                assert step.role is Role.EXCHANGE
+                state[rank] = snapshot[rank] + snapshot[step.partner]
+        assert all(v == sum(range(1, size + 1)) for v in state)
+
+    def test_single_rank_is_trivial(self):
+        assert butterfly_schedule(0, 1) == []
+        assert butterfly_rounds(1) == 0
+
+    def test_partners_are_mutual(self):
+        size = 16
+        for rnd in range(butterfly_rounds(size)):
+            for rank in range(size):
+                step = butterfly_schedule(rank, size)[rnd]
+                back = butterfly_schedule(step.partner, size)[rnd]
+                assert back.partner == rank
+
+    def test_each_round_uses_distinct_partner(self):
+        partners = [s.partner for s in butterfly_schedule(5, 16)]
+        assert len(set(partners)) == len(partners)
+
+
+class TestButterflyGeneral:
+    @pytest.mark.parametrize("size", [3, 5, 6, 7, 12])
+    def test_fold_in_and_out_structure(self, size):
+        pow2 = 1 << (size.bit_length() - 1)
+        extra = size - pow2
+        for rank in range(size):
+            steps = butterfly_schedule(rank, size)
+            assert len(steps) == butterfly_rounds(size)
+            first, last = steps[0], steps[-1]
+            if rank >= pow2:
+                # Extra ranks fold their value in, then get the result.
+                assert first.role is Role.SEND
+                assert last.role is Role.RECEIVE
+                assert first.partner == last.partner == rank - pow2
+            elif rank < extra:
+                assert first.role is Role.RECEIVE
+                assert last.role is Role.SEND
+            else:
+                assert first.role is Role.IDLE
+                assert last.role is Role.IDLE
+
+    @pytest.mark.parametrize("size", [3, 6, 12])
+    def test_core_rounds_are_exchanges(self, size):
+        pow2 = 1 << (size.bit_length() - 1)
+        for rank in range(pow2):
+            core_steps = butterfly_schedule(rank, size)[1:-1]
+            assert all(s.role is Role.EXCHANGE for s in core_steps)
+
+    def test_rounds_count(self):
+        assert butterfly_rounds(8) == 3
+        assert butterfly_rounds(6) == 1 + 1 + 2   # fold rounds + log2(4)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            butterfly_schedule(4, 4)
+        with pytest.raises(ValueError):
+            butterfly_schedule(0, 0)
+
+
+class TestTree:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13])
+    def test_every_rank_contributes_toward_root(self, size):
+        """Follow SEND edges in the reduce phase: every rank must have a
+        path to rank 0."""
+        parent = {0: 0}
+        for rank in range(1, size):
+            for step in tree_schedule(rank, size):
+                if step.role is Role.SEND and rank not in parent:
+                    parent[rank] = step.partner
+                    break
+        assert set(parent) == set(range(size))
+        for rank in range(size):
+            seen, r = set(), rank
+            while r != 0:
+                assert r not in seen   # no cycles
+                seen.add(r)
+                r = parent[r]
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 13])
+    def test_broadcast_mirrors_reduce(self, size):
+        """In the broadcast phase, every non-root rank receives."""
+        for rank in range(1, size):
+            steps = tree_schedule(rank, size)
+            assert any(s.role is Role.RECEIVE for s in steps)
+
+    def test_schedules_align_in_rounds(self):
+        lengths = {len(tree_schedule(r, 8)) for r in range(8)}
+        assert len(lengths) == 1
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            tree_schedule(3, 2)
+
+
+class TestCombine:
+    def test_all_ops(self):
+        assert combine("sum", 2, 3) == 5
+        assert combine("max", 2, 3) == 3
+        assert combine("min", 2, 3) == 2
+        assert combine("prod", 2, 3) == 6
+        assert combine("band", 6, 3) == 2
+        assert combine("bor", 4, 1) == 5
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            combine("xor", 1, 2)
+
+    def test_registry_complete(self):
+        assert set(REDUCE_OPS) == {"sum", "max", "min", "prod", "band", "bor"}

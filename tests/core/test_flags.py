@@ -1,0 +1,52 @@
+"""Unit tests for flag handles and global flag ids."""
+
+import pytest
+
+from repro.core.flags import (
+    FLAG_AREA_BASE,
+    MAX_FLAGS_PER_PE,
+    Flag,
+    FlagCounter,
+    flag_area_end,
+    flag_global_id,
+)
+from repro.hardware.memory import WORD_BYTES
+
+
+class TestFlag:
+    def test_symmetric_addresses(self):
+        assert Flag(index=3, owner=0).addr == Flag(index=3, owner=7).addr
+
+    def test_addr_layout(self):
+        assert Flag(index=0, owner=0).addr == FLAG_AREA_BASE
+        assert Flag(index=2, owner=0).addr == FLAG_AREA_BASE + 2 * WORD_BYTES
+
+    def test_global_ids_never_zero(self):
+        # 0 is the "no flag" sentinel in trace events.
+        assert flag_global_id(0, 0) == 1
+
+    def test_global_ids_unique_across_cells(self):
+        ids = {flag_global_id(pe, idx)
+               for pe in range(8) for idx in range(16)}
+        assert len(ids) == 8 * 16
+
+    def test_id_on_maps_to_target_cell(self):
+        flag = Flag(index=5, owner=0)
+        assert flag.id_on(3) == flag_global_id(3, 5)
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            flag_global_id(0, MAX_FLAGS_PER_PE)
+        with pytest.raises(ValueError):
+            flag_global_id(0, -1)
+
+    def test_area_end(self):
+        assert flag_area_end() == FLAG_AREA_BASE + MAX_FLAGS_PER_PE * WORD_BYTES
+
+
+class TestFlagCounter:
+    def test_expect_accumulates(self):
+        fc = FlagCounter(Flag(index=0, owner=0))
+        assert fc.expect() == 1
+        assert fc.expect(4) == 5
+        assert fc.expected == 5

@@ -1,0 +1,82 @@
+"""Unit tests for element-level stride helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.stride import (
+    ElementStride,
+    column_of,
+    contiguous_elements,
+    row_block_of,
+    stride_message_count,
+    submatrix_columns,
+)
+
+
+class TestElementStride:
+    def test_byte_conversion(self):
+        spec = ElementStride(items_per_block=2, count=3, skip=8).to_bytes(8)
+        assert spec.item_size == 16
+        assert spec.count == 3
+        assert spec.skip == 64
+
+    def test_total_elements(self):
+        assert ElementStride(4, 5, 10).total_elements == 20
+
+    def test_contiguous_helper(self):
+        spec = contiguous_elements(10, 8)
+        assert spec.total_bytes == 80
+        assert spec.count == 1
+
+
+class TestLayoutHelpers:
+    def test_column_of(self):
+        arr = np.zeros((5, 7))
+        offset, stride = column_of(arr, 3)
+        assert offset == 3
+        assert stride == ElementStride(items_per_block=1, count=5, skip=7)
+
+    def test_column_of_validates(self):
+        with pytest.raises(ValueError):
+            column_of(np.zeros((4, 4)), 4)
+        with pytest.raises(ValueError):
+            column_of(np.zeros(4), 0)
+
+    def test_column_gather_matches_numpy(self):
+        arr = np.arange(35.0).reshape(5, 7)
+        offset, stride = column_of(arr, 2)
+        flat = arr.reshape(-1)
+        gathered = [flat[offset + i * stride.skip] for i in range(stride.count)]
+        assert gathered == arr[:, 2].tolist()
+
+    def test_row_block_of(self):
+        arr = np.arange(20.0).reshape(4, 5)
+        offset, stride = row_block_of(arr, 2, 1, 3)
+        assert offset == 11
+        assert stride.total_elements == 3
+
+    def test_row_block_bounds(self):
+        with pytest.raises(ValueError):
+            row_block_of(np.zeros((4, 5)), 2, 3, 3)
+
+    def test_submatrix_columns(self):
+        arr = np.arange(24.0).reshape(4, 6)
+        offset, stride = submatrix_columns(arr, 2, 2)
+        assert offset == 2
+        assert stride == ElementStride(items_per_block=2, count=4, skip=6)
+        flat = arr.reshape(-1)
+        rows = [flat[offset + i * 6: offset + i * 6 + 2].tolist()
+                for i in range(4)]
+        assert rows == arr[:, 2:4].tolist()
+
+
+class TestMessageCount:
+    def test_with_stride_one_message(self):
+        assert stride_message_count(257, use_stride=True) == 1
+
+    def test_without_stride_one_per_element(self):
+        """The TOMCATV x257 blowup of section 5.4."""
+        assert stride_message_count(257, use_stride=False) == 257
+
+    def test_blocking(self):
+        assert stride_message_count(100, use_stride=False, block=8) == 13

@@ -1,0 +1,80 @@
+"""Unit tests for the write-through cache and receive-side invalidation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.hardware.cache import CACHE_BYTES, LINE_BYTES, WriteThroughCache
+
+
+@pytest.fixture
+def cache():
+    return WriteThroughCache(size_bytes=1024, line_bytes=32)
+
+
+class TestBasics:
+    def test_hardware_geometry(self):
+        c = WriteThroughCache()
+        assert c.size_bytes == CACHE_BYTES == 36 * 1024
+        assert c.line_bytes == LINE_BYTES
+        assert c.num_lines == CACHE_BYTES // LINE_BYTES
+
+    def test_misaligned_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteThroughCache(size_bytes=100, line_bytes=32)
+
+    def test_read_miss_then_hit(self, cache):
+        assert cache.read(0, 4) == 1   # one line loaded
+        assert cache.read(0, 4) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_read_spanning_lines(self, cache):
+        assert cache.read(30, 4) == 2  # crosses a line boundary
+
+    def test_write_through_no_allocate(self, cache):
+        cache.write(0, 4)
+        assert cache.write_throughs == 1
+        assert not cache.contains(0)   # no allocation on write miss
+
+    def test_write_hit_keeps_line(self, cache):
+        cache.read(0, 4)
+        cache.write(0, 4)
+        assert cache.contains(0)
+
+
+class TestInvalidation:
+    def test_invalidate_resident_range(self, cache):
+        cache.read(0, 64)
+        dropped = cache.invalidate_range(0, 64)
+        assert dropped == 2
+        assert not cache.contains(0)
+
+    def test_invalidate_nonresident_is_noop(self, cache):
+        assert cache.invalidate_range(0, 64) == 0
+
+    def test_invalidate_partial_overlap(self, cache):
+        cache.read(0, 96)   # lines 0,1,2
+        cache.invalidate_range(32, 32)  # only line 1
+        assert cache.contains(0)
+        assert not cache.contains(32)
+        assert cache.contains(64)
+
+    def test_huge_range_fast_path_clears_everything(self, cache):
+        cache.read(0, 512)
+        dropped = cache.invalidate_range(0, 1 << 20)
+        assert dropped == 16
+        assert cache.invalidated_lines == 16
+
+    def test_zero_size_invalidate(self, cache):
+        assert cache.invalidate_range(0, 0) == 0
+
+    def test_direct_mapped_aliasing(self, cache):
+        cache.read(0, 4)
+        cache.read(1024, 4)   # same index, different tag: evicts
+        assert not cache.contains(0)
+        assert cache.contains(1024)
+
+    def test_flush(self, cache):
+        cache.read(0, 128)
+        cache.flush()
+        assert not cache.contains(0)

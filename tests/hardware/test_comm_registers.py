@@ -1,0 +1,80 @@
+"""Unit tests for communication registers and p-bit semantics."""
+
+import pytest
+
+from repro.core.errors import AddressError
+from repro.hardware.comm_registers import NUM_REGISTERS, CommRegisterFile
+
+
+@pytest.fixture
+def regs():
+    return CommRegisterFile()
+
+
+class TestPBits:
+    def test_store_sets_p_bit(self, regs):
+        regs.store(3, 42)
+        assert regs.is_present(3)
+
+    def test_load_clears_p_bit(self, regs):
+        regs.store(3, 42)
+        assert regs.try_load(3) == 42
+        assert not regs.is_present(3)
+
+    def test_load_empty_returns_none_and_counts_retry(self, regs):
+        assert regs.try_load(0) is None
+        assert regs.retries == 1
+
+    def test_value_survives_until_loaded(self, regs):
+        regs.store(1, 7)
+        regs.store(2, 8)
+        assert regs.try_load(2) == 8
+        assert regs.try_load(1) == 7
+
+    def test_store_overwrites(self, regs):
+        regs.store(0, 1)
+        regs.store(0, 2)
+        assert regs.try_load(0) == 2
+
+    def test_values_wrap_at_32_bits(self, regs):
+        regs.store(0, (1 << 32) + 5)
+        assert regs.try_load(0) == 5
+
+    def test_peek_does_not_disturb(self, regs):
+        regs.store(4, 9)
+        assert regs.peek(4) == (9, True)
+        assert regs.is_present(4)
+
+
+class TestPairs:
+    def test_pair_roundtrip(self, regs):
+        regs.store_pair(10, 0xAAAA, 0xBBBB)
+        assert regs.try_load_pair(10) == (0xAAAA, 0xBBBB)
+        assert not regs.is_present(10)
+        assert not regs.is_present(11)
+
+    def test_pair_needs_both_p_bits(self, regs):
+        regs.store(10, 1)     # only the low half present
+        assert regs.try_load_pair(10) is None
+        assert regs.is_present(10)   # untouched
+
+    def test_pair_at_end_of_file_rejected(self, regs):
+        with pytest.raises(AddressError):
+            regs.store_pair(NUM_REGISTERS - 1, 0, 0)
+
+
+class TestBounds:
+    def test_file_has_128_registers(self, regs):
+        assert regs.num_registers == NUM_REGISTERS == 128
+
+    def test_out_of_range_rejected(self, regs):
+        with pytest.raises(AddressError):
+            regs.store(128, 0)
+        with pytest.raises(AddressError):
+            regs.try_load(-1)
+
+    def test_counters(self, regs):
+        regs.store(0, 1)
+        regs.try_load(0)
+        regs.try_load(0)
+        assert (regs.stores, regs.loads, regs.retries) == (1, 1, 1)

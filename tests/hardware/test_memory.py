@@ -1,0 +1,130 @@
+"""Unit tests for cell DRAM and the shared-space address map."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AddressError, ConfigurationError
+from repro.hardware.memory import (
+    PHYSICAL_SPACE_BYTES,
+    SHARED_SPACE_BASE,
+    AddressMap,
+    CellMemory,
+)
+from repro.network.packet import StrideSpec
+
+
+class TestCellMemory:
+    def test_starts_zeroed(self):
+        mem = CellMemory(1024)
+        assert mem.read(0, 1024) == bytes(1024)
+
+    def test_write_read_roundtrip(self):
+        mem = CellMemory(256)
+        mem.write(10, b"hello")
+        assert mem.read(10, 5) == b"hello"
+
+    def test_word_access_little_endian(self):
+        mem = CellMemory(64)
+        mem.write_word(8, 0x01020304)
+        assert mem.read(8, 4) == bytes([4, 3, 2, 1])
+        assert mem.read_word(8) == 0x01020304
+
+    def test_word_wraps_at_32_bits(self):
+        mem = CellMemory(64)
+        mem.write_word(0, (1 << 32) + 7)
+        assert mem.read_word(0) == 7
+
+    def test_out_of_range_rejected(self):
+        mem = CellMemory(16)
+        with pytest.raises(AddressError):
+            mem.read(10, 10)
+        with pytest.raises(AddressError):
+            mem.write(-1, b"x")
+
+    def test_view_is_live(self):
+        mem = CellMemory(64)
+        view = mem.view(0, 8)
+        mem.write(0, b"abcdefgh")
+        assert view.tobytes() == b"abcdefgh"
+
+    def test_numpy_array_carving(self):
+        mem = CellMemory(1024)
+        arr = mem.view(64, 64).view(np.float64)
+        arr[:] = np.arange(8)
+        assert np.frombuffer(mem.read(64, 64), dtype=np.float64).tolist() == \
+            list(range(8))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellMemory(0)
+
+
+class TestGatherScatter:
+    def test_gather_contiguous(self):
+        mem = CellMemory(64)
+        mem.write(0, bytes(range(16)))
+        assert mem.gather(0, StrideSpec.contiguous(16)) == bytes(range(16))
+
+    def test_gather_strided(self):
+        mem = CellMemory(64)
+        mem.write(0, bytes(range(32)))
+        out = mem.gather(0, StrideSpec(item_size=2, count=3, skip=8))
+        assert out == bytes([0, 1, 8, 9, 16, 17])
+
+    def test_scatter_strided(self):
+        mem = CellMemory(64)
+        mem.scatter(4, StrideSpec(item_size=1, count=4, skip=4),
+                    bytes([9, 8, 7, 6]))
+        assert mem.read_word(4) % 256 == 9
+        assert mem.read(4, 13)[::4] == bytes([9, 8, 7, 6])
+
+    def test_scatter_size_mismatch_rejected(self):
+        mem = CellMemory(64)
+        with pytest.raises(AddressError):
+            mem.scatter(0, StrideSpec(item_size=4, count=2, skip=8), b"xy")
+
+    def test_gather_scatter_roundtrip(self):
+        mem_a, mem_b = CellMemory(128), CellMemory(128)
+        mem_a.write(0, bytes(range(64)))
+        spec = StrideSpec(item_size=4, count=8, skip=8)
+        payload = mem_a.gather(0, spec)
+        mem_b.scatter(0, spec, payload)
+        assert mem_b.gather(0, spec) == payload
+
+
+class TestAddressMap:
+    def test_split_is_half_and_half(self):
+        assert SHARED_SPACE_BASE * 2 == PHYSICAL_SPACE_BYTES
+
+    def test_local_vs_shared(self):
+        amap = AddressMap(num_cells=4, memory_per_cell=1 << 20)
+        assert not amap.is_shared(0)
+        assert amap.is_shared(SHARED_SPACE_BASE)
+
+    def test_block_per_cell(self):
+        amap = AddressMap(num_cells=1024, memory_per_cell=64 << 20)
+        # The paper's example: 1024 cells, 64 MB -> 32 MB blocks, half of
+        # local memory exported.
+        assert amap.block_size == 32 << 20
+        assert amap.shared_window_bytes == 32 << 20
+
+    def test_resolve_shared(self):
+        amap = AddressMap(num_cells=8, memory_per_cell=1 << 20)
+        base = amap.shared_base(3)
+        cell, offset = amap.resolve_shared(base + 100)
+        assert (cell, offset) == (3, 100)
+
+    def test_resolve_beyond_window_rejected(self):
+        amap = AddressMap(num_cells=2, memory_per_cell=1 << 16)
+        with pytest.raises(AddressError):
+            amap.resolve_shared(amap.shared_base(0) + (1 << 16))
+
+    def test_local_address_not_resolvable(self):
+        amap = AddressMap(num_cells=2, memory_per_cell=1 << 16)
+        with pytest.raises(AddressError):
+            amap.resolve_shared(1234)
+
+    def test_out_of_space_rejected(self):
+        amap = AddressMap(num_cells=2, memory_per_cell=1 << 16)
+        with pytest.raises(AddressError):
+            amap.is_shared(PHYSICAL_SPACE_BYTES)

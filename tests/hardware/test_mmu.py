@@ -1,0 +1,103 @@
+"""Unit tests for the MC's MMU and direct-mapped TLBs."""
+
+import pytest
+
+from repro.core.errors import AddressError, PageFaultError, ProtectionError
+from repro.hardware.mmu import (
+    MMU,
+    PAGE_4K,
+    PAGE_256K,
+    TLB_ENTRIES_4K,
+    TLB_ENTRIES_256K,
+)
+
+
+@pytest.fixture
+def mmu():
+    m = MMU()
+    m.map_range(0, 0x100000, 64 * 1024)  # 16 4K pages at offset 1 MB
+    return m
+
+
+class TestTranslation:
+    def test_identity_offset(self, mmu):
+        assert mmu.translate(0) == 0x100000
+        assert mmu.translate(4097) == 0x100000 + 4097
+
+    def test_unmapped_faults(self, mmu):
+        with pytest.raises(PageFaultError):
+            mmu.translate(1 << 30)
+        assert mmu.faults == 1
+
+    def test_negative_address_faults(self, mmu):
+        with pytest.raises(PageFaultError):
+            mmu.translate(-8)
+
+    def test_range_translation_checks_every_page(self, mmu):
+        # Range crossing into unmapped territory must fault even though
+        # the first byte is mapped.
+        with pytest.raises(PageFaultError):
+            mmu.translate_range(60 * 1024, 8 * 1024)
+
+    def test_range_translation_ok(self, mmu):
+        assert mmu.translate_range(0, 64 * 1024) == 0x100000
+
+    def test_write_to_readonly_page(self):
+        m = MMU()
+        m.map_page(0, 0, writable=False)
+        m.translate(16)  # read ok
+        with pytest.raises(ProtectionError):
+            m.translate(16, write=True)
+
+    def test_unaligned_mapping_rejected(self):
+        with pytest.raises(AddressError):
+            MMU().map_page(100, 0)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(AddressError):
+            MMU().map_page(0, 0, size=8192)
+
+
+class TestTLB:
+    def test_first_access_misses_then_hits(self, mmu):
+        mmu.translate(0)
+        misses = mmu.tlb_misses
+        mmu.translate(8)
+        assert mmu.tlb_hits >= 1
+        assert mmu.tlb_misses == misses
+
+    def test_walk_counted_on_miss(self, mmu):
+        before = mmu.walks
+        mmu.translate(0)
+        assert mmu.walks == before + 1
+
+    def test_direct_mapped_conflict_eviction(self):
+        m = MMU()
+        stride = TLB_ENTRIES_4K * PAGE_4K  # same TLB index
+        m.map_page(0, 0)
+        m.map_page(stride, PAGE_4K)
+        m.translate(0)
+        m.translate(stride)      # evicts page 0's entry
+        walks = m.walks
+        m.translate(0)           # must walk again
+        assert m.walks == walks + 1
+
+    def test_large_pages_use_256k_tlb(self):
+        m = MMU()
+        m.map_page(0, 0, size=PAGE_256K)
+        m.translate(PAGE_256K - 1)
+        assert m.tlb_256k.hits + m.tlb_256k.misses >= 1
+        assert m.translate(100) == 100
+
+    def test_tlb_sizes_match_hardware(self):
+        m = MMU()
+        assert m.tlb_4k.entries == TLB_ENTRIES_4K == 256
+        assert m.tlb_256k.entries == TLB_ENTRIES_256K == 64
+
+    def test_unmap_flushes(self):
+        m = MMU()
+        m.map_page(0, 0)
+        m.translate(0)
+        m.unmap_page(0)
+        with pytest.raises(PageFaultError):
+            m.translate(0)

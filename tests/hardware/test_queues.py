@@ -1,0 +1,97 @@
+"""Unit tests for MSC+ command queues and DRAM spill (section 4.1)."""
+
+import pytest
+
+from repro.core.errors import QueueOverflowError
+from repro.hardware.queues import COMMAND_WORDS, QUEUE_WORDS, CommandQueue
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = CommandQueue("t")
+        q.push("a")
+        q.push("b")
+        assert q.pop() == "a"
+        assert q.pop() == "b"
+
+    def test_word_capacity_is_64(self):
+        q = CommandQueue("t")
+        assert q.capacity_words == QUEUE_WORDS == 64
+        # Eight 8-word PUT commands exactly fill the queue.
+        for i in range(8):
+            q.push(i)
+        assert q.words_in_queue == 64
+        assert q.words_spilled == 0
+
+    def test_pop_empty_fails(self):
+        with pytest.raises(QueueOverflowError):
+            CommandQueue("t").pop()
+
+    def test_zero_word_command_rejected(self):
+        with pytest.raises(QueueOverflowError):
+            CommandQueue("t").push("x", words=0)
+
+    def test_len_and_bool(self):
+        q = CommandQueue("t")
+        assert not q
+        q.push("a")
+        assert len(q) == 1 and q
+
+
+class TestSpill:
+    def test_ninth_command_spills_to_dram(self):
+        q = CommandQueue("t")
+        for i in range(9):
+            q.push(i)
+        assert q.words_spilled == COMMAND_WORDS
+        assert q.spilled == 1
+
+    def test_order_preserved_across_spill(self):
+        q = CommandQueue("t")
+        for i in range(20):
+            q.push(i)
+        assert [q.pop() for _ in range(20)] == list(range(20))
+
+    def test_post_overflow_writes_go_to_dram_until_refill(self):
+        q = CommandQueue("t")
+        for i in range(9):
+            q.push(i)
+        q.pop()          # frees queue space...
+        q.push(100)      # ...but spill is still draining: goes to DRAM
+        assert q.spilled >= 2
+
+    def test_refill_interrupts_counted(self):
+        q = CommandQueue("t")
+        for i in range(16):
+            q.push(i)
+        while q:
+            q.pop()
+        assert q.refill_interrupts >= 1
+
+    def test_dram_buffer_allocation_interrupt(self):
+        q = CommandQueue("t", spill_buffer_words=16)
+        # 8 commands fill the queue; the next 2 fill one spill buffer; the
+        # next one needs a new buffer -> allocation interrupt.
+        for i in range(11):
+            q.push(i)
+        assert q.allocation_interrupts == 1
+
+    def test_spill_exhaustion_raises(self):
+        q = CommandQueue("t", spill_buffer_words=8, max_spill_buffers=1)
+        for i in range(9):
+            q.push(i)
+        with pytest.raises(QueueOverflowError):
+            q.push(9)
+
+    def test_high_water_mark(self):
+        q = CommandQueue("t")
+        for i in range(10):
+            q.push(i)
+        assert q.high_water_words == 80
+
+    def test_drain(self):
+        q = CommandQueue("t")
+        for i in range(12):
+            q.push(i)
+        assert q.drain() == list(range(12))
+        assert not q

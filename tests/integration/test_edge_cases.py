@@ -1,0 +1,152 @@
+"""Edge cases across subsystem boundaries: single-cell machines,
+degenerate sizes, empty traces, and boundary configurations."""
+
+import numpy as np
+import pytest
+
+from repro.apps import cg, ep, matmul, scg, summa, tomcatv
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.mlsim.params import ap1000_params, ap1000_plus_params
+from repro.mlsim.simulator import simulate, simulate_models
+from repro.trace.buffer import TraceBuffer
+
+
+def make(n=1, **kw):
+    kw.setdefault("memory_per_cell", 1 << 21)
+    return Machine(MachineConfig(num_cells=n, **kw))
+
+
+class TestSingleCellMachines:
+    """A one-cell machine degenerates every mechanism gracefully."""
+
+    def test_collectives_are_identities(self):
+        m = make(1)
+
+        def program(ctx):
+            yield from ctx.barrier()
+            s = yield from ctx.gop(42.0)
+            v = yield from ctx.vgop(np.array([1.0, 2.0]))
+            return s, v.tolist()
+
+        assert m.run(program) == [(42.0, [1.0, 2.0])]
+
+    def test_self_put(self):
+        m = make(1)
+
+        def program(ctx):
+            a = ctx.alloc(4)
+            b = ctx.alloc(4)
+            flag = ctx.alloc_flag()
+            a.data[:] = 7.0
+            ctx.put(0, b, a, recv_flag=flag)
+            yield from ctx.flag_wait(flag, 1)
+            return b.data.tolist()
+
+        assert m.run(program) == [[7.0] * 4]
+
+    @pytest.mark.parametrize("runner,params", [
+        (ep.run, dict(log2_pairs=6)),
+        (cg.run, dict(n=24, outer=1, inner=10)),
+        (matmul.run, dict(n=8)),
+        (scg.run, dict(m=8)),
+        (tomcatv.run, dict(n=9, iters=2)),
+        (summa.run, dict(n=8)),
+    ])
+    def test_applications_on_one_cell(self, runner, params):
+        run = runner(num_cells=1, **params)
+        assert run.verified, run.checks
+
+
+class TestDegenerateSizes:
+    def test_more_cells_than_rows(self):
+        run = matmul.run(num_cells=8, n=6)
+        assert run.verified
+
+    def test_cg_two_cells_odd_extent(self):
+        run = cg.run(num_cells=3, n=25, outer=1, inner=10)
+        assert run.verified
+
+    def test_tomcatv_minimum_mesh(self):
+        run = tomcatv.run(num_cells=2, n=5, iters=1)
+        assert run.verified
+
+    def test_zero_byte_put(self):
+        m = make(2)
+
+        def program(ctx):
+            a = ctx.alloc(4)
+            flag = ctx.alloc_flag()
+            ctx.put(1 - ctx.pe, a, a, count=0, recv_flag=flag)
+            yield from ctx.flag_wait(flag, 1)
+            return True
+
+        assert m.run(program) == [True, True]
+
+
+class TestEmptyAndTinyTraces:
+    def test_empty_trace_replays(self):
+        trace = TraceBuffer(num_pes=4)
+        result = simulate(trace, ap1000_plus_params())
+        assert result.elapsed_us == 0.0
+        assert result.messages == 0
+
+    def test_empty_trace_all_models(self):
+        cmp = simulate_models(TraceBuffer(num_pes=2))
+        # 0/0 speedups degenerate to infinity; they must not crash.
+        assert cmp.ap1000.elapsed_us == 0.0
+
+    def test_machine_run_with_no_ops(self):
+        m = make(4)
+        assert m.run(lambda ctx: None) == [None] * 4
+        assert m.trace.total_events == 0
+
+
+class TestTimingInvariantsAcrossSizes:
+    @pytest.mark.parametrize("cells", [2, 3, 5, 8])
+    def test_matmul_hardware_never_loses(self, cells):
+        run = matmul.run(num_cells=cells, n=16)
+        plus = simulate(run.trace, ap1000_plus_params()).elapsed_us
+        slow = simulate(run.trace, ap1000_params()).elapsed_us
+        assert plus < slow
+
+    def test_replay_idempotent_on_same_buffer(self):
+        """simulate() coalesces compute in place; a second replay of the
+        same buffer must give identical results."""
+        run = scg.run(num_cells=4, m=16)
+        first = simulate(run.trace, ap1000_plus_params())
+        second = simulate(run.trace, ap1000_plus_params())
+        assert first.elapsed_us == second.elapsed_us
+        assert first.messages == second.messages
+
+
+class TestNonStandardTopologies:
+    def test_prime_cell_count(self):
+        """7 cells form a degenerate 7x1 torus; everything still works."""
+        m = make(7)
+
+        def program(ctx):
+            src = ctx.alloc(4)
+            dst = ctx.alloc(4)
+            flag = ctx.alloc_flag()
+            src.data[:] = ctx.pe
+            ctx.put((ctx.pe + 1) % 7, dst, src, recv_flag=flag)
+            yield from ctx.flag_wait(flag, 1)
+            yield from ctx.barrier()
+            return float(dst.data[0])
+
+        results = m.run(program)
+        assert results == [(pe - 1) % 7 for pe in range(7)]
+
+    def test_replay_on_prime_ring(self):
+        m = make(5)
+
+        def program(ctx):
+            a = ctx.alloc(16)
+            ctx.put((ctx.pe + 2) % 5, a, a, ack=True)
+            yield from ctx.finish_puts()
+            yield from ctx.barrier()
+
+        m.run(program)
+        result = simulate(m.trace, ap1000_plus_params())
+        assert result.elapsed_us > 0

@@ -1,0 +1,70 @@
+"""Unit tests for block and cyclic distributions."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.lang.distribution import BlockDistribution, CyclicDistribution
+
+
+class TestBlock:
+    def test_even_split(self):
+        d = BlockDistribution(12, 4)
+        assert [d.local_size(p) for p in range(4)] == [3, 3, 3, 3]
+        assert d.part_range(2) == (6, 9)
+
+    def test_uneven_split_front_loaded(self):
+        d = BlockDistribution(10, 4)
+        assert [d.local_size(p) for p in range(4)] == [3, 3, 2, 2]
+        assert d.part_range(0) == (0, 3)
+        assert d.part_range(3) == (8, 10)
+
+    def test_owner_roundtrip(self):
+        d = BlockDistribution(10, 4)
+        for g in range(10):
+            p = d.owner(g)
+            lo, hi = d.part_range(p)
+            assert lo <= g < hi
+            assert d.global_index(p, d.local_index(g)) == g
+
+    def test_more_parts_than_elements(self):
+        d = BlockDistribution(2, 4)
+        assert [d.local_size(p) for p in range(4)] == [1, 1, 0, 0]
+        assert d.owner(1) == 1
+
+    def test_index_bounds(self):
+        d = BlockDistribution(4, 2)
+        with pytest.raises(ConfigurationError):
+            d.owner(4)
+        with pytest.raises(ConfigurationError):
+            d.local_size(2)
+        with pytest.raises(ConfigurationError):
+            d.global_index(0, 2)
+
+    def test_degenerate(self):
+        d = BlockDistribution(0, 3)
+        assert d.local_size(0) == 0
+        with pytest.raises(ConfigurationError):
+            BlockDistribution(4, 0)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        d = CyclicDistribution(10, 3)
+        assert [d.owner(g) for g in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_local_sizes(self):
+        d = CyclicDistribution(10, 3)
+        assert [d.local_size(p) for p in range(3)] == [4, 3, 3]
+
+    def test_roundtrip(self):
+        d = CyclicDistribution(11, 4)
+        for g in range(11):
+            p = d.owner(g)
+            assert d.global_index(p, d.local_index(g)) == g
+
+    def test_bounds(self):
+        d = CyclicDistribution(4, 2)
+        with pytest.raises(ConfigurationError):
+            d.owner(-1)
+        with pytest.raises(ConfigurationError):
+            d.global_index(0, 2)

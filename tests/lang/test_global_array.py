@@ -1,0 +1,150 @@
+"""Unit tests for global arrays with overlap areas (Figures 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.lang.global_array import GlobalArray
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+
+def make(n=4):
+    return Machine(MachineConfig(num_cells=n, memory_per_cell=1 << 22))
+
+
+class TestGeometry:
+    def test_blocks_are_symmetric(self):
+        m = make(4)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (10, 6), dist_axis=0)
+            return g.block.addr, g.block.shape
+
+        results = m.run(program)
+        assert len({r for r in results}) == 1   # same address + shape
+
+    def test_owned_ranges_partition_extent(self):
+        m = make(4)
+
+        def program(ctx):
+            g = GlobalArray(ctx, 10)
+            return g.lo, g.hi
+
+        ranges = m.run(program)
+        covered = sorted((lo, hi) for lo, hi in ranges)
+        assert covered[0][0] == 0 and covered[-1][1] == 10
+
+    def test_overlap_extends_block(self):
+        m = make(2)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (4, 8), dist_axis=1, overlap=2)
+            return g.block.shape
+
+        shape = m.run(program)[0]
+        assert shape == (4, 4 + 4)   # max local extent 4 + 2*2 overlap
+
+    def test_interior_excludes_overlap(self):
+        m = make(2)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (3, 6), dist_axis=1, overlap=1)
+            g.interior()[:] = 5.0
+            return g.block.data[:, 0].tolist()
+
+        # The overlap column stays zero.
+        assert m.run(program)[0] == [0.0, 0.0, 0.0]
+
+    def test_validation(self):
+        m = make(2)
+        with pytest.raises(ConfigurationError):
+            m.run(lambda ctx: GlobalArray(ctx, (2, 2, 2)))
+        with pytest.raises(ConfigurationError):
+            m.run(lambda ctx: GlobalArray(ctx, (4, 4), dist_axis=2))
+        with pytest.raises(ConfigurationError):
+            m.run(lambda ctx: GlobalArray(ctx, 8, overlap=-1))
+
+
+class TestIndexTranslation:
+    def test_flat_index_matches_numpy(self):
+        m = make(2)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (4, 6), dist_axis=0)
+            g.block.data[:] = np.arange(g.block.size).reshape(g.block.shape)
+            flat = g.block.data.reshape(-1)
+            idx = g.flat_index(g.lo, 3)
+            return float(flat[idx]), float(g.block.data[g.to_local(g.lo), 3])
+
+        for got, want in m.run(program):
+            assert got == want
+
+    def test_flat_index_on_other_cell(self):
+        m = make(4)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (8, 4), dist_axis=0)
+            # Address arithmetic for cell 2's row 5 must be identical
+            # everywhere (blocks are symmetric).
+            return g.flat_index_on(2, 5, 1)
+
+        assert len(set(m.run(program))) == 1
+
+    def test_out_of_block_rejected(self):
+        m = make(4)
+
+        def program(ctx):
+            g = GlobalArray(ctx, 16)
+            g.to_local(g.hi + 1)
+
+        with pytest.raises(ConfigurationError):
+            m.run(program)
+
+    def test_overlap_indices_reachable(self):
+        m = make(2)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (2, 8), dist_axis=1, overlap=1)
+            if g.lo > 0:
+                return g.to_local(g.lo - 1)   # neighbour column via halo
+            return g.to_local(g.lo)
+
+        assert m.run(program) == [1, 0]
+
+    def test_owns(self):
+        m = make(2)
+
+        def program(ctx):
+            g = GlobalArray(ctx, 8)
+            return [g.owns(i) for i in (0, 7)]
+
+        assert m.run(program) == [[True, False], [False, True]]
+
+
+class TestGatherGlobal:
+    def test_assembles_full_array(self):
+        m = make(4)
+
+        def program(ctx):
+            g = GlobalArray(ctx, (8, 3), dist_axis=0)
+            g.interior()[:] = ctx.pe
+            yield from ctx.barrier()
+            if ctx.pe == 0:
+                return g.gather_global()
+
+        full = m.run(program)[0]
+        assert full.shape == (8, 3)
+        assert full[0, 0] == 0 and full[7, 0] == 3
+
+    def test_respects_uneven_distribution(self):
+        m = make(4)
+
+        def program(ctx):
+            g = GlobalArray(ctx, 10)
+            g.interior()[:] = np.arange(g.lo, g.hi)
+            yield from ctx.barrier()
+            if ctx.pe == 0:
+                return g.gather_global()
+
+        assert m.run(program)[0].tolist() == list(range(10))

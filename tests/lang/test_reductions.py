@@ -1,0 +1,164 @@
+"""Unit tests for comm-register and ring-buffer reductions (section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.lang.reductions import CommRegisterReducer, ring_vector_reduce
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+
+def make(n=4):
+    return Machine(MachineConfig(num_cells=n, memory_per_cell=1 << 22))
+
+
+class TestCommRegisterReducer:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_power_of_two_sum(self, size):
+        m = make(size)
+
+        def program(ctx):
+            red = CommRegisterReducer(ctx)
+            return (yield from red.reduce(float(ctx.pe + 1)))
+
+        expected = sum(range(1, size + 1))
+        assert m.run(program) == [expected] * size
+
+    @pytest.mark.parametrize("size", [3, 5, 6, 7])
+    def test_non_power_of_two_sum(self, size):
+        m = make(size)
+
+        def program(ctx):
+            red = CommRegisterReducer(ctx)
+            return (yield from red.reduce(float(ctx.pe + 1)))
+
+        expected = sum(range(1, size + 1))
+        assert m.run(program) == [expected] * size
+
+    def test_max_reduction(self):
+        m = make(4)
+
+        def program(ctx):
+            red = CommRegisterReducer(ctx)
+            return (yield from red.reduce(float(ctx.pe * 3), op="max"))
+
+        assert m.run(program) == [9.0] * 4
+
+    def test_successive_generations(self):
+        m = make(4)
+
+        def program(ctx):
+            red = CommRegisterReducer(ctx)
+            a = yield from red.reduce(1.0)
+            b = yield from red.reduce(float(ctx.pe))
+            c = yield from red.reduce(2.0)
+            return a, b, c
+
+        for result in m.run(program):
+            assert result == (4.0, 6.0, 8.0)
+
+    def test_float_payload_through_register_pairs(self):
+        """Doubles cross the 4-byte registers as 8-byte pairs."""
+        m = make(2)
+
+        def program(ctx):
+            red = CommRegisterReducer(ctx)
+            return (yield from red.reduce(0.1 * (ctx.pe + 1)))
+
+        value = m.run(program)[0]
+        assert value == pytest.approx(0.1 + 0.2)
+
+    def test_subgroup_reduction(self):
+        m = make(4)
+
+        def program(ctx):
+            group = ctx.make_group([0, 2])
+            if ctx.pe in group:
+                red = CommRegisterReducer(ctx, group)
+                return (yield from red.reduce(float(ctx.pe + 1)))
+            return None
+
+        results = m.run(program)
+        assert results[0] == results[2] == 4.0
+        assert results[1] is None
+
+    def test_non_member_rejected(self):
+        m = make(2)
+
+        def program(ctx):
+            group = ctx.make_group([0])
+            CommRegisterReducer(ctx, group)
+
+        with pytest.raises(ConfigurationError):
+            m.run(program)
+
+    def test_registers_exercised(self):
+        m = make(4)
+
+        def program(ctx):
+            red = CommRegisterReducer(ctx)
+            return (yield from red.reduce(1.0))
+
+        m.run(program)
+        assert any(cell.mc.registers.stores > 0 for cell in m.hw_cells)
+
+
+class TestRingVectorReduce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 8])
+    def test_sum(self, size):
+        m = make(size)
+
+        def program(ctx):
+            v = np.full(5, float(ctx.pe + 1))
+            out = yield from ring_vector_reduce(ctx, v)
+            return out.tolist()
+
+        expected = [float(sum(range(1, size + 1)))] * 5
+        for result in m.run(program):
+            assert result == expected
+
+    def test_max(self):
+        m = make(4)
+
+        def program(ctx):
+            v = np.array([float(ctx.pe), float(-ctx.pe)])
+            out = yield from ring_vector_reduce(ctx, v, op="max")
+            return out.tolist()
+
+        for result in m.run(program):
+            assert result == [3.0, 0.0]
+
+    def test_unknown_op(self):
+        m = make(2)
+
+        def program(ctx):
+            yield from ring_vector_reduce(ctx, np.ones(2), op="bogus")
+
+        with pytest.raises(ConfigurationError):
+            m.run(program)
+
+    def test_copy_elimination_used(self):
+        """The reduction consumes messages in place: no ring-buffer
+        copies-out are counted (section 4.5's claim)."""
+        m = make(4)
+
+        def program(ctx):
+            out = yield from ring_vector_reduce(ctx, np.ones(8))
+            return float(out[0])
+
+        m.run(program)
+        assert all(ring.copies_out == 0 for ring in m.rings)
+        assert any(ring.deposits > 0 for ring in m.rings)
+
+    def test_back_to_back_reductions(self):
+        m = make(3)
+
+        def program(ctx):
+            a = yield from ring_vector_reduce(ctx, np.full(2, 1.0))
+            b = yield from ring_vector_reduce(ctx, np.full(2, 2.0))
+            return a.tolist(), b.tolist()
+
+        for a, b in m.run(program):
+            assert a == [3.0, 3.0]
+            assert b == [6.0, 6.0]

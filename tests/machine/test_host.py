@@ -1,0 +1,117 @@
+"""Tests for the host workstation and B-net data distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CommunicationError
+from repro.machine.config import MachineConfig
+from repro.machine.host import Host, HostChannel
+from repro.machine.machine import Machine
+
+
+def make(n=4):
+    return Machine(MachineConfig(num_cells=n, memory_per_cell=1 << 21))
+
+
+class TestBroadcast:
+    def test_every_cell_sees_broadcast(self):
+        m = make(4)
+        host = Host(m)
+        host.broadcast(np.array([3.14, 2.71]))
+
+        def program(ctx):
+            chan = HostChannel(ctx, host)
+            params = yield from chan.receive_array()
+            return params.tolist()
+
+        for result in m.run(program):
+            assert result == [3.14, 2.71]
+
+    def test_total_order(self):
+        m = make(3)
+        host = Host(m)
+        host.broadcast(b"first", context=1)
+        host.broadcast(b"second", context=2)
+
+        def program(ctx):
+            chan = HostChannel(ctx, host)
+            a = yield from chan.receive(context=1)
+            b = yield from chan.receive(context=2)
+            return a.data, b.data
+
+        for a, b in m.run(program):
+            assert (a, b) == (b"first", b"second")
+
+    def test_wrong_context_rejected(self):
+        m = make(2)
+        host = Host(m)
+        host.broadcast(b"x", context=5)
+
+        def program(ctx):
+            chan = HostChannel(ctx, host)
+            yield from chan.receive(context=9)
+
+        with pytest.raises(CommunicationError):
+            m.run(program)
+
+
+class TestScatterCollect:
+    def test_scatter_array_round_trip(self):
+        m = make(4)
+        host = Host(m)
+        data = np.arange(10.0)
+        host.scatter_array(data)
+
+        def program(ctx):
+            chan = HostChannel(ctx, host)
+            mine = yield from chan.receive_array()
+            chan.send_result(mine * 2)
+            return mine.size
+
+        sizes = m.run(program)
+        assert sum(sizes) == 10
+        collected = host.collect_array()
+        assert np.array_equal(collected, data * 2)
+
+    def test_scatter_needs_one_chunk_per_cell(self):
+        m = make(3)
+        host = Host(m)
+        with pytest.raises(CommunicationError):
+            host.scatter([b"a", b"b"])
+
+    def test_incomplete_collection_detected(self):
+        m = make(2)
+        host = Host(m)
+        host.deposit(0, np.zeros(2).tobytes())
+        with pytest.raises(CommunicationError):
+            host.collect_array()
+
+    def test_cells_block_until_host_data_arrives(self):
+        """Cells that start before the host scatters must wait, not
+        crash (cooperative blocking on the B-net)."""
+        m = make(2)
+        host = Host(m)
+
+        def program(ctx):
+            chan = HostChannel(ctx, host)
+            if ctx.pe == 0:
+                # Cell 0 performs the (program-driven) distribution after
+                # everyone already waits.
+                host.scatter([b"AB", b"CD"])
+            packet = yield from chan.receive()
+            return packet.data
+
+        assert m.run(program) == [b"AB", b"CD"]
+
+    def test_host_traffic_is_not_traced(self):
+        """Host I/O sits outside the measured region — no probe events."""
+        m = make(2)
+        host = Host(m)
+        host.broadcast(b"setup")
+
+        def program(ctx):
+            chan = HostChannel(ctx, host)
+            yield from chan.receive()
+
+        m.run(program)
+        assert m.trace.total_events == 0

@@ -1,0 +1,82 @@
+"""Unit tests for SEND/RECEIVE ring buffers (section 4.3)."""
+
+from repro.machine.ringbuffer import RingBuffer
+from repro.network.packet import Packet, PacketKind
+
+
+def _msg(src, size=16, context=0):
+    return Packet(kind=PacketKind.SEND, src=src, dst=0, payload_bytes=size,
+                  data=bytes(size), context=context)
+
+
+class TestDepositReceive:
+    def test_fifo(self):
+        ring = RingBuffer()
+        a, b = _msg(1), _msg(2)
+        ring.deposit(a)
+        ring.deposit(b)
+        assert ring.receive() is a
+        assert ring.receive() is b
+
+    def test_receive_empty_returns_none(self):
+        assert RingBuffer().receive() is None
+
+    def test_match_by_source(self):
+        ring = RingBuffer()
+        a, b = _msg(1), _msg(2)
+        ring.deposit(a)
+        ring.deposit(b)
+        assert ring.receive(src=2) is b
+        assert ring.receive(src=2) is None
+
+    def test_match_by_context(self):
+        ring = RingBuffer()
+        a, b = _msg(1, context=7), _msg(1, context=9)
+        ring.deposit(a)
+        ring.deposit(b)
+        assert ring.receive(context=9) is b
+
+    def test_search_does_not_remove(self):
+        ring = RingBuffer()
+        ring.deposit(_msg(1))
+        assert ring.search() is not None
+        assert len(ring) == 1
+
+    def test_byte_accounting(self):
+        ring = RingBuffer()
+        ring.deposit(_msg(1, size=100))
+        assert ring.bytes_buffered == 100
+        ring.receive()
+        assert ring.bytes_buffered == 0
+        assert ring.high_water_bytes == 100
+
+
+class TestCopyElimination:
+    def test_receive_counts_copy_out(self):
+        ring = RingBuffer()
+        ring.deposit(_msg(1))
+        ring.receive()
+        assert ring.copies_out == 1
+
+    def test_consume_in_place_skips_the_copy(self):
+        """Section 4.5: vector reduction executes directly from the ring."""
+        ring = RingBuffer()
+        ring.deposit(_msg(1))
+        assert ring.consume_in_place() is not None
+        assert ring.copies_out == 0
+
+
+class TestOverflow:
+    def test_overflow_allocates_new_buffer(self):
+        ring = RingBuffer(capacity_bytes=32)
+        ring.deposit(_msg(1, size=24))
+        ring.deposit(_msg(2, size=24))   # exceeds 32: OS allocates
+        assert ring.extra_buffers == 1
+        assert ring.allocation_interrupts == 1
+        assert len(ring) == 2
+
+    def test_capacity_grows(self):
+        ring = RingBuffer(capacity_bytes=32)
+        ring.deposit(_msg(1, size=30))
+        ring.deposit(_msg(2, size=30))
+        assert ring.current_capacity >= 64

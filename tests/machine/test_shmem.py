@@ -1,0 +1,133 @@
+"""Tests for the shared-address-space layer (section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AddressError
+from repro.hardware.memory import SHARED_SPACE_BASE
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.machine.shmem import SharedMemory
+from repro.trace.events import EventKind
+
+
+def make(n=4):
+    return Machine(MachineConfig(num_cells=n, memory_per_cell=1 << 22))
+
+
+class TestAddressing:
+    def test_addresses_live_in_upper_half(self):
+        m = make(2)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4)
+            return shm.address_of(1, a, 2)
+
+        addr = m.run(program)[0]
+        assert addr >= SHARED_SPACE_BASE
+
+    def test_resolve_roundtrip(self):
+        m = make(4)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4)
+            for cell in range(ctx.num_cells):
+                paddr = shm.address_of(cell, a, 3)
+                owner, local = shm.resolve(paddr)
+                assert owner == cell
+                assert local == a.element_addr(3)
+            return True
+
+        assert all(m.run(program))
+
+    def test_beyond_exported_window_rejected(self):
+        m = Machine(MachineConfig(num_cells=2, memory_per_cell=1 << 20))
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            # Allocate past the half-of-memory export window.
+            big = ctx.alloc((1 << 19) // 8)
+            shm.address_of(0, big, big.size - 1)
+
+        with pytest.raises(AddressError):
+            m.run(program)
+
+
+class TestLoadStore:
+    def test_remote_load(self):
+        m = make(2)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4)
+            a.data[:] = ctx.pe * 10.0
+            yield from ctx.barrier()
+            other = 1 - ctx.pe
+            value = shm.load(shm.address_of(other, a, 0))
+            return float(value), shm.remote_loads
+
+        results = m.run(program)
+        assert results[0] == (10.0, 1)
+        assert results[1] == (0.0, 1)
+
+    def test_remote_store_lands(self):
+        m = make(2)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4)
+            a.data[:] = 0.0
+            yield from ctx.barrier()
+            if ctx.pe == 0:
+                shm.store_element(1, a, 2, 5.5)
+            yield from ctx.barrier()
+            return float(a.data[2])
+
+        assert m.run(program) == [0.0, 5.5]
+
+    def test_own_cell_access_is_local_and_traceless(self):
+        m = make(2)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4)
+            a.data[:] = 7.0
+            before = m.trace.total_events
+            value = shm.load_element(ctx.pe, a, 1)
+            shm.store_element(ctx.pe, a, 1, 8.0)
+            return (float(value), shm.local_accesses,
+                    m.trace.total_events - before, float(a.data[1]))
+
+        for value, locals_, new_events, after in m.run(program):
+            assert value == 7.0 and after == 8.0
+            assert locals_ == 2
+            assert new_events == 0   # no interprocessor communication
+
+    def test_remote_accesses_traced(self):
+        m = make(2)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4)
+            yield from ctx.barrier()
+            shm.load_element(1 - ctx.pe, a, 0)
+            shm.store_element(1 - ctx.pe, a, 0, 1.0)
+            yield from ctx.barrier()
+
+        m.run(program)
+        assert m.trace.count(EventKind.REMOTE_LOAD) == 2
+        assert m.trace.count(EventKind.REMOTE_STORE) == 2
+
+    def test_integer_dtypes(self):
+        m = make(2)
+
+        def program(ctx):
+            shm = SharedMemory(ctx)
+            a = ctx.alloc(4, np.int32)
+            a.data[:] = ctx.pe + 41
+            yield from ctx.barrier()
+            return int(shm.load_element(1 - ctx.pe, a, 0))
+
+        assert m.run(program) == [42, 41]

@@ -1,0 +1,184 @@
+"""Tests for write-through pages (section 4.2) — table unit tests plus
+machine-level integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AddressError, ConfigurationError
+from repro.hardware.wtpage import WT_PAGE_BYTES, WriteThroughPageTable
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.trace.events import EventKind
+
+
+def make(n=4):
+    return Machine(MachineConfig(num_cells=n, memory_per_cell=1 << 22))
+
+
+class TestPageTable:
+    def test_bind_and_lookup(self):
+        table = WriteThroughPageTable()
+        table.bind(2, 0x2000, 0x9000)
+        binding = table.lookup(2, 0x2abc)
+        assert binding is not None
+        assert table.local_address(2, 0x2abc) == 0x9000 + 0xabc
+
+    def test_miss_counts_fault(self):
+        table = WriteThroughPageTable()
+        assert table.local_address(1, 0x5000) is None
+        assert table.faults == 1
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(AddressError):
+            WriteThroughPageTable().bind(0, 100, 0x1000)
+
+    def test_double_bind_rejected(self):
+        table = WriteThroughPageTable()
+        table.bind(0, 0x1000, 0x5000)
+        with pytest.raises(ConfigurationError):
+            table.bind(0, 0x1000, 0x6000)
+        with pytest.raises(ConfigurationError):
+            table.bind(1, 0x2000, 0x5000)   # local page reused
+
+    def test_unbind(self):
+        table = WriteThroughPageTable()
+        table.bind(0, 0x1000, 0x5000)
+        table.unbind(0, 0x1000)
+        assert len(table) == 0
+        with pytest.raises(ConfigurationError):
+            table.unbind(0, 0x1000)
+
+    def test_distinct_cells_same_page_base(self):
+        table = WriteThroughPageTable()
+        table.bind(0, 0x1000, 0x5000)
+        table.bind(1, 0x1000, 0x6000)
+        assert table.local_address(0, 0x1000) == 0x5000
+        assert table.local_address(1, 0x1000) == 0x6000
+
+    def test_page_size_is_mmu_small_page(self):
+        assert WT_PAGE_BYTES == 4096
+
+
+class TestMachineIntegration:
+    def test_reads_are_local_after_bind(self):
+        m = make(2)
+
+        def program(ctx):
+            shared = ctx.alloc(8)
+            shared.data[:] = ctx.pe + np.arange(8)
+            yield from ctx.barrier()
+            wt = yield from ctx.wt_bind(1, shared)
+            values = [wt.read(i) for i in range(8)]
+            return values, ctx._wt_table.local_reads
+
+        results = m.run(program)
+        assert results[0][0] == (1 + np.arange(8)).tolist()
+        assert results[0][1] == 8
+
+    def test_reads_generate_no_communication_events(self):
+        m = make(2)
+
+        def program(ctx):
+            shared = ctx.alloc(8)
+            yield from ctx.barrier()
+            wt = yield from ctx.wt_bind(1 - ctx.pe, shared)
+            before = m.trace.total_events
+            for i in range(100):
+                wt.read(i % 8)
+            return m.trace.total_events - before
+
+        assert m.run(program) == [0, 0]   # replaced remote accesses
+
+    def test_write_through_reaches_home(self):
+        m = make(2)
+
+        def program(ctx):
+            shared = ctx.alloc(8)
+            shared.data[:] = 0.0
+            yield from ctx.barrier()
+            if ctx.pe == 0:
+                wt = yield from ctx.wt_bind(1, shared)
+                wt.write(3, 42.0)
+                assert wt.read(3) == 42.0   # own copy updated immediately
+            yield from ctx.barrier()
+            return float(shared.data[3])
+
+        assert m.run(program) == [0.0, 42.0]
+
+    def test_software_coherence_needs_refresh(self):
+        m = make(2)
+
+        def program(ctx):
+            shared = ctx.alloc(4)
+            shared.data[:] = 1.0
+            yield from ctx.barrier()
+            wt = yield from ctx.wt_bind(0, shared)
+            yield from ctx.barrier()
+            if ctx.pe == 0:
+                shared.data[0] = 7.0        # home writes locally
+            yield from ctx.barrier()
+            stale = wt.read(0)              # copy not snooped
+            yield from ctx.wt_refresh(wt)
+            fresh = wt.read(0)
+            return stale, fresh
+
+        results = m.run(program)
+        assert results[1] == (1.0, 7.0)
+
+    def test_refresh_traces_one_get(self):
+        m = make(2)
+
+        def program(ctx):
+            shared = ctx.alloc(4)
+            yield from ctx.barrier()
+            wt = yield from ctx.wt_bind(1 - ctx.pe, shared)
+            yield from ctx.wt_refresh(wt)
+
+        m.run(program)
+        gets = m.trace.count(EventKind.GET)
+        assert gets == 4   # 2 cells x (initial fetch + refresh)
+
+    def test_private_copies_keep_heap_symmetric(self):
+        m = make(2)
+
+        def program(ctx):
+            shared = ctx.alloc(4)
+            yield from ctx.barrier()
+            if ctx.pe == 0:
+                # Only one cell binds; symmetric allocation must survive.
+                yield from ctx.wt_bind(1, shared)
+            later = ctx.alloc(4)
+            return later.addr
+
+        addrs = m.run(program)
+        assert addrs[0] == addrs[1]
+
+    def test_multi_page_arrays(self):
+        m = make(2)
+
+        def program(ctx):
+            big = ctx.alloc(1500)   # 12 000 bytes: spans 3-4 pages
+            big.data[:] = np.arange(1500) * (ctx.pe + 1)
+            yield from ctx.barrier()
+            wt = yield from ctx.wt_bind(1, big)
+            return float(wt.read(0)), float(wt.read(1499))
+
+        assert m.run(program)[0] == (0.0, 2998.0)
+
+
+class TestPrivateAllocator:
+    def test_grows_downward(self):
+        m = make(2)
+        a = m.alloc_private(0, 128)
+        b = m.alloc_private(0, 128)
+        assert b.addr < a.addr
+
+    def test_collision_with_heap_detected(self):
+        m = Machine(MachineConfig(num_cells=1, memory_per_cell=1 << 16))
+        with pytest.raises(ConfigurationError):
+            m.alloc_private(0, 1 << 17)
+
+    def test_empty_rejected(self):
+        m = make(1)
+        with pytest.raises(ConfigurationError):
+            m.alloc_private(0, 0)

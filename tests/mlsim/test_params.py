@@ -1,0 +1,146 @@
+"""Unit tests for MLSim parameter sets (Figure 6)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mlsim.params import (
+    MEMORY_SPEEDUP_FACTOR,
+    MLSimParams,
+    ap1000_fast_params,
+    ap1000_params,
+    ap1000_plus_params,
+    format_params,
+    parse_params,
+    preset,
+    scale_processor,
+)
+
+
+class TestPaperValues:
+    """The Figure 6 numbers, verbatim."""
+
+    def test_ap1000_figure6(self):
+        p = ap1000_params()
+        assert p.computation_factor == 1.00
+        assert p.network_prolog_time == 0.16
+        assert p.network_delay_time == 0.16
+        assert p.put_prolog_time == 20.0
+        assert p.put_epilog_time == 15.0
+        assert p.put_msg_time == 0.05
+        assert p.put_dma_set_time == 15.0
+        assert p.put_msg_post_time == 0.04
+        assert p.intr_rtc_time == 20.0
+        assert p.recv_msg_flush_time == 0.04
+        assert p.recv_dma_set_time == 15.0
+        assert not p.hardware_put_get
+
+    def test_ap1000_plus_figure6(self):
+        p = ap1000_plus_params()
+        assert p.computation_factor == 0.125
+        assert p.put_prolog_time == 1.00
+        assert p.put_epilog_time == 0.00
+        assert p.put_msg_time == 0.05
+        assert p.put_dma_set_time == 0.50
+        assert p.put_msg_post_time == 0.00
+        assert p.intr_rtc_time == 0.00
+        assert p.recv_msg_flush_time == 0.00
+        assert p.recv_dma_set_time == 0.50
+        assert p.hardware_put_get
+
+    def test_put_issue_is_8_stores(self):
+        """Section 4.1: 8 stores at 50 MHz = 0.16 us."""
+        assert ap1000_plus_params().put_enqueue_time == pytest.approx(0.16)
+
+
+class TestSecondModel:
+    def test_computation_factor_eighth(self):
+        assert ap1000_fast_params().computation_factor == 0.125
+
+    def test_software_times_scale_with_processor(self):
+        base, fast = ap1000_params(), ap1000_fast_params()
+        assert fast.put_prolog_time == base.put_prolog_time * 0.125
+        assert fast.intr_rtc_time == base.intr_rtc_time * 0.125
+
+    def test_wire_times_do_not_scale(self):
+        base, fast = ap1000_params(), ap1000_fast_params()
+        assert fast.put_msg_time == base.put_msg_time
+        assert fast.network_delay_time == base.network_delay_time
+
+    def test_per_byte_costs_scale_with_memory(self):
+        base, fast = ap1000_params(), ap1000_fast_params()
+        assert fast.recv_msg_flush_time == pytest.approx(
+            base.recv_msg_flush_time * MEMORY_SPEEDUP_FACTOR)
+
+    def test_still_software_handled(self):
+        assert not ap1000_fast_params().hardware_put_get
+
+    def test_hardware_dma_setup_protected_from_scaling(self):
+        plus = ap1000_plus_params()
+        scaled = scale_processor(plus, 0.5)
+        assert scaled.put_dma_set_time == plus.put_dma_set_time
+        assert scaled.put_prolog_time == plus.put_prolog_time * 0.5
+
+
+class TestValidation:
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLSimParams(name="x", computation_factor=1.0,
+                        hardware_put_get=True, put_prolog_time=-1.0)
+
+    def test_zero_computation_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLSimParams(name="x", computation_factor=0.0,
+                        hardware_put_get=True)
+
+    def test_with_overrides(self):
+        p = ap1000_plus_params().with_overrides(put_prolog_time=2.0)
+        assert p.put_prolog_time == 2.0
+        assert p.put_msg_time == 0.05
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert preset("ap1000").name == "AP1000"
+        assert preset("AP1000+").hardware_put_get
+        assert preset("ap1000-fast").computation_factor == 0.125
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            preset("cm5")
+
+
+class TestParameterFiles:
+    def test_format_parse_roundtrip(self):
+        for maker in (ap1000_params, ap1000_plus_params):
+            original = maker()
+            text = format_params(original)
+            parsed = parse_params(text, name=original.name)
+            assert parsed == original
+
+    def test_comments_and_blank_lines(self):
+        text = (
+            "# AP1000 style file\n"
+            "\n"
+            "computation_factor 1.0   # ratio to SPARC\n"
+            "hardware_put_get 0\n"
+            "put_prolog_time 20.0\n"
+        )
+        p = parse_params(text)
+        assert p.put_prolog_time == 20.0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_params("computation_factor 1\nhardware_put_get 0\nbogus 1\n")
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_params("put_prolog_time 1.0\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_params("computation_factor 1 extra\nhardware_put_get 0\n")
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "model.params"
+        path.write_text(format_params(ap1000_params()), encoding="utf-8")
+        assert parse_params(path).put_prolog_time == 20.0

@@ -1,0 +1,115 @@
+"""Unit tests for the Figure 7 PUT communication model."""
+
+import pytest
+
+from repro.mlsim import put_model as pm
+from repro.mlsim.params import ap1000_params, ap1000_plus_params
+
+
+class TestSendCpu:
+    def test_ap1000_formula(self):
+        """Section 5.1: send overhead = prolog + enqueue + post*size +
+        dma_set + epilog."""
+        p = ap1000_params()
+        size = 1000
+        expected = (p.put_prolog_time + p.put_enqueue_time
+                    + p.put_msg_post_time * size + p.put_dma_set_time
+                    + p.put_epilog_time)
+        assert pm.put_send_cpu_time(p, size) == pytest.approx(expected)
+
+    def test_ap1000_plus_pays_only_issue(self):
+        """'The overhead of PUT communication on the AP1000+ is only
+        put_enqueue_time on sending' (plus the 1 us parameter prolog)."""
+        p = ap1000_plus_params()
+        assert pm.put_send_cpu_time(p, 1 << 20) == pytest.approx(
+            p.put_prolog_time + p.put_enqueue_time)
+
+    def test_size_independence_on_hardware(self):
+        p = ap1000_plus_params()
+        assert pm.put_send_cpu_time(p, 8) == pm.put_send_cpu_time(p, 1 << 20)
+
+    def test_get_request_has_no_payload_cost(self):
+        p = ap1000_params()
+        assert pm.get_send_cpu_time(p, 1 << 20) == pm.put_send_cpu_time(p, 0)
+
+
+class TestOffCpu:
+    def test_dma_setup_only_offloaded_on_hardware(self):
+        assert pm.send_dma_setup_time(ap1000_plus_params()) == 0.50
+        assert pm.send_dma_setup_time(ap1000_params()) == 0.0
+
+    def test_network_time_formula(self):
+        p = ap1000_plus_params()
+        t = pm.network_time(p, 100, 3)
+        expected = 0.16 + 0.16 * 3 + 0.05 * 100 + p.network_epilog_time
+        assert t == pytest.approx(expected)
+
+    def test_drain_time(self):
+        assert pm.dma_drain_time(ap1000_plus_params(), 1000) == \
+            pytest.approx(50.0)
+
+
+class TestReceive:
+    def test_software_receive_steals_cpu(self):
+        p = ap1000_params()
+        theft = pm.recv_cpu_theft(p, 1000)
+        assert theft > p.intr_rtc_time
+        assert theft == pytest.approx(pm.recv_service_time(p, 1000))
+
+    def test_hardware_receive_steals_nothing(self):
+        assert pm.recv_cpu_theft(ap1000_plus_params(), 1 << 20) == 0.0
+
+    def test_hardware_service_is_dma_setup(self):
+        p = ap1000_plus_params()
+        assert pm.recv_service_time(p, 1 << 20) == p.recv_dma_set_time
+
+    def test_flag_update_after_service(self):
+        p = ap1000_plus_params()
+        assert pm.recv_flag_update_time(p, 100) == pytest.approx(
+            p.recv_dma_set_time + p.recv_complete_flag_time)
+
+
+class TestGetReply:
+    def test_hardware_reply_is_automatic(self):
+        p = ap1000_plus_params()
+        assert pm.get_reply_cpu_theft(p, 4096) == 0.0
+        assert pm.get_reply_service_time(p, 4096) == pytest.approx(1.0)
+
+    def test_software_reply_interrupts_target(self):
+        p = ap1000_params()
+        assert pm.get_reply_cpu_theft(p, 4096) > p.intr_rtc_time
+
+
+class TestTimeline:
+    def test_overhead_gap_is_dramatic(self):
+        """Table 2's whole story in one number: the AP1000 spends ~100x
+        more CPU per kilobyte PUT than the AP1000+."""
+        slow = pm.put_timeline(ap1000_params(), 1024, 4)
+        fast = pm.put_timeline(ap1000_plus_params(), 1024, 4)
+        assert slow.sender_cpu_total / fast.sender_cpu_total > 50
+        assert fast.receiver_cpu_total == 0.0
+        assert slow.receiver_cpu_total > 50
+
+    def test_flags_follow_completion_order(self):
+        for params in (ap1000_params(), ap1000_plus_params()):
+            tl = pm.put_timeline(params, 2048, 2)
+            assert tl.recv_flag_at > tl.arrival_at
+            assert tl.arrival_at > tl.send_cpu
+            assert tl.send_flag_at > tl.send_cpu
+
+    def test_zero_byte_message(self):
+        tl = pm.put_timeline(ap1000_plus_params(), 0, 1)
+        assert tl.dma_drain == 0.0
+        assert tl.arrival_at > 0.0
+
+    def test_distance_increases_latency_only(self):
+        p = ap1000_plus_params()
+        near = pm.put_timeline(p, 512, 1)
+        far = pm.put_timeline(p, 512, 8)
+        assert far.arrival_at > near.arrival_at
+        assert far.sender_cpu_total == near.sender_cpu_total
+
+    def test_flag_check_cost(self):
+        p = ap1000_params()
+        assert pm.flag_check_cpu_time(p) == pytest.approx(
+            p.flag_check_prolog_time + p.flag_check_epilog_time)

@@ -1,0 +1,118 @@
+"""Tests for the per-PE timeline span log."""
+
+import pytest
+
+from repro.mlsim.engine import MLSimEngine
+from repro.mlsim.params import ap1000_params, ap1000_plus_params
+from repro.mlsim.timeline import Span, Timeline, render_timeline
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import EventKind, TraceEvent
+
+
+def engine(events, num_pes=2, params=None):
+    buf = TraceBuffer(num_pes=num_pes)
+    for ev in events:
+        buf.record(ev)
+    eng = MLSimEngine(buf, params or ap1000_plus_params(),
+                      record_timeline=True)
+    eng.run()
+    return eng
+
+
+class TestSpanRecording:
+    def test_disabled_by_default(self):
+        buf = TraceBuffer(num_pes=1)
+        assert MLSimEngine(buf, ap1000_plus_params()).timeline is None
+
+    def test_compute_span(self):
+        eng = engine([TraceEvent(EventKind.COMPUTE, pe=0, work=80.0)])
+        spans = eng.timeline.spans_for(0)
+        assert len(spans) == 1
+        assert spans[0].bucket == "execution"
+        assert spans[0].label == "COMPUTE"
+        assert spans[0].duration == pytest.approx(10.0)
+
+    def test_spans_tile_the_clock(self):
+        """Spans are contiguous and sum to the accounted clock."""
+        eng = engine([
+            TraceEvent(EventKind.COMPUTE, pe=0, work=800.0),
+            TraceEvent(EventKind.PUT, pe=0, partner=1, size=1000,
+                       recv_flag=5),
+            TraceEvent(EventKind.FLAG_WAIT, pe=1, flag=5, target=1),
+            TraceEvent(EventKind.COMPUTE, pe=1, work=80.0),
+        ])
+        for pe in (0, 1):
+            spans = eng.timeline.spans_for(pe)
+            for a, b in zip(spans, spans[1:]):
+                assert b.start == pytest.approx(a.end)
+            total = sum(s.duration for s in spans)
+            assert total == pytest.approx(eng.pes[pe].clock)
+
+    def test_idle_spans_labelled_with_cause(self):
+        eng = engine([
+            TraceEvent(EventKind.COMPUTE, pe=0, work=8000.0),
+            TraceEvent(EventKind.BARRIER, pe=0, group=0, group_size=2),
+            TraceEvent(EventKind.BARRIER, pe=1, group=0, group_size=2),
+        ])
+        assert eng.timeline.dominant_label(1, "idle") == "BARRIER"
+
+    def test_communication_labels_carry_partner(self):
+        eng = engine([TraceEvent(EventKind.PUT, pe=0, partner=1, size=64)])
+        spans = eng.timeline.spans_for(0)
+        assert spans[0].label == "PUT->1"
+
+    def test_stolen_interrupt_spans_on_software_model(self):
+        eng = engine([
+            TraceEvent(EventKind.PUT, pe=0, partner=1, size=1000),
+            TraceEvent(EventKind.COMPUTE, pe=1, work=10.0),
+        ], params=ap1000_params())
+        labels = {s.label for s in eng.timeline.spans_for(1)}
+        assert "stolen-interrupt" in labels
+
+
+class TestAnalysis:
+    def test_busy_fraction(self):
+        tl = Timeline(num_pes=1)
+        tl.add(Span(pe=0, start=0, end=60, bucket="execution", label="C"))
+        tl.add(Span(pe=0, start=60, end=100, bucket="idle", label="B"))
+        assert tl.busy_fraction(0) == pytest.approx(0.6)
+
+    def test_busy_fraction_empty(self):
+        assert Timeline(num_pes=1).busy_fraction(0) == 0.0
+
+    def test_window(self):
+        tl = Timeline(num_pes=1)
+        tl.add(Span(pe=0, start=0, end=10, bucket="execution", label="a"))
+        tl.add(Span(pe=0, start=10, end=20, bucket="idle", label="b"))
+        tl.add(Span(pe=0, start=20, end=30, bucket="overhead", label="c"))
+        hits = tl.window(0, 5, 15)
+        assert [s.label for s in hits] == ["a", "b"]
+
+    def test_zero_duration_spans_dropped(self):
+        tl = Timeline(num_pes=1)
+        tl.add(Span(pe=0, start=5, end=5, bucket="idle", label="x"))
+        assert tl.spans_for(0) == []
+
+
+class TestRendering:
+    def test_render_shape(self):
+        eng = engine([
+            TraceEvent(EventKind.COMPUTE, pe=0, work=160.0),
+            TraceEvent(EventKind.COMPUTE, pe=1, work=80.0),
+        ])
+        text = render_timeline(eng.timeline, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("PE   0 |")
+        assert "#" in lines[1]
+
+    def test_render_empty(self):
+        assert "(empty timeline)" in render_timeline(Timeline(num_pes=2))
+
+    def test_render_subset(self):
+        eng = engine([
+            TraceEvent(EventKind.COMPUTE, pe=0, work=160.0),
+            TraceEvent(EventKind.COMPUTE, pe=1, work=80.0),
+        ])
+        text = render_timeline(eng.timeline, pes=[1])
+        assert "PE   1" in text and "PE   0" not in text

@@ -1,0 +1,85 @@
+"""Unit tests for the B-net broadcast and S-net barrier networks."""
+
+import pytest
+
+from repro.core.errors import CommunicationError
+from repro.network.bnet import BNET_BANDWIDTH_MB_S, BNet, HOST_ID
+from repro.network.packet import Packet, PacketKind
+from repro.network.snet import SNet
+
+
+def _pkt(src, dst=-2, size=4):
+    return Packet(kind=PacketKind.SEND, src=src, dst=dst,
+                  payload_bytes=size, data=bytes(size))
+
+
+class TestBNet:
+    def test_broadcast_reaches_everyone_but_source(self):
+        net = BNet(num_cells=4)
+        net.broadcast(_pkt(1))
+        assert net.pending(1) == 0
+        for cell in (0, 2, 3):
+            assert net.pending(cell) == 1
+
+    def test_host_can_broadcast(self):
+        net = BNet(num_cells=3)
+        net.broadcast(_pkt(HOST_ID))
+        assert all(net.pending(c) == 1 for c in range(3))
+
+    def test_total_order(self):
+        net = BNet(num_cells=3)
+        a, b = _pkt(0), _pkt(1)
+        net.broadcast(a)
+        net.broadcast(b)
+        assert net.receive(2) is a
+        assert net.receive(2) is b
+
+    def test_scatter_point_to_point(self):
+        net = BNet(num_cells=3)
+        net.scatter([_pkt(HOST_ID, dst=0), _pkt(HOST_ID, dst=2)])
+        assert net.pending(0) == 1
+        assert net.pending(1) == 0
+        assert net.pending(2) == 1
+
+    def test_receive_empty_fails(self):
+        with pytest.raises(CommunicationError):
+            BNet(num_cells=2).receive(0)
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(CommunicationError):
+            BNet(num_cells=2).broadcast(_pkt(5))
+
+    def test_bandwidth(self):
+        net = BNet(num_cells=2)
+        assert net.transfer_time_us(BNET_BANDWIDTH_MB_S) == pytest.approx(1.0)
+
+
+class TestSNet:
+    def test_fires_when_all_arrive(self):
+        snet = SNet(3)
+        assert snet.arrive(0) is False
+        assert snet.arrive(2) is False
+        assert snet.arrive(1) is True
+        assert snet.episodes_completed == 1
+
+    def test_resets_after_episode(self):
+        snet = SNet(2)
+        snet.arrive(0)
+        snet.arrive(1)
+        assert snet.arrived_count == 0
+        assert snet.arrive(1) is False  # new episode
+
+    def test_double_arrival_rejected(self):
+        snet = SNet(3)
+        snet.arrive(0)
+        with pytest.raises(CommunicationError):
+            snet.arrive(0)
+
+    def test_invalid_cell_rejected(self):
+        with pytest.raises(CommunicationError):
+            SNet(2).arrive(5)
+
+    def test_waiting_set(self):
+        snet = SNet(3)
+        snet.arrive(1)
+        assert snet.waiting() == frozenset({1})

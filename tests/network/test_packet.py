@@ -1,0 +1,57 @@
+"""Unit tests for packet formats and stride descriptors."""
+
+import pytest
+
+from repro.network.packet import HEADER_BYTES, Packet, PacketKind, StrideSpec
+
+
+class TestStrideSpec:
+    def test_contiguous(self):
+        s = StrideSpec.contiguous(64)
+        assert s.total_bytes == 64
+        assert s.extent_bytes == 64
+
+    def test_strided_totals(self):
+        s = StrideSpec(item_size=8, count=5, skip=32)
+        assert s.total_bytes == 40
+        assert s.extent_bytes == 4 * 32 + 8
+
+    def test_offsets(self):
+        s = StrideSpec(item_size=4, count=3, skip=16)
+        assert s.offsets() == [0, 16, 32]
+
+    def test_zero_count_is_empty(self):
+        s = StrideSpec(item_size=8, count=0, skip=8)
+        assert s.total_bytes == 0
+        assert s.extent_bytes == 0
+        assert s.offsets() == []
+
+    def test_overlapping_items_rejected(self):
+        with pytest.raises(ValueError):
+            StrideSpec(item_size=16, count=2, skip=8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StrideSpec(item_size=-1, count=1, skip=1)
+
+
+class TestPacket:
+    def test_wire_bytes_include_header(self):
+        p = Packet(kind=PacketKind.PUT, src=0, dst=1, payload_bytes=100)
+        assert p.wire_bytes == 100 + HEADER_BYTES
+
+    def test_serials_are_unique_and_increasing(self):
+        a = Packet(kind=PacketKind.PUT, src=0, dst=1, payload_bytes=0)
+        b = Packet(kind=PacketKind.PUT, src=0, dst=1, payload_bytes=0)
+        assert b.serial > a.serial
+
+    def test_acknowledge_idiom_detection(self):
+        ack = Packet(kind=PacketKind.GET_REQUEST, src=0, dst=1,
+                     payload_bytes=0, remote_addr=0)
+        real = Packet(kind=PacketKind.GET_REQUEST, src=0, dst=1,
+                      payload_bytes=0, remote_addr=4096)
+        put = Packet(kind=PacketKind.PUT, src=0, dst=1, payload_bytes=0,
+                     remote_addr=0)
+        assert ack.is_acknowledge_idiom()
+        assert not real.is_acknowledge_idiom()
+        assert not put.is_acknowledge_idiom()

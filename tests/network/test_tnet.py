@@ -1,0 +1,98 @@
+"""Unit tests for the T-net functional transport."""
+
+import pytest
+
+from repro.core.errors import CommunicationError
+from repro.network.packet import Packet, PacketKind
+from repro.network.tnet import TNet
+from repro.network.topology import TorusTopology
+
+
+def _pkt(src, dst, size=8, kind=PacketKind.PUT):
+    return Packet(kind=kind, src=src, dst=dst, payload_bytes=size,
+                  data=bytes(size))
+
+
+@pytest.fixture
+def net():
+    return TNet(TorusTopology(4, 2))
+
+
+class TestInjection:
+    def test_inject_and_deliver(self, net):
+        p = _pkt(0, 1)
+        net.inject(p)
+        assert net.pending(0, 1) == 1
+        assert net.deliver_next(0, 1) is p
+        assert net.pending(0, 1) == 0
+
+    def test_rejects_out_of_range_endpoints(self, net):
+        with pytest.raises(CommunicationError):
+            net.inject(_pkt(0, 99))
+
+    def test_deliver_from_empty_channel_fails(self, net):
+        with pytest.raises(CommunicationError):
+            net.deliver_next(0, 1)
+
+    def test_counters(self, net):
+        net.inject(_pkt(0, 1))
+        net.inject(_pkt(0, 2))
+        assert net.injected_count == 2
+        net.drain_all()
+        assert net.delivered_count == 2
+
+
+class TestOrdering:
+    def test_per_pair_fifo(self, net):
+        first = _pkt(0, 1)
+        second = _pkt(0, 1)
+        net.inject(first)
+        net.inject(second)
+        assert net.deliver_next(0, 1) is first
+        assert net.deliver_next(0, 1) is second
+
+    def test_drain_to_keeps_per_source_order(self, net):
+        a1, a2 = _pkt(0, 3), _pkt(0, 3)
+        b1 = _pkt(1, 3)
+        net.inject(a1)
+        net.inject(b1)
+        net.inject(a2)
+        out = net.drain_to(3)
+        assert out.index(a1) < out.index(a2)
+        assert len(out) == 3
+
+    def test_acknowledge_idiom_depends_on_fifo(self, net):
+        """A GET request injected after a PUT on the same channel must be
+        delivered after it — the section 4.1 acknowledge guarantee."""
+        put = _pkt(0, 1)
+        ack = Packet(kind=PacketKind.GET_REQUEST, src=0, dst=1,
+                     payload_bytes=0, remote_addr=0)
+        net.inject(put)
+        net.inject(ack)
+        out = net.drain_to(1)
+        assert out == [put, ack]
+        assert out[1].is_acknowledge_idiom()
+
+
+class TestDraining:
+    def test_drain_to_only_takes_matching_destination(self, net):
+        net.inject(_pkt(0, 1))
+        net.inject(_pkt(0, 2))
+        assert len(net.drain_to(1)) == 1
+        assert net.in_flight == 1
+
+    def test_drain_all_empties(self, net):
+        for dst in (1, 2, 3):
+            net.inject(_pkt(0, dst))
+        assert len(net.drain_all()) == 3
+        assert net.in_flight == 0
+
+    def test_pending_for(self, net):
+        net.inject(_pkt(0, 2))
+        net.inject(_pkt(1, 2))
+        assert net.pending_for(2) == 2
+
+
+def test_transfer_time_matches_link_bandwidth(net):
+    # 25 MB/s -> 0.04 us per byte.
+    assert net.transfer_time_us(25) == pytest.approx(1.0)

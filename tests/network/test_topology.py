@@ -1,0 +1,115 @@
+"""Unit tests for the T-net torus topology."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.network.topology import TorusTopology
+
+
+class TestConstruction:
+    def test_for_cells_picks_squarest_factorization(self):
+        assert TorusTopology.for_cells(16).width == 4
+        assert TorusTopology.for_cells(16).height == 4
+        assert TorusTopology.for_cells(8) == TorusTopology(4, 2)
+        assert TorusTopology.for_cells(1024) == TorusTopology(32, 32)
+
+    def test_for_cells_prime_count_degenerates_to_row(self):
+        topo = TorusTopology.for_cells(7)
+        assert (topo.width, topo.height) == (7, 1)
+
+    def test_for_cells_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TorusTopology.for_cells(0)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            TorusTopology(0, 4)
+
+    def test_num_cells(self):
+        assert TorusTopology(4, 2).num_cells == 8
+
+
+class TestCoordinates:
+    def test_row_major_layout(self):
+        topo = TorusTopology(4, 2)
+        assert topo.coordinates(0) == (0, 0)
+        assert topo.coordinates(3) == (3, 0)
+        assert topo.coordinates(4) == (0, 1)
+        assert topo.coordinates(7) == (3, 1)
+
+    def test_cell_at_wraps(self):
+        topo = TorusTopology(4, 2)
+        assert topo.cell_at(4, 0) == 0
+        assert topo.cell_at(-1, 0) == 3
+        assert topo.cell_at(0, 2) == 0
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TorusTopology(2, 2).coordinates(4)
+
+
+class TestDistance:
+    def test_self_distance_zero(self):
+        topo = TorusTopology(4, 4)
+        assert all(topo.distance(c, c) == 0 for c in range(16))
+
+    def test_neighbour_distance_one(self):
+        topo = TorusTopology(4, 4)
+        for n in topo.neighbors(5):
+            assert topo.distance(5, n) == 1
+
+    def test_wraparound_is_shorter(self):
+        topo = TorusTopology(8, 1)
+        # 0 -> 7 is one hop backwards around the ring, not seven forward.
+        assert topo.distance(0, 7) == 1
+
+    def test_symmetry(self):
+        topo = TorusTopology(4, 4)
+        for a in range(16):
+            for b in range(16):
+                assert topo.distance(a, b) == topo.distance(b, a)
+
+    def test_max_distance_on_torus(self):
+        topo = TorusTopology(4, 4)
+        dists = [topo.distance(0, c) for c in range(16)]
+        assert max(dists) == 4  # 2 hops per dimension max
+
+
+class TestRouting:
+    def test_route_ends_at_destination(self):
+        topo = TorusTopology(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                path = topo.route(src, dst)
+                if src == dst:
+                    assert path == []
+                else:
+                    assert path[-1] == dst
+
+    def test_route_length_equals_distance(self):
+        topo = TorusTopology(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert len(topo.route(src, dst)) == topo.distance(src, dst)
+
+    def test_dimension_order_x_first(self):
+        topo = TorusTopology(4, 4)
+        path = topo.route(0, 5)  # (0,0) -> (1,1)
+        # First hop changes x, second changes y.
+        assert topo.coordinates(path[0])[1] == 0
+
+    def test_static_routing_is_deterministic(self):
+        topo = TorusTopology(8, 8)
+        assert topo.route(3, 42) == topo.route(3, 42)
+
+
+class TestNeighbors:
+    def test_interior_cell_has_four_neighbors(self):
+        assert len(TorusTopology(4, 4).neighbors(5)) == 4
+
+    def test_small_torus_deduplicates(self):
+        # On a 2x1 torus both x-directions reach the same cell.
+        assert TorusTopology(2, 1).neighbors(0) == [1]
+
+    def test_single_cell_has_no_neighbors(self):
+        assert TorusTopology(1, 1).neighbors(0) == []

@@ -1,0 +1,140 @@
+"""Property-based tests on the functional machine and MLSim invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.penta import PentaBands, apply_penta, solve_lines
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.mlsim.params import ap1000_params, ap1000_plus_params
+from repro.mlsim.simulator import simulate
+
+
+def make(n):
+    return Machine(MachineConfig(num_cells=n, memory_per_cell=1 << 21))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 6),
+       values=st.lists(st.floats(-1e6, 1e6), min_size=6, max_size=6))
+def test_gop_equals_numpy_sum(n, values):
+    m = make(n)
+    contributions = values[:n]
+
+    def program(ctx):
+        return (yield from ctx.gop(contributions[ctx.pe]))
+
+    results = m.run(program)
+    expected = contributions[0]
+    for v in contributions[1:]:
+        expected = expected + v
+    assert all(r == expected for r in results)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 5), length=st.integers(1, 16), seed=st.integers(0, 99))
+def test_vgop_equals_numpy_sum(n, length, seed):
+    m = make(n)
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, length))
+
+    def program(ctx):
+        out = yield from ctx.vgop(vectors[ctx.pe])
+        return out
+
+    results = m.run(program)
+    expected = vectors[0].copy()
+    for row in vectors[1:]:
+        expected = expected + row
+    for r in results:
+        assert np.array_equal(r, expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 6), rounds=st.integers(1, 4), size=st.integers(1, 64))
+def test_ring_put_permutation_preserves_data(n, rounds, size):
+    """After k ring rotations, each cell holds the block of the cell k to
+    its left — data is permuted, never lost or duplicated."""
+    m = make(n)
+
+    def program(ctx):
+        a = ctx.alloc(size)
+        b = ctx.alloc(size)
+        flag = ctx.alloc_flag()
+        a.data[:] = ctx.pe
+        right = (ctx.pe + 1) % ctx.num_cells
+        for i in range(rounds):
+            ctx.put(right, b, a, recv_flag=flag)
+            yield from ctx.flag_wait(flag, i + 1)
+            # Consume b before the barrier: once every cell passes the
+            # barrier, the next round's PUT may overwrite b.
+            a.data[:] = b.data
+            yield from ctx.barrier()
+        return float(a.data[0])
+
+    results = m.run(program)
+    expected = [(pe - rounds) % n for pe in range(n)]
+    assert results == [float(e) for e in expected]
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(2, 5), seed=st.integers(0, 50))
+def test_trace_replay_time_monotone_in_model(n, seed):
+    """For any program, AP1000+ <= second model <= AP1000 elapsed time."""
+    rng = np.random.default_rng(seed)
+    m = make(n)
+    sizes = rng.integers(8, 512, size=4).tolist()
+
+    def program(ctx):
+        a = ctx.alloc(512)
+        flag = ctx.alloc_flag()
+        ctx.compute_flops(float(rng.integers(100, 10000)))
+        right = (ctx.pe + 1) % ctx.num_cells
+        for i, s in enumerate(sizes):
+            ctx.put(right, a, a, count=s, recv_flag=flag)
+            yield from ctx.flag_wait(flag, i + 1)
+        yield from ctx.barrier()
+
+    m.run(program)
+    from repro.mlsim.params import ap1000_fast_params
+    slow = simulate(m.trace, ap1000_params()).elapsed_us
+    mid = simulate(m.trace, ap1000_fast_params()).elapsed_us
+    fast = simulate(m.trace, ap1000_plus_params()).elapsed_us
+    assert fast <= mid <= slow
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(2, 5), seed=st.integers(0, 50))
+def test_replay_buckets_account_for_clock(n, seed):
+    rng = np.random.default_rng(seed)
+    m = make(n)
+
+    def program(ctx):
+        a = ctx.alloc(64)
+        ctx.compute_flops(float(rng.integers(10, 1000)))
+        ctx.put((ctx.pe + 1) % ctx.num_cells, a, a, ack=True)
+        yield from ctx.finish_puts()
+        yield from ctx.barrier()
+
+    m.run(program)
+    res = simulate(m.trace, ap1000_params())
+    for pe in res.per_pe:
+        assert abs(pe.accounted - pe.clock) < 1e-6 * max(pe.clock, 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    pencils=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+    a=st.floats(-0.2, 0.2),
+    b=st.floats(-0.3, 0.3),
+)
+def test_penta_solver_residual_property(n, pencils, seed, a, b):
+    c = 2 * (abs(a) + abs(b)) + 1.0
+    bands = PentaBands(a=a, b=b, c=c)
+    rng = np.random.default_rng(seed)
+    rhs = rng.standard_normal((n, pencils))
+    x = solve_lines(bands, rhs)
+    assert np.abs(apply_penta(bands, x, 0) - rhs).max() < 1e-8

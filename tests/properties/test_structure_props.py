@@ -1,0 +1,137 @@
+"""Property-based tests on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import CellMemory
+from repro.lang.distribution import BlockDistribution, CyclicDistribution
+from repro.network.packet import StrideSpec
+from repro.network.topology import TorusTopology
+
+
+# ----------------------------------------------------------------------
+# Torus topology
+# ----------------------------------------------------------------------
+
+dims = st.integers(min_value=1, max_value=12)
+
+
+@given(w=dims, h=dims, data=st.data())
+def test_distance_is_a_metric(w, h, data):
+    topo = TorusTopology(w, h)
+    n = topo.num_cells
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert topo.distance(a, a) == 0
+    assert topo.distance(a, b) == topo.distance(b, a)
+    assert topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c)
+    if a != b:
+        assert topo.distance(a, b) >= 1
+
+
+@given(w=dims, h=dims, data=st.data())
+def test_route_is_connected_unit_steps(w, h, data):
+    topo = TorusTopology(w, h)
+    n = topo.num_cells
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    path = [a] + topo.route(a, b)
+    for prev, nxt in zip(path, path[1:]):
+        assert topo.distance(prev, nxt) == 1
+
+
+@given(cells=st.integers(min_value=1, max_value=300))
+def test_for_cells_exact_capacity(cells):
+    topo = TorusTopology.for_cells(cells)
+    assert topo.num_cells == cells
+    assert topo.width >= topo.height
+
+
+# ----------------------------------------------------------------------
+# Stride specifications
+# ----------------------------------------------------------------------
+
+strides = st.builds(
+    StrideSpec,
+    item_size=st.integers(1, 16),
+    count=st.integers(0, 20),
+    skip=st.integers(16, 64),
+)
+
+
+@given(spec=strides)
+def test_stride_extent_bounds_total(spec):
+    assert spec.total_bytes <= max(spec.extent_bytes, 0) or spec.count <= 1
+    assert len(spec.offsets()) == spec.count
+
+
+@given(spec=strides, data=st.data())
+def test_gather_scatter_roundtrip(spec, data):
+    size = max(spec.extent_bytes, 1) + 64
+    src = CellMemory(size)
+    dst = CellMemory(size)
+    payload = data.draw(st.binary(min_size=spec.total_bytes,
+                                  max_size=spec.total_bytes))
+    src.scatter(0, spec, payload)
+    assert src.gather(0, spec) == payload
+    dst.scatter(0, spec, src.gather(0, spec))
+    assert dst.gather(0, spec) == payload
+
+
+@given(spec=strides)
+def test_scatter_touches_only_item_ranges(spec):
+    size = max(spec.extent_bytes, 1) + 64
+    mem = CellMemory(size)
+    mem.scatter(0, spec, b"\xff" * spec.total_bytes)
+    covered = set()
+    for off in spec.offsets():
+        covered.update(range(off, off + spec.item_size))
+    raw = mem.read(0, size)
+    for i, byte in enumerate(raw):
+        assert (byte == 0xFF) == (i in covered)
+
+
+# ----------------------------------------------------------------------
+# Distributions
+# ----------------------------------------------------------------------
+
+extents = st.integers(min_value=0, max_value=400)
+parts = st.integers(min_value=1, max_value=40)
+
+
+@given(n=extents, p=parts)
+def test_block_partition_covers_exactly(n, p):
+    d = BlockDistribution(n, p)
+    total = sum(d.local_size(i) for i in range(p))
+    assert total == n
+    ranges = [d.part_range(i) for i in range(p)]
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(ranges, ranges[1:]):
+        assert hi_a == lo_b   # contiguous, ordered, disjoint
+
+
+@given(n=st.integers(1, 400), p=parts, data=st.data())
+def test_block_owner_local_global_bijection(n, p, data):
+    d = BlockDistribution(n, p)
+    g = data.draw(st.integers(0, n - 1))
+    owner = d.owner(g)
+    lo, hi = d.part_range(owner)
+    assert lo <= g < hi
+    assert d.global_index(owner, d.local_index(g)) == g
+
+
+@given(n=st.integers(1, 400), p=parts, data=st.data())
+def test_cyclic_owner_local_global_bijection(n, p, data):
+    d = CyclicDistribution(n, p)
+    g = data.draw(st.integers(0, n - 1))
+    assert d.global_index(d.owner(g), d.local_index(g)) == g
+
+
+@given(n=extents, p=parts)
+def test_block_sizes_differ_by_at_most_one(n, p):
+    d = BlockDistribution(n, p)
+    sizes = [d.local_size(i) for i in range(p)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)

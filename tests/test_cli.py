@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads_and_presets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("EP", "CG", "TC no st", "SCG"):
+            assert name in out
+        assert "ap1000+" in out
+
+
+class TestRun:
+    def test_run_and_trace(self, tmp_path, capsys):
+        trace = tmp_path / "mm.jsonl"
+        code = main(["run", "MatMul", "--cells", "4",
+                     "--trace", str(trace), "--no-replay"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert trace.exists()
+
+    def test_run_with_replay_summary(self, capsys):
+        assert main(["run", "EP", "--cells", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "AP1000+ 8.00" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "LU"])
+
+
+class TestReplay:
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(["run", "MatMul", "--cells", "4", "--trace", str(path),
+              "--no-replay"])
+        capsys.readouterr()
+        return path
+
+    def test_replay_default_preset(self, trace_file, capsys):
+        assert main(["replay", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "AP1000+" in out and "elapsed" in out
+
+    def test_replay_each_preset(self, trace_file, capsys):
+        for preset in ("ap1000", "ap1000-fast", "ap1000+"):
+            assert main(["replay", str(trace_file),
+                         "--preset", preset]) == 0
+        assert "mean idle" in capsys.readouterr().out
+
+    def test_replay_timeline(self, trace_file, capsys):
+        assert main(["replay", str(trace_file), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline, 0 .." in out
+        assert "PE   0 |" in out
+
+    def test_replay_custom_params(self, trace_file, tmp_path, capsys):
+        params = tmp_path / "model.params"
+        main(["params", "ap1000"])
+        params.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main(["replay", str(trace_file),
+                     "--params", str(params)]) == 0
+
+    def test_models_ordered(self, trace_file, capsys):
+        elapsed = {}
+        for preset in ("ap1000", "ap1000+"):
+            main(["replay", str(trace_file), "--preset", preset])
+            out = capsys.readouterr().out
+            elapsed[preset] = float(out.split("elapsed")[1].split("us")[0])
+        assert elapsed["ap1000+"] < elapsed["ap1000"]
+
+
+class TestParams:
+    def test_prints_figure6_format(self, capsys):
+        assert main(["params", "ap1000+"]) == 0
+        out = capsys.readouterr().out
+        assert "computation_factor 0.125" in out
+        assert "put_prolog_time 1" in out
+
+    def test_roundtrips_through_parser(self, capsys):
+        from repro.mlsim.params import ap1000_params, parse_params
+        main(["params", "ap1000"])
+        text = capsys.readouterr().out
+        assert parse_params(text, name="AP1000") == ap1000_params()
+
+
+class TestReport:
+    def test_subset_report(self, capsys):
+        assert main(["report", "--apps", "EP", "MatMul"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "ALL PASSED" in out
