@@ -5,6 +5,15 @@ evaluation at (or near) paper scale, write the artifacts to
 ``benchmarks/output/``, and time the pipeline's stages with
 pytest-benchmark.
 
+The evaluation sweep itself goes through the bench runner
+(``repro.bench``): the grid lives in ``repro.bench.grid.BENCH_CONFIGS``,
+functional traces are cached on disk under ``benchmarks/.trace_cache``
+keyed by code version (delete the directory or set
+``REPRO_BENCH_CACHE=0`` to force re-runs), and every session also drops
+a machine-readable ``BENCH_<timestamp>.json`` artifact next to the text
+outputs.  Set ``REPRO_BENCH_JOBS=N`` to fan the sweep out across worker
+processes.
+
 Benchmark-scale configurations (EXPERIMENTS.md documents each deviation):
 
 * CG, TOMCATV (both modes), MatMul, SCG, SP run the paper's exact
@@ -21,26 +30,19 @@ Benchmark-scale configurations (EXPERIMENTS.md documents each deviation):
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.apps.workloads import ORDER, workload
-from repro.mlsim.simulator import simulate_models
+from repro.bench.grid import ALL_PRESETS, BENCH_CONFIGS, bench_specs
+from repro.bench.runner import run_bench
+from repro.bench.schema import artifact_filename
+
+__all__ = ["BENCH_CONFIGS", "OUTPUT_DIR", "write_artifact"]
 
 OUTPUT_DIR = Path(__file__).parent / "output"
-
-#: Benchmark-scale configuration per application row.
-BENCH_CONFIGS = {
-    "EP": dict(num_cells=64, log2_pairs=16),
-    "CG": dict(num_cells=16, n=1400, outer=15, inner=25),
-    "FT": dict(num_cells=16, shape=(64, 64, 64), iters=6),
-    "SP": dict(num_cells=32, shape=(64, 64, 64), iters=10),
-    "TC st": dict(num_cells=16, n=257, iters=10, use_stride=True),
-    "TC no st": dict(num_cells=16, n=257, iters=10, use_stride=False),
-    "MatMul": dict(num_cells=64, n=800),
-    "SCG": dict(num_cells=64, m=200),
-}
+CACHE_DIR = Path(__file__).parent / ".trace_cache"
 
 
 def write_artifact(name: str, text: str) -> Path:
@@ -54,16 +56,21 @@ def write_artifact(name: str, text: str) -> Path:
 def evaluation():
     """Functional runs + three-model comparisons for every row.
 
-    Built once per session (roughly a minute of functional simulation and
-    timing replay); every benchmark and shape assertion shares it.
+    Built once per session through the bench runner (roughly a minute
+    of functional simulation and timing replay on a cold cache; seconds
+    when the trace cache is warm); every benchmark and shape assertion
+    shares it.
     """
-    runs = {}
-    comparisons = {}
-    for name in ORDER:
-        cfg = dict(BENCH_CONFIGS[name])
-        cells = cfg.pop("num_cells")
-        run = workload(name).runner(num_cells=cells, **cfg)
+    outcome = run_bench(
+        bench_specs(),
+        ALL_PRESETS,
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache_dir=CACHE_DIR,
+        use_cache=os.environ.get("REPRO_BENCH_CACHE", "1") != "0",
+        grid_name="bench",
+    )
+    for name, run in outcome.runs.items():
         assert run.verified, f"{name} failed verification: {run.checks}"
-        runs[name] = run
-        comparisons[name] = simulate_models(run.trace)
-    return runs, comparisons
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    outcome.artifact.save(OUTPUT_DIR / artifact_filename())
+    return outcome.runs, outcome.comparisons

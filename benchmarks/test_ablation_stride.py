@@ -11,8 +11,6 @@ import pytest
 from conftest import write_artifact
 from repro.apps import ft, tomcatv
 from repro.core.errors import TraceBufferOverflowError
-from repro.mlsim.params import ap1000_fast_params, ap1000_plus_params
-from repro.mlsim.simulator import simulate
 
 
 @pytest.fixture(scope="module")

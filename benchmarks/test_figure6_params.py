@@ -4,7 +4,6 @@ Regenerates both machine models' parameter files in the paper's format
 and benchmarks the parser.
 """
 
-import pytest
 
 from conftest import write_artifact
 from repro.mlsim.params import (

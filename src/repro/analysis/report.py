@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis import paper_data
 from repro.analysis.figures import figure7_text, figure8_bars, render_figure8
 from repro.analysis.tables import (
     format_table2,
@@ -19,16 +18,23 @@ from repro.analysis.tables import (
     table2_rows,
     table3_rows,
 )
-from repro.apps.base import AppRun
-from repro.apps.workloads import ORDER, run_all
+from repro.apps.workloads import ORDER
+from repro.bench.grid import ALL_PRESETS, workload_specs
+from repro.bench.runner import run_bench
 from repro.mlsim.simulator import ModelComparison, simulate_models
 
 
 @dataclass
 class ExperimentReport:
-    """Everything the evaluation section produces."""
+    """Everything the evaluation section produces.
 
-    runs: dict[str, AppRun]
+    ``runs`` maps application name to a run record — a real
+    ``repro.apps.base.AppRun`` or the cache-backed equivalent the bench
+    runner returns (same ``verified``/``checks``/``statistics``/
+    ``trace`` surface).
+    """
+
+    runs: dict[str, object]
     comparisons: dict[str, ModelComparison] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -76,10 +82,23 @@ class ExperimentReport:
 
 
 def run_experiments(*, paper_scale: bool = False,
-                    names: tuple[str, ...] = ORDER) -> ExperimentReport:
-    """Run the full evaluation pipeline."""
-    runs = run_all(paper_scale=paper_scale, names=names)
-    return ExperimentReport(runs=runs)
+                    names: tuple[str, ...] = ORDER,
+                    jobs: int = 1) -> ExperimentReport:
+    """Run the full evaluation pipeline.
+
+    The sweep goes through the bench runner (``repro.bench.runner``), so
+    ``jobs`` > 1 fans the functional runs and MLSim replays out across
+    worker processes; the resulting tables are identical either way.
+    """
+    outcome = run_bench(
+        workload_specs(paper_scale=paper_scale, names=names),
+        ALL_PRESETS,
+        jobs=jobs,
+        use_cache=False,
+        grid_name="paper" if paper_scale else "default",
+    )
+    return ExperimentReport(runs=outcome.runs,
+                            comparisons=outcome.comparisons)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
@@ -92,9 +111,11 @@ def main() -> None:  # pragma: no cover - CLI convenience
                              "(slow: minutes of pure-Python simulation)")
     parser.add_argument("--apps", nargs="*", default=list(ORDER),
                         help="subset of workloads to run")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep")
     args = parser.parse_args()
     report = run_experiments(paper_scale=args.paper_scale,
-                             names=tuple(args.apps))
+                             names=tuple(args.apps), jobs=args.jobs)
     print(report.render())
 
 

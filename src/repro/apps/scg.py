@@ -68,7 +68,6 @@ def program(ctx, *, m: int = DEFAULT_M, tol: float = TOL,
     dist = BlockDistribution(m, p_cells)
     rlo, rhi = dist.part_range(ctx.pe)
     rows = rhi - rlo
-    max_rows = dist.local_size(0)
 
     b = make_rhs(m)[rlo:rhi] / 4.0     # scaled right-hand side
     u = np.zeros((rows, m)) if rows else np.zeros((0, m))

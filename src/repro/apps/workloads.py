@@ -16,7 +16,7 @@ the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.apps import cg, ep, ft, matmul, scg, sp, tomcatv

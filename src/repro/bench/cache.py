@@ -1,0 +1,182 @@
+"""On-disk cache of functional-run traces.
+
+A functional run is the expensive half of the paper's methodology
+(minutes of pure-Python SPMD simulation); the MLSim replay is cheap.
+The cache stores each recorded trace once, keyed by a content hash of
+``(app, config, code version)``, so a sweep re-run — or a replay under a
+new parameter file — skips the functional stage entirely.  The code
+version is a digest of every ``repro`` source file, so any change to the
+simulator, runtime, or applications invalidates every entry.
+
+Layout: ``<root>/<key>/meta.json`` (provenance, verification checks,
+Table 3 statistics) plus ``<root>/<key>/trace.jsonl`` (the recorded
+trace in the ``repro.trace.io`` format).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import AppStatistics
+
+META_NAME = "meta.json"
+TRACE_NAME = "trace.jsonl"
+
+#: Default cache location, shared by `repro bench` and the pytest
+#: benchmark harness.
+DEFAULT_CACHE_DIR = Path("benchmarks") / ".trace_cache"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every Python source file in the ``repro`` package.
+
+    Any edit to the machine, runtime, MLSim, or an application changes
+    the recorded traces, so it must invalidate the cache.
+    """
+    pkg_root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(pkg_root.rglob("*.py")):
+        digest.update(str(path.relative_to(pkg_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def jsonify(value: Any) -> Any:
+    """Coerce a value into plain JSON types (tuples become lists, numpy
+    scalars become Python scalars)."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def cache_key(app: str, config: dict[str, Any], version: str) -> str:
+    """Content hash identifying one functional run."""
+    payload = json.dumps(
+        {"app": app, "config": jsonify(config), "code": version},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass
+class CachedRun:
+    """A functional run restored from (or just written to) the cache.
+
+    Duck-types the slice of :class:`repro.apps.base.AppRun` that the
+    analysis layer consumes: ``name``, ``verified``, ``checks``,
+    ``statistics``, and ``trace`` (loaded lazily from disk).
+    """
+
+    name: str
+    config: dict[str, Any]
+    verified: bool
+    checks: dict[str, Any]
+    statistics: AppStatistics
+    total_events: int
+    functional_wall_s: float
+    cache_hit: bool
+    trace_path: Path
+    _trace: TraceBuffer | None = None
+
+    @property
+    def trace(self) -> TraceBuffer:
+        if self._trace is None:
+            self._trace = load_trace(self.trace_path)
+        return self._trace
+
+
+class TraceCache:
+    """Content-addressed store of recorded traces."""
+
+    def __init__(self, root: str | Path, version: str | None = None):
+        self.root = Path(root)
+        self.version = version if version is not None else code_version()
+
+    def key(self, app: str, config: dict[str, Any]) -> str:
+        return cache_key(app, config, self.version)
+
+    def entry_dir(self, app: str, config: dict[str, Any]) -> Path:
+        return self.root / self.key(app, config)
+
+    def get(self, app: str, config: dict[str, Any]) -> CachedRun | None:
+        """The cached run for ``(app, config)`` at the current code
+        version, or None."""
+        entry = self.entry_dir(app, config)
+        meta_path = entry / META_NAME
+        trace_path = entry / TRACE_NAME
+        if not (meta_path.exists() and trace_path.exists()):
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return CachedRun(
+            name=meta["app"],
+            config=meta["config"],
+            verified=meta["verified"],
+            checks=meta["checks"],
+            statistics=AppStatistics(**meta["statistics"]),
+            total_events=meta["total_events"],
+            functional_wall_s=meta["functional_wall_s"],
+            cache_hit=True,
+            trace_path=trace_path,
+        )
+
+    def put(
+        self,
+        app: str,
+        config: dict[str, Any],
+        run,
+        functional_wall_s: float,
+    ) -> CachedRun:
+        """Store a completed functional run (an ``AppRun``); returns the
+        cache-backed record."""
+        entry = self.entry_dir(app, config)
+        entry.mkdir(parents=True, exist_ok=True)
+        trace_path = entry / TRACE_NAME
+        save_trace(run.trace, trace_path)
+        stats = run.statistics
+        meta = {
+            "app": app,
+            "config": jsonify(config),
+            "code_version": self.version,
+            "created_utc": datetime.now(timezone.utc).isoformat(),
+            "verified": bool(run.verified),
+            "checks": jsonify(run.checks),
+            "statistics": asdict(stats),
+            "total_events": run.trace.total_events,
+            "functional_wall_s": functional_wall_s,
+        }
+        (entry / META_NAME).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return CachedRun(
+            name=app,
+            config=meta["config"],
+            verified=meta["verified"],
+            checks=meta["checks"],
+            statistics=stats,
+            total_events=meta["total_events"],
+            functional_wall_s=functional_wall_s,
+            cache_hit=False,
+            trace_path=trace_path,
+        )

@@ -1,0 +1,176 @@
+"""Regression comparison between two benchmark artifacts.
+
+``repro bench compare CURRENT --baseline BASELINE`` guards two things:
+
+* **Simulated metrics** — elapsed microseconds per (application,
+  preset) and the Table 2 speedups.  These are deterministic functions
+  of the trace and the parameter file, so any drift beyond tolerance is
+  a functional change in the simulator, runtime, or an application.
+* **Wall-clock timings** (opt-in via ``--wall-tolerance``) — the real
+  cost of the functional and replay stages.  Noisy across hosts, so
+  the committed baseline is compared on simulated metrics only and CI
+  perf gates should pass a generous wall tolerance if any.
+
+A regression is a *worse* result beyond tolerance: slower simulated
+time, lower speedup, longer wall clock.  Improvements never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.schema import BenchArtifact
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared quantity."""
+
+    label: str
+    baseline: float
+    current: float
+    change_pct: float
+    tolerance_pct: float
+    regressed: bool
+
+    def render(self) -> str:
+        flag = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.label:<44} {self.baseline:>14.4f} "
+            f"{self.current:>14.4f} {self.change_pct:>+8.2f}%  {flag}"
+        )
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a current artifact against a baseline."""
+
+    deltas: list[Delta]
+    errors: list[str]
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions and not self.errors
+
+    def render(self) -> str:
+        header = (
+            f"{'metric':<44} {'baseline':>14} {'current':>14} {'change':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        lines += [d.render() for d in self.deltas]
+        lines += [f"ERROR: {e}" for e in self.errors]
+        lines.append(
+            f"{len(self.deltas)} metrics compared, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.errors)} error(s)"
+        )
+        return "\n".join(lines)
+
+
+def _delta(
+    label: str,
+    baseline: float,
+    current: float,
+    tolerance_pct: float,
+    *,
+    higher_is_better: bool,
+) -> Delta:
+    if baseline == 0:
+        change = 0.0 if current == 0 else float("inf")
+    else:
+        change = 100.0 * (current - baseline) / baseline
+    worse = -change if higher_is_better else change
+    return Delta(
+        label=label,
+        baseline=baseline,
+        current=current,
+        change_pct=change,
+        tolerance_pct=tolerance_pct,
+        regressed=worse > tolerance_pct,
+    )
+
+
+def compare_artifacts(
+    current: BenchArtifact,
+    baseline: BenchArtifact,
+    *,
+    tolerance_pct: float = 5.0,
+    wall_tolerance_pct: float | None = None,
+) -> Comparison:
+    """Compare ``current`` against ``baseline``.
+
+    Every (application, preset) pair of the baseline must be present
+    and verified in the current artifact; simulated elapsed time and
+    speedups are held to ``tolerance_pct``.  Wall-clock stage times are
+    only compared when ``wall_tolerance_pct`` is given.
+    """
+    deltas: list[Delta] = []
+    errors: list[str] = []
+    for app in baseline.app_order:
+        base_app = baseline.apps[app]
+        cur_app = current.apps.get(app)
+        if cur_app is None:
+            errors.append(f"{app}: missing from current artifact")
+            continue
+        if not cur_app.verified:
+            errors.append(f"{app}: functional verification failed")
+        for preset in baseline.preset_names:
+            base_metrics = base_app.presets.get(preset)
+            if base_metrics is None:
+                continue
+            cur_metrics = cur_app.presets.get(preset)
+            if cur_metrics is None:
+                errors.append(f"{app}/{preset}: missing from current")
+                continue
+            deltas.append(
+                _delta(
+                    f"{app} / {preset} elapsed_us",
+                    base_metrics.elapsed_us,
+                    cur_metrics.elapsed_us,
+                    tolerance_pct,
+                    higher_is_better=False,
+                )
+            )
+        for preset, speedup in base_app.speedups_vs_ap1000.items():
+            cur_speedup = cur_app.speedups_vs_ap1000.get(preset)
+            if cur_speedup is None:
+                errors.append(f"{app}/{preset}: missing speedup in current")
+                continue
+            deltas.append(
+                _delta(
+                    f"{app} / {preset} speedup",
+                    speedup,
+                    cur_speedup,
+                    tolerance_pct,
+                    higher_is_better=True,
+                )
+            )
+    if wall_tolerance_pct is not None:
+        base_stage = baseline.run.get("stage_wall_s", {})
+        cur_stage = current.run.get("stage_wall_s", {})
+        for stage in ("functional", "replay"):
+            if stage in base_stage and stage in cur_stage:
+                deltas.append(
+                    _delta(
+                        f"wall / {stage}_s",
+                        base_stage[stage],
+                        cur_stage[stage],
+                        wall_tolerance_pct,
+                        higher_is_better=False,
+                    )
+                )
+        if "wall_s" in baseline.run and "wall_s" in current.run:
+            deltas.append(
+                _delta(
+                    "wall / total_s",
+                    baseline.run["wall_s"],
+                    current.run["wall_s"],
+                    wall_tolerance_pct,
+                    higher_is_better=False,
+                )
+            )
+    return Comparison(deltas=deltas, errors=errors)

@@ -1,0 +1,381 @@
+"""Parallel experiment runner for the (application x preset) grid.
+
+The paper's methodology — record each application's trace once on the
+functional machine, then replay it through MLSim under many parameter
+files — is embarrassingly parallel in both stages, and the functional
+stage dominates (minutes of pure-Python SPMD simulation versus
+milliseconds of replay).  The runner fans both stages out across worker
+processes:
+
+1. **Functional stage** — one task per :class:`BenchSpec`; each worker
+   runs the application, verifies it numerically, and writes the trace
+   into the on-disk cache (:mod:`repro.bench.cache`).  Cache hits skip
+   the run entirely.
+2. **Replay stage** — one task per (application, preset); scheduled as
+   soon as that application's functional task finishes, so replay of a
+   fast app overlaps the functional run of a slow one.
+
+With ``jobs=1`` everything runs in-process (no worker pool, and no
+trace spooling unless the cache is enabled).  Both paths assemble
+results in grid order, so they produce byte-identical artifact
+``results`` sections (see :func:`repro.bench.schema.results_bytes`).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import repro
+from repro.bench.cache import (
+    DEFAULT_CACHE_DIR,
+    CachedRun,
+    TraceCache,
+    code_version,
+    jsonify,
+)
+from repro.bench.grid import ALL_PRESETS, BenchSpec
+from repro.bench.schema import (
+    AppResult,
+    AppTimings,
+    BenchArtifact,
+    PresetMetrics,
+)
+from repro.core.errors import ConfigurationError
+from repro.mlsim.breakdown import MLSimResult
+from repro.mlsim.params import preset as load_preset
+from repro.mlsim.simulator import ModelComparison, simulate
+from repro.trace.io import load_trace
+
+BASELINE_PRESET = "ap1000"
+
+
+@dataclass
+class _AppStage:
+    """Accumulated state of one application row while the grid runs."""
+
+    run: Any  # AppRun or CachedRun
+    total_events: int
+    functional_s: float
+    cache_hit: bool
+    replays: dict[str, MLSimResult] = field(default_factory=dict)
+    replay_s: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BenchOutcome:
+    """Everything one sweep produced, in memory.
+
+    ``runs`` duck-types ``repro.apps.base.AppRun`` far enough for the
+    analysis layer (``name``/``verified``/``checks``/``statistics``/
+    ``trace``); entries are real ``AppRun`` objects on the serial
+    cache-miss path and :class:`CachedRun` records otherwise.
+    """
+
+    artifact: BenchArtifact
+    runs: dict[str, Any] = field(default_factory=dict)
+    replays: dict[str, dict[str, MLSimResult]] = field(default_factory=dict)
+
+    @property
+    def all_verified(self) -> bool:
+        return self.artifact.all_verified
+
+    @property
+    def comparisons(self) -> dict[str, ModelComparison]:
+        """Three-model comparisons per app (requires the full preset
+        set to have been replayed)."""
+        out = {}
+        for app, by_preset in self.replays.items():
+            if all(p in by_preset for p in ALL_PRESETS):
+                out[app] = ModelComparison(
+                    ap1000=by_preset["ap1000"],
+                    ap1000_fast=by_preset["ap1000-fast"],
+                    ap1000_plus=by_preset["ap1000+"],
+                )
+        return out
+
+
+def _functional_task(
+    spec: BenchSpec,
+    cache_root: str,
+    version: str,
+    reuse: bool,
+) -> CachedRun:
+    """Worker: ensure ``spec``'s trace is in the cache; return the
+    cache-backed record (never carries the in-memory trace)."""
+    cache = TraceCache(cache_root, version)
+    if reuse:
+        hit = cache.get(spec.app, spec.config())
+        if hit is not None:
+            return hit
+    start = time.perf_counter()
+    run = spec.run()
+    wall = time.perf_counter() - start
+    return cache.put(spec.app, spec.config(), run, wall)
+
+
+def _replay_task(
+    app: str,
+    trace_path: str,
+    preset_name: str,
+) -> tuple[str, str, MLSimResult, float]:
+    """Worker: replay one cached trace under one preset."""
+    start = time.perf_counter()
+    trace = load_trace(trace_path)
+    result = simulate(trace, load_preset(preset_name))
+    return app, preset_name, result, time.perf_counter() - start
+
+
+def _environment() -> dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "repro_version": getattr(repro, "__version__", "unknown"),
+        "code_version": code_version(),
+    }
+
+
+def _speedups(by_preset: dict[str, MLSimResult]) -> dict[str, float]:
+    base = by_preset.get(BASELINE_PRESET)
+    if base is None:
+        return {}
+    return {
+        name: result.speedup_over(base) for name, result in by_preset.items()
+    }
+
+
+def _run_serial(
+    specs: list[BenchSpec],
+    preset_names: tuple[str, ...],
+    cache: TraceCache | None,
+    log: Callable[[str], None],
+) -> dict[str, _AppStage]:
+    stages: dict[str, _AppStage] = {}
+    for i, spec in enumerate(specs, start=1):
+        record: Any = cache.get(spec.app, spec.config()) if cache else None
+        if record is not None:
+            stage = _AppStage(
+                run=record,
+                total_events=record.total_events,
+                functional_s=record.functional_wall_s,
+                cache_hit=True,
+            )
+            log(
+                f"[{i}/{len(specs)}] {spec.app}: functional run cached "
+                f"({record.total_events} events)"
+            )
+        else:
+            start = time.perf_counter()
+            run = spec.run()
+            wall = time.perf_counter() - start
+            if cache is not None:
+                # Store before replaying: replays coalesce the trace.
+                cache.put(spec.app, spec.config(), run, wall)
+            stage = _AppStage(
+                run=run,
+                total_events=run.trace.total_events,
+                functional_s=wall,
+                cache_hit=False,
+            )
+            log(
+                f"[{i}/{len(specs)}] {spec.app}: functional run "
+                f"{wall:.2f}s ({run.trace.total_events} events)"
+            )
+        for preset_name in preset_names:
+            start = time.perf_counter()
+            result = simulate(stage.run.trace, load_preset(preset_name))
+            stage.replays[preset_name] = result
+            stage.replay_s[preset_name] = time.perf_counter() - start
+        stages[spec.app] = stage
+    return stages
+
+
+def _run_parallel(
+    specs: list[BenchSpec],
+    preset_names: tuple[str, ...],
+    jobs: int,
+    cache_root: Path,
+    version: str,
+    reuse_cache: bool,
+    log: Callable[[str], None],
+) -> dict[str, _AppStage]:
+    stages: dict[str, _AppStage] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        functional = {
+            pool.submit(
+                _functional_task,
+                spec,
+                str(cache_root),
+                version,
+                reuse_cache,
+            ): spec
+            for spec in specs
+        }
+        pending = set(functional)
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                spec = functional.get(fut)
+                if spec is not None:
+                    record = fut.result()
+                    stages[spec.app] = _AppStage(
+                        run=record,
+                        total_events=record.total_events,
+                        functional_s=record.functional_wall_s,
+                        cache_hit=record.cache_hit,
+                    )
+                    done_count += 1
+                    state = (
+                        "cached"
+                        if record.cache_hit
+                        else f"{record.functional_wall_s:.2f}s"
+                    )
+                    log(
+                        f"[{done_count}/{len(specs)}] {spec.app}: "
+                        f"functional {state} "
+                        f"({record.total_events} events)"
+                    )
+                    for preset_name in preset_names:
+                        pending.add(
+                            pool.submit(
+                                _replay_task,
+                                spec.app,
+                                str(record.trace_path),
+                                preset_name,
+                            )
+                        )
+                else:
+                    app, preset_name, result, wall = fut.result()
+                    stages[app].replays[preset_name] = result
+                    stages[app].replay_s[preset_name] = wall
+    return stages
+
+
+def _assemble(
+    specs: list[BenchSpec],
+    preset_names: tuple[str, ...],
+    grid_name: str,
+    stages: dict[str, _AppStage],
+    run_info: dict[str, Any],
+) -> BenchArtifact:
+    apps: dict[str, AppResult] = {}
+    timings: dict[str, AppTimings] = {}
+    for spec in specs:
+        stage = stages[spec.app]
+        apps[spec.app] = AppResult(
+            app=spec.app,
+            config=jsonify(spec.config()),
+            verified=bool(stage.run.verified),
+            checks=jsonify(stage.run.checks),
+            statistics=jsonify(asdict(stage.run.statistics)),
+            total_events=stage.total_events,
+            presets={
+                p: PresetMetrics.from_result(stage.replays[p])
+                for p in preset_names
+            },
+            speedups_vs_ap1000=_speedups(stage.replays),
+        )
+        timings[spec.app] = AppTimings(
+            functional_s=stage.functional_s,
+            cache_hit=stage.cache_hit,
+            replay_s=dict(stage.replay_s),
+        )
+    return BenchArtifact(
+        grid=grid_name,
+        preset_names=list(preset_names),
+        app_order=[s.app for s in specs],
+        apps=apps,
+        timings=timings,
+        environment=_environment(),
+        run=run_info,
+    )
+
+
+def run_bench(
+    specs: list[BenchSpec],
+    preset_names: tuple[str, ...] = ALL_PRESETS,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    grid_name: str = "custom",
+    log: Callable[[str], None] | None = None,
+) -> BenchOutcome:
+    """Run the (``specs`` x ``preset_names``) grid; return the outcome.
+
+    ``jobs`` > 1 fans both stages out across that many worker
+    processes.  ``use_cache=False`` ignores existing cache entries and
+    leaves none behind (parallel runs then spool traces through a
+    temporary directory, since worker processes can only hand traces
+    back through disk).
+    """
+    if jobs < 1:
+        raise ConfigurationError("--jobs must be at least 1")
+    if len({s.app for s in specs}) != len(specs):
+        raise ConfigurationError("duplicate application in benchmark grid")
+    log = log or (lambda message: None)
+    cache_root = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
+    version = code_version()
+    start = time.perf_counter()
+    spool: tempfile.TemporaryDirectory | None = None
+    try:
+        if jobs == 1:
+            cache = TraceCache(cache_root, version) if use_cache else None
+            stages = _run_serial(specs, preset_names, cache, log)
+        else:
+            if not use_cache:
+                spool = tempfile.TemporaryDirectory(prefix="repro-bench-")
+                cache_root = Path(spool.name)
+            stages = _run_parallel(
+                specs,
+                preset_names,
+                jobs,
+                cache_root,
+                version,
+                use_cache,
+                log,
+            )
+            if spool is not None:
+                # The spool dir dies with this call, so pull every
+                # trace into memory while the files still exist.
+                for stage in stages.values():
+                    stage.run.trace
+    finally:
+        if spool is not None:
+            spool.cleanup()
+    wall_s = time.perf_counter() - start
+    run_info = {
+        "jobs": jobs,
+        "wall_s": wall_s,
+        "stage_wall_s": {
+            "functional": sum(s.functional_s for s in stages.values()),
+            "replay": sum(
+                wall
+                for stage in stages.values()
+                for wall in stage.replay_s.values()
+            ),
+        },
+        "cache": {
+            "enabled": use_cache,
+            "hits": sum(1 for s in stages.values() if s.cache_hit),
+            "misses": sum(1 for s in stages.values() if not s.cache_hit),
+        },
+        "argv": list(sys.argv),
+    }
+    artifact = _assemble(specs, preset_names, grid_name, stages, run_info)
+    return BenchOutcome(
+        artifact=artifact,
+        runs={app: stage.run for app, stage in stages.items()},
+        replays={app: dict(stage.replays) for app, stage in stages.items()},
+    )

@@ -1,0 +1,188 @@
+"""Machine-readable benchmark artifact (``BENCH_<timestamp>.json``).
+
+One artifact captures a whole sweep: per-application simulated metrics
+under every parameter preset (the Table 2 / Figure 8 numbers), Table 3
+trace statistics, functional-verification outcomes, real wall-clock
+timings per stage, and environment metadata.
+
+The artifact splits into a deterministic half and a measured half:
+
+* ``results`` — simulated metrics only.  These depend on the trace and
+  the parameter file, never on the host, so serial and parallel runs of
+  the same grid produce *byte-identical* ``results`` sections
+  (:func:`results_bytes` canonicalizes them for comparison).
+* ``run`` / ``timings`` / ``environment`` — wall-clock measurements and
+  provenance, different on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.mlsim.breakdown import MLSimResult
+
+SCHEMA_NAME = "repro-bench-v1"
+
+
+@dataclass(frozen=True)
+class PresetMetrics:
+    """Simulated metrics of one (application, preset) replay."""
+
+    elapsed_us: float
+    mean_execution_us: float
+    mean_rtsys_us: float
+    mean_overhead_us: float
+    mean_idle_us: float
+    messages: int
+    bytes_on_wire: int
+
+    @classmethod
+    def from_result(cls, result: MLSimResult) -> "PresetMetrics":
+        return cls(
+            elapsed_us=result.elapsed_us,
+            mean_execution_us=result.mean_execution,
+            mean_rtsys_us=result.mean_rtsys,
+            mean_overhead_us=result.mean_overhead,
+            mean_idle_us=result.mean_idle,
+            messages=result.messages,
+            bytes_on_wire=result.bytes_on_wire,
+        )
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """Deterministic outcome of one application row of the grid."""
+
+    app: str
+    config: dict[str, Any]
+    verified: bool
+    checks: dict[str, Any]
+    statistics: dict[str, Any]
+    total_events: int
+    presets: dict[str, PresetMetrics]
+    #: Table 2 numbers: ``ap1000.elapsed / preset.elapsed`` for every
+    #: replayed preset (present only when "ap1000" is in the grid).
+    speedups_vs_ap1000: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AppTimings:
+    """Real wall-clock cost of one application row."""
+
+    functional_s: float
+    cache_hit: bool
+    replay_s: dict[str, float]
+
+
+@dataclass
+class BenchArtifact:
+    """Everything one ``repro bench run`` produced."""
+
+    grid: str
+    preset_names: list[str]
+    app_order: list[str]
+    apps: dict[str, AppResult]
+    timings: dict[str, AppTimings]
+    environment: dict[str, Any]
+    run: dict[str, Any]
+    created_utc: str = ""
+    schema: str = SCHEMA_NAME
+
+    def __post_init__(self) -> None:
+        if not self.created_utc:
+            self.created_utc = datetime.now(timezone.utc).isoformat()
+
+    @property
+    def all_verified(self) -> bool:
+        return all(a.verified for a in self.apps.values())
+
+    def results(self) -> dict[str, Any]:
+        """The deterministic section (simulated metrics only)."""
+        return {
+            "preset_names": list(self.preset_names),
+            "app_order": list(self.app_order),
+            "apps": {name: asdict(a) for name, a in self.apps.items()},
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "created_utc": self.created_utc,
+            "grid": self.grid,
+            "environment": self.environment,
+            "run": self.run,
+            "results": self.results(),
+            "timings": {name: asdict(t) for name, t in self.timings.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchArtifact":
+        if data.get("schema") != SCHEMA_NAME:
+            raise ConfigurationError(
+                f"unrecognized benchmark artifact schema "
+                f"{data.get('schema')!r} (expected {SCHEMA_NAME!r})"
+            )
+        results = data["results"]
+        apps = {}
+        for name, a in results["apps"].items():
+            apps[name] = AppResult(
+                app=a["app"],
+                config=a["config"],
+                verified=a["verified"],
+                checks=a["checks"],
+                statistics=a["statistics"],
+                total_events=a["total_events"],
+                presets={
+                    p: PresetMetrics(**m) for p, m in a["presets"].items()
+                },
+                speedups_vs_ap1000=a.get("speedups_vs_ap1000", {}),
+            )
+        timings = {
+            name: AppTimings(**t)
+            for name, t in data.get("timings", {}).items()
+        }
+        return cls(
+            grid=data["grid"],
+            preset_names=list(results["preset_names"]),
+            app_order=list(results["app_order"]),
+            apps=apps,
+            timings=timings,
+            environment=data.get("environment", {}),
+            run=data.get("run", {}),
+            created_utc=data.get("created_utc", ""),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchArtifact":
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def results_bytes(artifact: BenchArtifact) -> bytes:
+    """Canonical encoding of the deterministic section.
+
+    Serial and parallel runs of the same grid at the same code version
+    must produce identical bytes here — the runner's contract.
+    """
+    return json.dumps(artifact.results(), sort_keys=True).encode()
+
+
+def artifact_filename(now: datetime | None = None) -> str:
+    """``BENCH_<UTC timestamp>.json``."""
+    now = now or datetime.now(timezone.utc)
+    return f"BENCH_{now.strftime('%Y%m%dT%H%M%SZ')}.json"

@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli replay cg.jsonl --params my_model.params
     python -m repro.cli params ap1000
     python -m repro.cli report [--paper-scale] [--apps EP MatMul ...]
+    python -m repro.cli bench run [--smoke] [--jobs 4]
+    python -m repro.cli bench compare BENCH_x.json --baseline base.json
     python -m repro.cli list
 
 The ``run``/``replay`` split mirrors the paper's methodology: traces are
@@ -26,7 +28,7 @@ from repro.apps.workloads import ORDER, workload
 from repro.mlsim.params import PRESETS, format_params, parse_params, preset
 from repro.mlsim.simulator import simulate, simulate_models
 from repro.trace.io import load_trace, save_trace
-from repro.trace.stats import collect_statistics, format_table3_row
+from repro.trace.stats import format_table3_row
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -92,7 +94,7 @@ def _cmd_params(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     report = run_experiments(paper_scale=args.paper_scale,
-                             names=tuple(args.apps))
+                             names=tuple(args.apps), jobs=args.jobs)
     if args.format == "markdown":
         from repro.analysis.markdown import report_markdown
         print(report_markdown(report))
@@ -106,6 +108,78 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if not all(c.passed for c in checks):
             return 1
     return 0 if report.all_verified else 1
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        ALL_PRESETS,
+        SMOKE_PRESETS,
+        artifact_filename,
+        bench_specs,
+        run_bench,
+        smoke_specs,
+    )
+
+    if args.smoke:
+        specs = smoke_specs()
+        preset_names = tuple(args.presets or SMOKE_PRESETS)
+        grid_name = "smoke"
+    else:
+        specs = bench_specs(tuple(args.apps) if args.apps else None)
+        preset_names = tuple(args.presets or ALL_PRESETS)
+        grid_name = "bench"
+    outcome = run_bench(
+        specs,
+        preset_names,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        grid_name=grid_name,
+        log=print,
+    )
+    artifact = outcome.artifact
+    for app in artifact.app_order:
+        result = artifact.apps[app]
+        status = "VERIFIED" if result.verified else "FAILED"
+        elapsed = "  ".join(
+            f"{p}={result.presets[p].elapsed_us:.1f}us"
+            for p in preset_names
+        )
+        print(f"{app:10s} {status:8s} {elapsed}")
+    print(
+        f"grid {grid_name}: {len(specs)} apps x {len(preset_names)} "
+        f"presets, jobs={args.jobs}, wall {artifact.run['wall_s']:.2f}s "
+        f"(functional {artifact.run['stage_wall_s']['functional']:.2f}s, "
+        f"replay {artifact.run['stage_wall_s']['replay']:.2f}s, "
+        f"cache hits {artifact.run['cache']['hits']})"
+    )
+    if args.output:
+        path = artifact.save(args.output)
+    else:
+        from pathlib import Path
+
+        path = artifact.save(Path(args.output_dir) / artifact_filename())
+    print(f"artifact written to {path}")
+    return 0 if artifact.all_verified else 1
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import BenchArtifact, compare_artifacts
+
+    current = BenchArtifact.load(args.current)
+    baseline = BenchArtifact.load(args.baseline)
+    comparison = compare_artifacts(
+        current,
+        baseline,
+        tolerance_pct=args.tolerance,
+        wall_tolerance_pct=args.wall_tolerance,
+    )
+    print(comparison.render())
+    if comparison.passed:
+        print(f"PASS: within {args.tolerance:g}% of baseline")
+        return 0
+    print(f"FAIL: regression(s) beyond {args.tolerance:g}% tolerance")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,7 +228,52 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("text", "markdown"))
     p_report.add_argument("--validate", action="store_true",
                           help="check the paper's qualitative results")
+    p_report.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the sweep")
     p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="parallel benchmark sweeps with JSON artifacts")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run the (application x preset) grid")
+    p_bench_run.add_argument("--apps", nargs="*", metavar="APP",
+                             choices=list(ORDER),
+                             help="subset of the benchmark grid")
+    p_bench_run.add_argument("--presets", nargs="*", metavar="PRESET",
+                             choices=sorted(PRESETS),
+                             help="parameter presets to replay under")
+    p_bench_run.add_argument("--smoke", action="store_true",
+                             help="small CI grid: EP + MatMul, 2 presets")
+    p_bench_run.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (default: 1, serial)")
+    p_bench_run.add_argument("--output", metavar="FILE",
+                             help="artifact path (default: "
+                                  "BENCH_<timestamp>.json)")
+    p_bench_run.add_argument("--output-dir", metavar="DIR", default=".",
+                             help="directory for the default artifact name")
+    p_bench_run.add_argument("--cache-dir", metavar="DIR", default=None,
+                             help="trace cache location (default: "
+                                  "benchmarks/.trace_cache)")
+    p_bench_run.add_argument("--no-cache", action="store_true",
+                             help="ignore and do not write the trace cache")
+    p_bench_run.set_defaults(func=_cmd_bench_run)
+
+    p_bench_cmp = bench_sub.add_parser(
+        "compare", help="compare an artifact against a baseline")
+    p_bench_cmp.add_argument("current", help="BENCH_*.json to check")
+    p_bench_cmp.add_argument("--baseline", required=True, metavar="FILE",
+                             help="baseline BENCH_*.json")
+    p_bench_cmp.add_argument("--tolerance", type=float, default=5.0,
+                             metavar="PCT",
+                             help="allowed simulated-metric drift "
+                                  "(default: 5%%)")
+    p_bench_cmp.add_argument("--wall-tolerance", type=float, default=None,
+                             metavar="PCT",
+                             help="also gate wall-clock stage times "
+                                  "(off by default: noisy across hosts)")
+    p_bench_cmp.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

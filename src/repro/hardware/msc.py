@@ -23,7 +23,7 @@ processor involvement (section 4.1):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import CommunicationError, PageFaultError
 from repro.hardware.cache import WriteThroughCache

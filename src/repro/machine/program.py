@@ -29,7 +29,7 @@ from repro.core.stride import ElementStride
 from repro.hardware.mc import NO_FLAG
 from repro.hardware.msc import Command, CommandKind
 from repro.machine.config import SPARC_US_PER_FLOP
-from repro.network.packet import Packet, StrideSpec
+from repro.network.packet import StrideSpec
 from repro.trace.events import EventKind, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover

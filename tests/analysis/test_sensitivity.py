@@ -9,7 +9,7 @@ from repro.analysis.sensitivity import (
     sweep_parameter,
     sweepable_parameters,
 )
-from repro.apps import cg, matmul, scg
+from repro.apps import cg, matmul
 from repro.core.errors import ConfigurationError
 from repro.mlsim.params import ap1000_plus_params
 

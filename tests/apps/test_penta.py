@@ -116,7 +116,6 @@ class TestDistributedBlocks:
         rhs = rng.standard_normal((n, 2))
         coeffs = precompute(BANDS, n)
         seq_red = eliminate_rhs(coeffs, rhs)
-        boundary = None
         parts = []
         carry = [np.zeros(2), np.zeros(2)]
         for i in range(n):

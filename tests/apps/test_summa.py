@@ -1,6 +1,5 @@
 """Tests for SUMMA: 2-D partitioning with group collectives."""
 
-import numpy as np
 import pytest
 
 from repro.apps import matmul, summa

@@ -1,0 +1,37 @@
+"""Shared fixtures for the bench subsystem tests.
+
+A tiny two-app grid (a few hundred milliseconds of functional
+simulation) exercises the whole runner pipeline without the cost of the
+real benchmark grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.grid import BenchSpec
+from repro.bench.runner import run_bench
+
+TINY_SPECS = [
+    BenchSpec(app="EP", num_cells=4, params={"log2_pairs": 8}),
+    BenchSpec(app="MatMul", num_cells=4, params={"n": 40}),
+]
+
+TINY_PRESETS = ("ap1000", "ap1000+")
+
+
+@pytest.fixture(scope="session")
+def tiny_outcome():
+    """One serial, uncached run of the tiny grid."""
+    return run_bench(
+        TINY_SPECS,
+        TINY_PRESETS,
+        jobs=1,
+        use_cache=False,
+        grid_name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_artifact(tiny_outcome):
+    return tiny_outcome.artifact

@@ -1,0 +1,81 @@
+"""Trace cache: hits, misses, and code-version invalidation."""
+
+from __future__ import annotations
+
+from repro.apps.workloads import workload
+from repro.bench.cache import TraceCache, cache_key, code_version
+from repro.mlsim.params import ap1000_plus_params
+from repro.mlsim.simulator import simulate
+
+CONFIG = {"num_cells": 4, "n": 40}
+
+
+def _matmul_run():
+    return workload("MatMul").runner(num_cells=4, n=40)
+
+
+class TestKey:
+    def test_key_depends_on_every_component(self):
+        base = cache_key("MatMul", CONFIG, "v1")
+        assert cache_key("EP", CONFIG, "v1") != base
+        assert cache_key("MatMul", {**CONFIG, "n": 41}, "v1") != base
+        assert cache_key("MatMul", CONFIG, "v2") != base
+
+    def test_key_ignores_dict_ordering(self):
+        flipped = {"n": 40, "num_cells": 4}
+        assert cache_key("MatMul", CONFIG, "v1") == cache_key(
+            "MatMul", flipped, "v1"
+        )
+
+    def test_code_version_is_stable_sha(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+
+
+class TestStore:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = TraceCache(tmp_path, "v1")
+        assert cache.get("MatMul", CONFIG) is None
+
+    def test_hit_after_put(self, tmp_path):
+        cache = TraceCache(tmp_path, "v1")
+        run = _matmul_run()
+        stored = cache.put("MatMul", CONFIG, run, 0.5)
+        assert stored.cache_hit is False
+
+        hit = cache.get("MatMul", CONFIG)
+        assert hit is not None
+        assert hit.cache_hit is True
+        assert hit.verified is True
+        assert hit.total_events == run.trace.total_events
+        assert hit.functional_wall_s == 0.5
+        assert hit.statistics == run.statistics
+
+    def test_hit_replays_identically(self, tmp_path):
+        cache = TraceCache(tmp_path, "v1")
+        run = _matmul_run()
+        cache.put("MatMul", CONFIG, run, 0.0)
+        hit = cache.get("MatMul", CONFIG)
+        fresh = simulate(run.trace, ap1000_plus_params())
+        cached = simulate(hit.trace, ap1000_plus_params())
+        assert cached.elapsed_us == fresh.elapsed_us
+        assert cached.messages == fresh.messages
+        assert cached.bytes_on_wire == fresh.bytes_on_wire
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        old = TraceCache(tmp_path, "v1")
+        old.put("MatMul", CONFIG, _matmul_run(), 0.0)
+        assert old.get("MatMul", CONFIG) is not None
+        assert TraceCache(tmp_path, "v2").get("MatMul", CONFIG) is None
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = TraceCache(tmp_path, "v1")
+        cache.put("MatMul", CONFIG, _matmul_run(), 0.0)
+        assert cache.get("MatMul", {**CONFIG, "n": 48}) is None
+
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path, "v1")
+        cache.put("MatMul", CONFIG, _matmul_run(), 0.0)
+        meta = cache.entry_dir("MatMul", CONFIG) / "meta.json"
+        meta.write_text("{not json", encoding="utf-8")
+        assert cache.get("MatMul", CONFIG) is None

@@ -1,0 +1,124 @@
+"""Regression comparison: pass/fail thresholds, direction, errors."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.compare import compare_artifacts
+from repro.bench.schema import BenchArtifact
+
+
+def _mutated(artifact, mutate):
+    """Deep-copy ``artifact`` through its dict form and apply
+    ``mutate`` to the raw dict."""
+    data = json.loads(json.dumps(artifact.to_dict()))
+    mutate(data)
+    return BenchArtifact.from_dict(data)
+
+
+def _scale_elapsed(app, preset, factor):
+    def mutate(data):
+        metrics = data["results"]["apps"][app]["presets"][preset]
+        metrics["elapsed_us"] *= factor
+
+    return mutate
+
+
+class TestPass:
+    def test_identical_artifacts_pass(self, tiny_artifact):
+        cmp = compare_artifacts(tiny_artifact, tiny_artifact)
+        assert cmp.passed
+        assert not cmp.regressions
+        assert not cmp.errors
+
+    def test_drift_within_tolerance_passes(self, tiny_artifact):
+        current = _mutated(
+            tiny_artifact, _scale_elapsed("MatMul", "ap1000+", 1.04)
+        )
+        cmp = compare_artifacts(
+            current, tiny_artifact, tolerance_pct=5.0
+        )
+        assert cmp.passed
+
+    def test_improvement_never_fails(self, tiny_artifact):
+        current = _mutated(
+            tiny_artifact, _scale_elapsed("MatMul", "ap1000+", 0.5)
+        )
+
+        def faster_speedup(data):
+            speedups = data["results"]["apps"]["MatMul"][
+                "speedups_vs_ap1000"
+            ]
+            speedups["ap1000+"] *= 2.0
+
+        current = _mutated(current, faster_speedup)
+        assert compare_artifacts(current, tiny_artifact).passed
+
+
+class TestFail:
+    def test_elapsed_regression_beyond_tolerance(self, tiny_artifact):
+        current = _mutated(
+            tiny_artifact, _scale_elapsed("MatMul", "ap1000+", 1.10)
+        )
+        cmp = compare_artifacts(
+            current, tiny_artifact, tolerance_pct=5.0
+        )
+        assert not cmp.passed
+        (bad,) = cmp.regressions
+        assert bad.label == "MatMul / ap1000+ elapsed_us"
+
+    def test_speedup_drop_is_a_regression(self, tiny_artifact):
+        def slower(data):
+            speedups = data["results"]["apps"]["EP"]["speedups_vs_ap1000"]
+            speedups["ap1000+"] *= 0.8
+
+        current = _mutated(tiny_artifact, slower)
+        cmp = compare_artifacts(
+            current, tiny_artifact, tolerance_pct=5.0
+        )
+        assert not cmp.passed
+        assert any("speedup" in d.label for d in cmp.regressions)
+
+    def test_missing_app_is_an_error(self, tiny_artifact):
+        def drop(data):
+            del data["results"]["apps"]["EP"]
+            data["results"]["app_order"].remove("EP")
+
+        current = _mutated(tiny_artifact, drop)
+        cmp = compare_artifacts(current, tiny_artifact)
+        assert not cmp.passed
+        assert any("missing" in e for e in cmp.errors)
+
+    def test_failed_verification_is_an_error(self, tiny_artifact):
+        def unverify(data):
+            data["results"]["apps"]["EP"]["verified"] = False
+
+        current = _mutated(tiny_artifact, unverify)
+        cmp = compare_artifacts(current, tiny_artifact)
+        assert not cmp.passed
+        assert any("verification" in e for e in cmp.errors)
+
+
+class TestWallClock:
+    def test_wall_ignored_by_default(self, tiny_artifact):
+        def slow_wall(data):
+            data["run"]["stage_wall_s"]["functional"] *= 100.0
+
+        current = _mutated(tiny_artifact, slow_wall)
+        assert compare_artifacts(current, tiny_artifact).passed
+
+    def test_wall_gated_when_tolerance_given(self, tiny_artifact):
+        def slow_wall(data):
+            data["run"]["stage_wall_s"]["functional"] *= 100.0
+
+        current = _mutated(tiny_artifact, slow_wall)
+        cmp = compare_artifacts(
+            current, tiny_artifact, wall_tolerance_pct=50.0
+        )
+        assert not cmp.passed
+        assert any("wall" in d.label for d in cmp.regressions)
+
+    def test_render_mentions_every_metric(self, tiny_artifact):
+        text = compare_artifacts(tiny_artifact, tiny_artifact).render()
+        assert "EP / ap1000+ elapsed_us" in text
+        assert "regression(s)" in text

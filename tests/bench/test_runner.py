@@ -1,0 +1,153 @@
+"""Runner: grids, serial/parallel equivalence, cache integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workloads import ORDER
+from repro.bench.grid import (
+    ALL_PRESETS,
+    BENCH_CONFIGS,
+    BenchSpec,
+    bench_specs,
+    smoke_specs,
+    workload_specs,
+)
+from repro.bench.runner import run_bench
+from repro.bench.schema import results_bytes
+from repro.core.errors import ConfigurationError
+
+from .conftest import TINY_PRESETS, TINY_SPECS
+
+
+class TestGrids:
+    def test_bench_grid_covers_every_row(self):
+        assert [s.app for s in bench_specs()] == list(ORDER)
+        for spec in bench_specs():
+            assert spec.config() == BENCH_CONFIGS[spec.app]
+
+    def test_bench_grid_subset_keeps_paper_order(self):
+        specs = bench_specs(("MatMul", "EP"))
+        assert [s.app for s in specs] == ["EP", "MatMul"]
+
+    def test_bench_grid_rejects_unknown_app(self):
+        with pytest.raises(ConfigurationError):
+            bench_specs(("LU",))
+
+    def test_smoke_grid_is_two_small_apps(self):
+        specs = smoke_specs()
+        assert [s.app for s in specs] == ["EP", "MatMul"]
+        assert all(s.num_cells <= 16 for s in specs)
+
+    def test_workload_specs_match_registry_defaults(self):
+        by_app = {s.app: s for s in workload_specs()}
+        assert by_app["CG"].params["n"] > 0
+        assert by_app["EP"].num_cells > 0
+
+
+class TestRunner:
+    def test_outcome_shape(self, tiny_outcome):
+        assert set(tiny_outcome.runs) == {"EP", "MatMul"}
+        assert set(tiny_outcome.replays["EP"]) == set(TINY_PRESETS)
+        assert tiny_outcome.all_verified
+
+    def test_runs_duck_type_app_runs(self, tiny_outcome):
+        run = tiny_outcome.runs["MatMul"]
+        assert run.verified
+        assert run.statistics.num_pes == 4
+        assert run.trace.total_events > 0
+
+    def test_comparisons_need_all_three_presets(self, tiny_outcome):
+        # The tiny grid replays only two presets.
+        assert tiny_outcome.comparisons == {}
+
+    def test_full_preset_set_builds_comparisons(self, tmp_path):
+        outcome = run_bench(
+            TINY_SPECS[:1],
+            ALL_PRESETS,
+            cache_dir=tmp_path,
+            grid_name="tiny",
+        )
+        (comparison,) = outcome.comparisons.values()
+        plus, fast = comparison.table2_row()
+        assert plus >= fast > 1.0
+
+    def test_rejects_bad_jobs_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            run_bench(TINY_SPECS, TINY_PRESETS, jobs=0)
+        with pytest.raises(ConfigurationError):
+            run_bench(TINY_SPECS + TINY_SPECS, TINY_PRESETS)
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_results_byte_identical(
+        self, tiny_outcome, tmp_path
+    ):
+        parallel = run_bench(
+            TINY_SPECS,
+            TINY_PRESETS,
+            jobs=2,
+            cache_dir=tmp_path,
+            use_cache=False,
+            grid_name="tiny",
+        )
+        assert results_bytes(parallel.artifact) == results_bytes(
+            tiny_outcome.artifact
+        )
+        assert parallel.artifact.run["jobs"] == 2
+
+    def test_cached_rerun_byte_identical_and_hits(
+        self, tiny_outcome, tmp_path
+    ):
+        first = run_bench(
+            TINY_SPECS,
+            TINY_PRESETS,
+            cache_dir=tmp_path,
+            grid_name="tiny",
+        )
+        assert first.artifact.run["cache"] == {
+            "enabled": True,
+            "hits": 0,
+            "misses": 2,
+        }
+        second = run_bench(
+            TINY_SPECS,
+            TINY_PRESETS,
+            cache_dir=tmp_path,
+            grid_name="tiny",
+        )
+        assert second.artifact.run["cache"]["hits"] == 2
+        assert results_bytes(second.artifact) == results_bytes(
+            first.artifact
+        )
+        assert results_bytes(first.artifact) == results_bytes(
+            tiny_outcome.artifact
+        )
+        for app in ("EP", "MatMul"):
+            assert second.artifact.timings[app].cache_hit is True
+
+    def test_parallel_populates_cache_for_serial(self, tmp_path):
+        parallel = run_bench(
+            TINY_SPECS,
+            TINY_PRESETS,
+            jobs=2,
+            cache_dir=tmp_path,
+            grid_name="tiny",
+        )
+        serial = run_bench(
+            TINY_SPECS,
+            TINY_PRESETS,
+            jobs=1,
+            cache_dir=tmp_path,
+            grid_name="tiny",
+        )
+        assert serial.artifact.run["cache"]["hits"] == 2
+        assert results_bytes(serial.artifact) == results_bytes(
+            parallel.artifact
+        )
+
+
+class TestGridSpec:
+    def test_spec_config_includes_cells(self):
+        spec = BenchSpec(app="EP", num_cells=8, params={"log2_pairs": 9})
+        assert spec.config() == {"num_cells": 8, "log2_pairs": 9}

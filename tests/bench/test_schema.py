@@ -1,0 +1,86 @@
+"""Artifact schema: structure, round-trip, canonical results bytes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_NAME,
+    BenchArtifact,
+    artifact_filename,
+    results_bytes,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestStructure:
+    def test_top_level_sections(self, tiny_artifact):
+        data = tiny_artifact.to_dict()
+        assert data["schema"] == SCHEMA_NAME
+        assert set(data) == {
+            "schema",
+            "created_utc",
+            "grid",
+            "environment",
+            "run",
+            "results",
+            "timings",
+        }
+
+    def test_results_carry_simulated_metrics(self, tiny_artifact):
+        results = tiny_artifact.to_dict()["results"]
+        assert results["app_order"] == ["EP", "MatMul"]
+        ep = results["apps"]["EP"]
+        assert ep["verified"] is True
+        metrics = ep["presets"]["ap1000+"]
+        assert metrics["elapsed_us"] > 0
+        assert metrics["messages"] >= 0
+        assert ep["speedups_vs_ap1000"]["ap1000+"] > 1.0
+
+    def test_statistics_match_table3_columns(self, tiny_artifact):
+        stats = tiny_artifact.apps["MatMul"].statistics
+        assert stats["num_pes"] == 4
+        assert stats["put_per_pe"] > 0
+
+    def test_run_records_jobs_and_wall_clock(self, tiny_artifact):
+        assert tiny_artifact.run["jobs"] == 1
+        assert tiny_artifact.run["wall_s"] > 0
+        stage = tiny_artifact.run["stage_wall_s"]
+        assert stage["functional"] > 0
+        assert stage["replay"] > 0
+
+    def test_environment_metadata(self, tiny_artifact):
+        env = tiny_artifact.environment
+        assert env["python"]
+        assert env["repro_version"]
+        assert len(env["code_version"]) == 64
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_results(self, tiny_artifact):
+        clone = BenchArtifact.from_dict(
+            json.loads(json.dumps(tiny_artifact.to_dict()))
+        )
+        assert results_bytes(clone) == results_bytes(tiny_artifact)
+        assert clone.run == tiny_artifact.run
+        assert clone.timings == tiny_artifact.timings
+
+    def test_save_load_round_trip(self, tiny_artifact, tmp_path):
+        path = tiny_artifact.save(tmp_path / "BENCH_test.json")
+        loaded = BenchArtifact.load(path)
+        assert results_bytes(loaded) == results_bytes(tiny_artifact)
+        assert loaded.created_utc == tiny_artifact.created_utc
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchArtifact.from_dict({"schema": "not-a-bench-artifact"})
+
+
+class TestFilename:
+    def test_timestamped_name(self):
+        from datetime import datetime, timezone
+
+        when = datetime(2026, 8, 6, 12, 30, 0, tzinfo=timezone.utc)
+        assert artifact_filename(when) == "BENCH_20260806T123000Z.json"

@@ -28,7 +28,6 @@ class TestHardwareCountersDuringApps:
     def test_scg_uses_ring_buffers(self):
         run = scg.run(num_cells=4, m=24)
         machine = run.machine
-        interior_rings = machine.rings[:-1]   # last cell has no downstream
         assert any(r.deposits > 0 for r in machine.rings)
         assert all(r.bytes_buffered == 0 for r in machine.rings)  # drained
 

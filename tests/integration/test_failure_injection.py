@@ -1,7 +1,6 @@
 """Failure-injection tests: the machine's fault paths under real
 application-style loads."""
 
-import numpy as np
 import pytest
 
 from repro.core.errors import (

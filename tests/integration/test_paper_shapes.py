@@ -9,7 +9,6 @@ import pytest
 
 from repro.apps.workloads import run_all
 from repro.mlsim.simulator import simulate_models
-from repro.trace.events import EventKind
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.lang.directives import (
-    Fragment,
     MoveWait,
     SpreadMove,
     execute_fragment,

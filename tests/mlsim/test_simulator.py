@@ -1,6 +1,5 @@
 """Integration tests: functional run -> trace -> three-model replay."""
 
-import numpy as np
 import pytest
 
 from repro.machine.config import MachineConfig

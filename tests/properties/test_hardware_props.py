@@ -1,7 +1,6 @@
 """Property-based tests on the hardware models."""
 
-import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hardware.cache import WriteThroughCache

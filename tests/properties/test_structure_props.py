@@ -1,8 +1,6 @@
 """Property-based tests on core data structures and invariants."""
 
-import numpy as np
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hardware.memory import CellMemory

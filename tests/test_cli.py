@@ -96,3 +96,72 @@ class TestReport:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "ALL PASSED" in out
+
+    def test_parallel_report_matches_serial(self, capsys):
+        assert main(["report", "--apps", "EP", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["report", "--apps", "EP"]) == 0
+        assert capsys.readouterr().out == parallel
+
+
+class TestBench:
+    @pytest.fixture
+    def smoke_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_smoke.json"
+        code = main(["bench", "run", "--smoke", "--no-cache",
+                     "--output", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        return path
+
+    def test_smoke_run_writes_artifact(self, smoke_artifact, capsys):
+        import json
+        data = json.loads(smoke_artifact.read_text(encoding="utf-8"))
+        assert data["schema"] == "repro-bench-v1"
+        assert data["grid"] == "smoke"
+        assert set(data["results"]["apps"]) == {"EP", "MatMul"}
+        assert data["run"]["jobs"] == 1
+
+    def test_run_reports_summary(self, tmp_path, capsys):
+        assert main(["bench", "run", "--smoke", "--no-cache",
+                     "--output", str(tmp_path / "b.json")]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "artifact written to" in out
+
+    def test_default_output_is_timestamped(self, tmp_path, capsys):
+        assert main(["bench", "run", "--smoke", "--no-cache",
+                     "--output-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        (artifact,) = tmp_path.glob("BENCH_*.json")
+        assert artifact.stat().st_size > 0
+
+    def test_run_uses_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        for _ in range(2):
+            assert main(["bench", "run", "--smoke",
+                         "--cache-dir", str(cache),
+                         "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+
+    def test_compare_passes_against_itself(self, smoke_artifact, capsys):
+        assert main(["bench", "compare", str(smoke_artifact),
+                     "--baseline", str(smoke_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_compare_fails_on_injected_regression(
+            self, smoke_artifact, tmp_path, capsys):
+        import json
+        data = json.loads(smoke_artifact.read_text(encoding="utf-8"))
+        metrics = data["results"]["apps"]["MatMul"]["presets"]["ap1000+"]
+        metrics["elapsed_us"] *= 1.5
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(data), encoding="utf-8")
+        assert main(["bench", "compare", str(regressed),
+                     "--baseline", str(smoke_artifact),
+                     "--tolerance", "5"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL" in out

@@ -1,6 +1,5 @@
 """Unit tests for Table 3 statistics extraction."""
 
-import pytest
 
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import EventKind, TraceEvent
