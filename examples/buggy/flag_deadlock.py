@@ -1,0 +1,43 @@
+"""Seeded bug: a flag wait whose target no transfer ever reaches.
+
+Cell 0 waits for two increments of its receive flag, but only one PUT
+(from cell 1) ever targets it.  On hardware the program hangs in the
+MOVEWAIT spin loop; the functional machine raises its own deadlock
+error; the checker pinpoints the wait with ``FLAG-DEADLOCK`` and the
+exact increment shortfall.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.core.errors import DeadlockError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+NAME = "flag_deadlock"
+CELLS = 2
+EXPECT = {"FLAG-DEADLOCK"}
+
+
+def program(ctx):
+    buf = ctx.alloc(8)
+    src = ctx.alloc(8)
+    src.data[:] = float(ctx.pe)
+    flag = ctx.alloc_flag()
+    yield from ctx.barrier()
+    if ctx.pe == 1:
+        ctx.put(0, buf, src, recv_flag=flag)
+    if ctx.pe == 0:
+        # BUG: only one PUT increments this flag, so target 2 is
+        # unreachable.
+        yield from ctx.flag_wait(flag, 2)
+
+
+def build_trace():
+    machine = Machine(MachineConfig(
+        num_cells=CELLS, memory_per_cell=1 << 20, sanitize=True))
+    # The deadlock is the point of the fixture.
+    with contextlib.suppress(DeadlockError):
+        machine.run(program)
+    return machine.trace

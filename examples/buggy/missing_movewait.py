@@ -1,0 +1,43 @@
+"""Seeded bug: WRITE MOVE without the MOVEWAIT that completes it.
+
+Every cell scatters its own values over the *same* global range with
+the VPP run-time's ``write_move_block`` and then immediately reads the
+array — no ``movewait`` anywhere.  Two bugs in one:
+
+* the concurrent acked PUTs from different cells land on the owner's
+  block unordered (``RACE-PUT-PUT``, caught dynamically), and
+* the read of ``g`` before any ``movewait`` is visible statically
+  (``SPMD001``), so the lint flags it without running the program.
+"""
+
+from __future__ import annotations
+
+from repro.lang.runtime import VPPRuntime
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+NAME = "missing_movewait"
+CELLS = 4
+EXPECT = {"RACE-PUT-PUT", "SPMD001"}
+
+N = 32  # global extent; cell 0 owns the first N // CELLS elements
+
+
+def program(ctx):
+    rt = VPPRuntime(ctx)
+    g = rt.global_array((N,))
+    mine = ctx.alloc(8)
+    mine.data[:] = float(ctx.pe + 1)
+    yield from ctx.barrier()
+    # BUG: every cell writes g[0:8] (owned by cell 0) concurrently ...
+    rt.write_move_block(mine, g, 0, 8)
+    # BUG: ... and reads the array back with no movewait in between.
+    checksum = float(g.block.data.sum())
+    return checksum
+
+
+def build_trace():
+    machine = Machine(MachineConfig(
+        num_cells=CELLS, memory_per_cell=1 << 20, sanitize=True))
+    machine.run(program)
+    return machine.trace

@@ -1,0 +1,41 @@
+"""Seeded bug: unordered one-sided accesses to overlapping bytes.
+
+Cells 1 and 2 both PUT eight doubles into the *same* range of cell 0's
+buffer with no flag wait between them (``RACE-PUT-PUT``), and cell 3
+GETs that range back while the PUTs are still in flight
+(``RACE-PUT-GET``).  The trailing barrier does **not** save this
+program: under the Ack & Barrier model a barrier alone proves nothing
+about PUT arrival — that is the whole reason MOVEWAIT exists.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+NAME = "racing_puts"
+CELLS = 4
+EXPECT = {"RACE-PUT-PUT", "RACE-PUT-GET"}
+
+
+def program(ctx):
+    victim = ctx.alloc(16)
+    scratch = ctx.alloc(16)
+    scratch.data[:] = float(ctx.pe)
+    flag = ctx.alloc_flag()
+    yield from ctx.barrier()
+    if ctx.pe in (1, 2):
+        # BUG: both cells write victim[0:8] on cell 0; neither waits.
+        ctx.put(0, victim, scratch, count=8, recv_flag=flag)
+    if ctx.pe == 3:
+        # BUG: reads the bytes the PUTs are concurrently writing.
+        ctx.get(0, victim, scratch, count=8, recv_flag=flag)
+        yield from ctx.flag_wait(flag, 1)
+    yield from ctx.barrier()
+
+
+def build_trace():
+    machine = Machine(MachineConfig(
+        num_cells=CELLS, memory_per_cell=1 << 20, sanitize=True))
+    machine.run(program)
+    return machine.trace

@@ -13,7 +13,7 @@ can see *which* qualitative result it broke.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import table2_rows

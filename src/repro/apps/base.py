@@ -19,7 +19,8 @@ absolute durations.  EXPERIMENTS.md records the scaling for each app.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.errors import ConfigurationError
 from repro.machine.config import MachineConfig

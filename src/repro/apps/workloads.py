@@ -17,7 +17,8 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.apps import cg, ep, ft, matmul, scg, sp, tomcatv
 from repro.apps.base import AppRun

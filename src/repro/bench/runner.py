@@ -31,7 +31,8 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import repro
 from repro.bench.cache import (
@@ -52,6 +53,7 @@ from repro.core.errors import ConfigurationError
 from repro.mlsim.breakdown import MLSimResult
 from repro.mlsim.params import preset as load_preset
 from repro.mlsim.simulator import ModelComparison, simulate
+from repro.trace import sanitize as trace_sanitize
 from repro.trace.io import load_trace
 
 BASELINE_PRESET = "ap1000"
@@ -82,10 +84,18 @@ class BenchOutcome:
     artifact: BenchArtifact
     runs: dict[str, Any] = field(default_factory=dict)
     replays: dict[str, dict[str, MLSimResult]] = field(default_factory=dict)
+    #: Per-app ``repro.check`` reports (``check=True`` runs only).
+    check_reports: dict[str, Any] = field(default_factory=dict)
 
     @property
     def all_verified(self) -> bool:
         return self.artifact.all_verified
+
+    @property
+    def all_check_clean(self) -> bool:
+        """True when the check stage ran and found nothing (vacuously
+        true when it did not run)."""
+        return all(r.clean for r in self.check_reports.values())
 
     @property
     def comparisons(self) -> dict[str, ModelComparison]:
@@ -116,7 +126,10 @@ def _functional_task(
         if hit is not None:
             return hit
     start = time.perf_counter()
-    run = spec.run()
+    # Record with footprint annotations so the cached trace also serves
+    # `repro check` and the --check stage (replays ignore the fields).
+    with trace_sanitize.enabled():
+        run = spec.run()
     wall = time.perf_counter() - start
     return cache.put(spec.app, spec.config(), run, wall)
 
@@ -176,7 +189,8 @@ def _run_serial(
             )
         else:
             start = time.perf_counter()
-            run = spec.run()
+            with trace_sanitize.enabled():
+                run = spec.run()
             wall = time.perf_counter() - start
             if cache is not None:
                 # Store before replaying: replays coalesce the trace.
@@ -268,11 +282,13 @@ def _assemble(
     grid_name: str,
     stages: dict[str, _AppStage],
     run_info: dict[str, Any],
+    check_reports: dict[str, Any] | None = None,
 ) -> BenchArtifact:
     apps: dict[str, AppResult] = {}
     timings: dict[str, AppTimings] = {}
     for spec in specs:
         stage = stages[spec.app]
+        report = (check_reports or {}).get(spec.app)
         apps[spec.app] = AppResult(
             app=spec.app,
             config=jsonify(spec.config()),
@@ -285,6 +301,7 @@ def _assemble(
                 for p in preset_names
             },
             speedups_vs_ap1000=_speedups(stage.replays),
+            check=report.to_dict() if report is not None else None,
         )
         timings[spec.app] = AppTimings(
             functional_s=stage.functional_s,
@@ -311,6 +328,7 @@ def run_bench(
     use_cache: bool = True,
     grid_name: str = "custom",
     log: Callable[[str], None] | None = None,
+    check: bool = False,
 ) -> BenchOutcome:
     """Run the (``specs`` x ``preset_names``) grid; return the outcome.
 
@@ -318,7 +336,10 @@ def run_bench(
     processes.  ``use_cache=False`` ignores existing cache entries and
     leaves none behind (parallel runs then spool traces through a
     temporary directory, since worker processes can only hand traces
-    back through disk).
+    back through disk).  ``check=True`` adds a third stage: the
+    race/synchronization checker over every recorded trace (reports
+    land in each row's ``check`` field; they are deterministic, so
+    serial and parallel runs still produce identical results sections).
     """
     if jobs < 1:
         raise ConfigurationError("--jobs must be at least 1")
@@ -354,18 +375,38 @@ def run_bench(
     finally:
         if spool is not None:
             spool.cleanup()
+    check_reports: dict[str, Any] = {}
+    check_wall = 0.0
+    if check:
+        # Deferred import: repro.check.runner imports repro.bench.cache,
+        # so a top-level import here would cycle during package init.
+        from repro.check.runner import check_trace
+
+        check_start = time.perf_counter()
+        for spec in specs:
+            report = check_trace(stages[spec.app].run.trace, spec.app)
+            check_reports[spec.app] = report
+            log(
+                f"check {spec.app}: "
+                + ("clean" if report.clean
+                   else f"{len(report.diagnostics)} diagnostic(s)")
+            )
+        check_wall = time.perf_counter() - check_start
     wall_s = time.perf_counter() - start
+    stage_wall_s = {
+        "functional": sum(s.functional_s for s in stages.values()),
+        "replay": sum(
+            wall
+            for stage in stages.values()
+            for wall in stage.replay_s.values()
+        ),
+    }
+    if check:
+        stage_wall_s["check"] = check_wall
     run_info = {
         "jobs": jobs,
         "wall_s": wall_s,
-        "stage_wall_s": {
-            "functional": sum(s.functional_s for s in stages.values()),
-            "replay": sum(
-                wall
-                for stage in stages.values()
-                for wall in stage.replay_s.values()
-            ),
-        },
+        "stage_wall_s": stage_wall_s,
         "cache": {
             "enabled": use_cache,
             "hits": sum(1 for s in stages.values() if s.cache_hit),
@@ -373,9 +414,11 @@ def run_bench(
         },
         "argv": list(sys.argv),
     }
-    artifact = _assemble(specs, preset_names, grid_name, stages, run_info)
+    artifact = _assemble(specs, preset_names, grid_name, stages, run_info,
+                         check_reports)
     return BenchOutcome(
         artifact=artifact,
         runs={app: stage.run for app, stage in stages.items()},
         replays={app: dict(stage.replays) for app, stage in stages.items()},
+        check_reports=check_reports,
     )

@@ -68,6 +68,9 @@ class AppResult:
     #: Table 2 numbers: ``ap1000.elapsed / preset.elapsed`` for every
     #: replayed preset (present only when "ap1000" is in the grid).
     speedups_vs_ap1000: dict[str, float] = field(default_factory=dict)
+    #: ``repro.check`` report over this row's trace (``--check`` runs
+    #: only); deterministic, so it lives in the results section.
+    check: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -141,6 +144,7 @@ class BenchArtifact:
                     p: PresetMetrics(**m) for p, m in a["presets"].items()
                 },
                 speedups_vs_ap1000=a.get("speedups_vs_ap1000", {}),
+                check=a.get("check"),
             )
         timings = {
             name: AppTimings(**t)

@@ -1,0 +1,70 @@
+"""repro.check — one-sided race detector, synchronization sanitizer,
+and SPMD lint.
+
+Two cooperating analyses over the same diagnostic vocabulary:
+
+* the **dynamic checker** (:mod:`repro.check.hb`,
+  :mod:`repro.check.races`) replays a recorded trace, reconstructs the
+  happens-before order implied by barriers, reductions, flag waits, and
+  message pairs, and reports unordered conflicting PUT/GET footprints
+  plus synchronization defects (deadlocked waits, mismatched
+  collectives);
+* the **static lint** (:mod:`repro.check.lint`) walks application
+  source for SPMD API misuse that may only misbehave at other scales.
+
+Drive both through :mod:`repro.check.runner` or ``repro check``.
+"""
+
+from repro.check.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    CheckReport,
+    Diagnostic,
+    EventRef,
+    report_json,
+)
+from repro.check.hb import HBResult, build_happens_before, hb_report
+from repro.check.lint import lint_file, lint_paths, lint_source
+from repro.check.races import (
+    Access,
+    Footprint,
+    extract_accesses,
+    find_races,
+    race_report,
+)
+from repro.check.runner import (
+    check_app,
+    check_apps,
+    check_buggy,
+    check_trace,
+    default_lint_paths,
+    lint_report,
+    trace_is_annotated,
+)
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Access",
+    "CheckReport",
+    "Diagnostic",
+    "EventRef",
+    "Footprint",
+    "HBResult",
+    "build_happens_before",
+    "check_app",
+    "check_apps",
+    "check_buggy",
+    "check_trace",
+    "default_lint_paths",
+    "extract_accesses",
+    "find_races",
+    "hb_report",
+    "lint_file",
+    "lint_paths",
+    "lint_report",
+    "lint_source",
+    "race_report",
+    "report_json",
+    "trace_is_annotated",
+]

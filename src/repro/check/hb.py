@@ -1,0 +1,468 @@
+"""Happens-before over a trace, via vector clocks.
+
+The checker replays the recorded event streams through a small
+synchronization-only scheduler: per-PE stream pointers advance
+round-robin, and every blocking event blocks here too, until the events
+that would satisfy it at runtime have been processed.  Processing an
+event ticks its PE's vector clock; satisfying a wait joins in the clocks
+of the events that discharged it.  The resulting per-event clocks encode
+exactly the ordering the synchronization in the trace *guarantees* —
+PUT/GET delivery order contributes nothing, which is the point: MSC+
+promises no ordering beyond the combined flag update, so any conflict
+not ordered by these edges is a race on real hardware.
+
+Edges modeled:
+
+* **FLAG_WAIT** joins the clocks of the first ``target`` increments of
+  its flag instance in issue order.  (The functional machine pumps to
+  quiescence at every issue, so by the time a wait with target *t*
+  returns, at least the *t* earliest increments have been delivered —
+  the edge is sound and as strong as the trace supports.)  Flag ids are
+  machine-global, so an instance names both the owning cell and the slot.
+* **BARRIER** rendezvous: the k-th barrier of a group on each member
+  matches the k-th on every other; all members leave with the join of
+  all arrival clocks.
+* **GOP/VGOP** rendezvous like barriers.  The machine runs reductions of
+  a group through one shared per-member generation counter regardless of
+  kind, so the k-th reduction on one member matches the k-th on every
+  other — mixed GOP/VGOP kinds at one rendezvous are flagged.
+* **SEND -> RECV** by packet serial (``msg_id``).
+
+A replay that stalls is itself a finding: a wait whose flag instance
+never accumulates enough increments is a ``FLAG-DEADLOCK``, a rendezvous
+abandoned by a member that finished its program is a
+``BARRIER-MISMATCH``/``REDUCTION-MISMATCH``, and any remaining cycle is
+a ``SYNC-STALL``.  After reporting, the replay force-releases the lowest
+blocked cell and continues, so one bug does not hide the rest of the
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.flags import MAX_FLAGS_PER_PE
+from repro.trace.events import EventKind, TraceEvent
+from repro.check.diagnostics import (
+    SEVERITY_WARNING,
+    CheckReport,
+    Diagnostic,
+    EventRef,
+)
+
+#: (pe, index within that PE's event list) — the identity of one event.
+EventKey = tuple[int, int]
+
+_COLLECTIVES = (EventKind.BARRIER, EventKind.GOP, EventKind.VGOP)
+
+
+def describe_flag(iid: int) -> str:
+    """Human name of a global flag id: owning cell and slot."""
+    owner, slot = divmod(iid - 1, MAX_FLAGS_PER_PE)
+    return f"flag {slot} on cell {owner}"
+
+
+def _ref(ev: TraceEvent) -> EventRef:
+    return EventRef(pe=ev.pe, seq=ev.seq, kind=EventKind(ev.kind).name)
+
+
+@dataclass
+class _FlagBlock:
+    iid: int
+    target: int
+    need: list[EventKey]       # increments that must be processed first
+    satisfied: bool            # False when the trace can never reach target
+    ptr: int = 0               # how many of ``need`` are known processed
+
+
+@dataclass
+class _RecvBlock:
+    send_key: EventKey
+
+
+@dataclass
+class _CollectiveBlock:
+    rkey: tuple[str, int, int]  # (class, gid, occurrence)
+
+
+class HBResult:
+    """Per-event vector clocks plus the flag bookkeeping races.py needs."""
+
+    def __init__(
+        self,
+        num_pes: int,
+        events: list[list[TraceEvent]],
+        clock: list[list[tuple[int, ...]]],
+        diagnostics: list[Diagnostic],
+        increments: dict[int, list[EventKey]],
+        increment_index: dict[tuple[int, EventKey], int],
+        covering: dict[int, list[tuple[int, EventKey]]],
+    ) -> None:
+        self.num_pes = num_pes
+        self.events = events
+        self.clock = clock
+        self.diagnostics = diagnostics
+        self.flag_increments = increments
+        self._increment_index = increment_index
+        self._covering = covering
+
+    def event(self, key: EventKey) -> TraceEvent:
+        return self.events[key[0]][key[1]]
+
+    def happens_before(self, a: EventKey, b: EventKey) -> bool:
+        """True when event ``a`` is ordered strictly before ``b``."""
+        if a == b:
+            return False
+        return self.clock[b[0]][b[1]][a[0]] >= a[1] + 1
+
+    def concurrent(self, a: EventKey, b: EventKey) -> bool:
+        return (
+            a != b
+            and not self.happens_before(a, b)
+            and not self.happens_before(b, a)
+        )
+
+    def increment_index(self, iid: int, key: EventKey) -> int:
+        """1-based position of ``key`` among instance ``iid``'s increments."""
+        return self._increment_index[(iid, key)]
+
+    def covering_wait(self, iid: int, k: int) -> EventKey | None:
+        """The first satisfied wait on ``iid`` whose target covers the
+        k-th increment — the event that proves that increment's transfer
+        completed.  None when nothing ever waits that far."""
+        for target, key in self._covering.get(iid, []):
+            if target >= k:
+                return key
+        return None
+
+
+def build_happens_before(trace: Any) -> HBResult:
+    """Replay ``trace`` (a :class:`~repro.trace.buffer.TraceBuffer` or
+    anything duck-typing ``num_pes``/``events_for``/``groups``) and
+    return clocks plus any deadlock/mismatch diagnostics."""
+    return _Replay(trace).run()
+
+
+class _Replay:
+    def __init__(self, trace: Any) -> None:
+        self.num_pes: int = trace.num_pes
+        self.events: list[list[TraceEvent]] = [
+            trace.events_for(pe) for pe in range(self.num_pes)
+        ]
+        self.groups = trace.groups
+        n = self.num_pes
+        self.idx = [0] * n
+        self.vc: list[list[int]] = [[0] * n for _ in range(n)]
+        self.clock: list[list[tuple[int, ...]]] = [
+            [()] * len(evs) for evs in self.events
+        ]
+        self.blocked: list[Any] = [None] * n
+        self.diagnostics: list[Diagnostic] = []
+        # Flag increments per instance, in global issue order; and each
+        # increment's 1-based position within its instance.
+        self.increments: dict[int, list[EventKey]] = {}
+        self.inc_index: dict[tuple[int, EventKey], int] = {}
+        # SEND events by packet serial.
+        self.send_by_msg: dict[int, EventKey] = {}
+        ordered = sorted(
+            (
+                (ev.seq, pe, i)
+                for pe, evs in enumerate(self.events)
+                for i, ev in enumerate(evs)
+            ),
+        )
+        for _seq, pe, i in ordered:
+            ev = self.events[pe][i]
+            if ev.kind in (EventKind.PUT, EventKind.GET):
+                for iid in (ev.send_flag, ev.recv_flag):
+                    if iid:
+                        bucket = self.increments.setdefault(iid, [])
+                        bucket.append((pe, i))
+                        self.inc_index[(iid, (pe, i))] = len(bucket)
+            elif ev.kind is EventKind.SEND:
+                self.send_by_msg.setdefault(ev.msg_id, (pe, i))
+        # Collective occurrence counters per (class, gid) per PE, and
+        # open rendezvous: rkey -> {pe: (clock, event index, kind)}.
+        self.occ: list[dict[tuple[str, int], int]] = [{} for _ in range(n)]
+        self.arrivals: dict[
+            tuple[str, int, int],
+            dict[int, tuple[list[int], int, EventKind]],
+        ] = {}
+        # Satisfied waits per instance in program order: (target, key).
+        self.covering: dict[int, list[tuple[int, EventKey]]] = {}
+
+    # -- helpers -------------------------------------------------------
+
+    def _processed(self, key: EventKey) -> bool:
+        return key[1] < self.idx[key[0]]
+
+    def _join(self, pe: int, keys: list[EventKey]) -> None:
+        vc = self.vc[pe]
+        for kp, ki in keys:
+            other = self.clock[kp][ki]
+            for c in range(self.num_pes):
+                if other[c] > vc[c]:
+                    vc[c] = other[c]
+
+    def _finish(self, pe: int, i: int) -> None:
+        self.clock[pe][i] = tuple(self.vc[pe])
+        self.idx[pe] = i + 1
+        self.blocked[pe] = None
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self) -> HBResult:
+        while True:
+            progress = False
+            for pe in range(self.num_pes):
+                progress = self._advance(pe) or progress
+            if all(
+                self.blocked[pe] is None
+                and self.idx[pe] >= len(self.events[pe])
+                for pe in range(self.num_pes)
+            ):
+                break
+            if not progress:
+                self._resolve_stall()
+        return HBResult(
+            num_pes=self.num_pes,
+            events=self.events,
+            clock=self.clock,
+            diagnostics=self.diagnostics,
+            increments=self.increments,
+            increment_index=self.inc_index,
+            covering=self.covering,
+        )
+
+    def _advance(self, pe: int) -> bool:
+        made = False
+        while True:
+            blk = self.blocked[pe]
+            if blk is not None:
+                if not self._try_release(pe, blk):
+                    return made
+                made = True
+                continue
+            i = self.idx[pe]
+            if i >= len(self.events[pe]):
+                return made
+            state = self._process(pe, i, self.events[pe][i])
+            made = True
+            if state == "blocked":
+                return made
+
+    # -- event processing ----------------------------------------------
+
+    def _process(self, pe: int, i: int, ev: TraceEvent) -> str:
+        self.vc[pe][pe] += 1
+        kind = ev.kind
+        if kind is EventKind.FLAG_WAIT:
+            return self._process_wait(pe, i, ev)
+        if kind in _COLLECTIVES:
+            return self._process_collective(pe, i, ev)
+        if kind is EventKind.RECV:
+            return self._process_recv(pe, i, ev)
+        self._finish(pe, i)
+        return "done"
+
+    def _process_wait(self, pe: int, i: int, ev: TraceEvent) -> str:
+        iid, target = ev.flag, ev.target
+        if not iid or target <= 0:
+            self._finish(pe, i)
+            return "done"
+        incs = self.increments.get(iid, [])
+        satisfied = len(incs) >= target
+        if not satisfied:
+            self.diagnostics.append(Diagnostic(
+                code="FLAG-DEADLOCK",
+                message=(
+                    f"cell {pe} waits for {describe_flag(iid)} to reach "
+                    f"{target}, but the whole trace holds only "
+                    f"{len(incs)} increment(s) of it — this wait can "
+                    f"never be satisfied"
+                ),
+                events=(_ref(ev),),
+                home=pe,
+            ))
+        need = incs[: min(target, len(incs))]
+        block = _FlagBlock(iid=iid, target=target, need=need,
+                           satisfied=satisfied)
+        if self._flag_ready(block):
+            self._release_wait(pe, i, block)
+            return "done"
+        self.blocked[pe] = block
+        return "blocked"
+
+    def _flag_ready(self, block: _FlagBlock) -> bool:
+        while block.ptr < len(block.need):
+            if not self._processed(block.need[block.ptr]):
+                return False
+            block.ptr += 1
+        return True
+
+    def _release_wait(self, pe: int, i: int, block: _FlagBlock) -> None:
+        self._join(pe, block.need)
+        if block.satisfied:
+            self.covering.setdefault(block.iid, []).append(
+                (block.target, (pe, i))
+            )
+        self._finish(pe, i)
+
+    def _process_collective(self, pe: int, i: int, ev: TraceEvent) -> str:
+        cls = "barrier" if ev.kind is EventKind.BARRIER else "reduction"
+        gid = ev.group
+        occ = self.occ[pe].get((cls, gid), 0)
+        self.occ[pe][(cls, gid)] = occ + 1
+        rkey = (cls, gid, occ)
+        arrived = self.arrivals.setdefault(rkey, {})
+        arrived[pe] = (list(self.vc[pe]), i, EventKind(ev.kind))
+        members = self.groups.members(gid)
+        if len(arrived) == len(members):
+            self._complete_rendezvous(rkey)
+            return "done"
+        self.blocked[pe] = _CollectiveBlock(rkey=rkey)
+        return "blocked"
+
+    def _complete_rendezvous(self, rkey: tuple[str, int, int]) -> None:
+        arrived = self.arrivals.pop(rkey)
+        cls, gid, occ = rkey
+        kinds = {k for (_, _, k) in arrived.values()}
+        if cls == "reduction" and len(kinds) > 1:
+            refs = tuple(sorted(
+                (_ref(self.events[p][i]) for p, (_, i, _) in arrived.items()),
+                key=lambda r: r.seq,
+            ))
+            names = "/".join(sorted(k.name for k in kinds))
+            self.diagnostics.append(Diagnostic(
+                code="REDUCTION-MISMATCH",
+                message=(
+                    f"reduction #{occ} of group {gid} mixes collective "
+                    f"kinds ({names}): members disagree on the operation"
+                ),
+                events=refs,
+            ))
+        merged = [0] * self.num_pes
+        for clk, _i, _k in arrived.values():
+            for c in range(self.num_pes):
+                if clk[c] > merged[c]:
+                    merged[c] = clk[c]
+        for p, (_clk, i, _k) in arrived.items():
+            self.vc[p] = list(merged)
+            self.clock[p][i] = tuple(merged)
+            self.idx[p] = i + 1
+            self.blocked[p] = None
+
+    def _process_recv(self, pe: int, i: int, ev: TraceEvent) -> str:
+        key = self.send_by_msg.get(ev.msg_id)
+        if key is None:
+            self.diagnostics.append(Diagnostic(
+                code="UNMATCHED-RECV",
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"cell {pe} receives packet {ev.msg_id} but no SEND "
+                    f"with that serial exists in the trace"
+                ),
+                events=(_ref(ev),),
+            ))
+            self._finish(pe, i)
+            return "done"
+        if self._processed(key):
+            self._join(pe, [key])
+            self._finish(pe, i)
+            return "done"
+        self.blocked[pe] = _RecvBlock(send_key=key)
+        return "blocked"
+
+    def _try_release(self, pe: int, blk: Any) -> bool:
+        if isinstance(blk, _FlagBlock):
+            if self._flag_ready(blk):
+                self._release_wait(pe, self.idx[pe], blk)
+                return True
+            return False
+        if isinstance(blk, _RecvBlock):
+            if self._processed(blk.send_key):
+                self._join(pe, [blk.send_key])
+                self._finish(pe, self.idx[pe])
+                return True
+            return False
+        # Collectives are released by whoever completes the rendezvous.
+        return False
+
+    # -- stall handling ------------------------------------------------
+
+    def _resolve_stall(self) -> None:
+        """Nothing moved in a full pass: report why and force progress.
+
+        Definite failures (a rendezvous missing a member whose program
+        already finished) are reported as mismatches; anything else is a
+        synchronization cycle, reported on the lowest blocked cell.
+        Force-releasing one party guarantees the replay terminates and
+        keeps analyzing the rest of the trace.
+        """
+        for pe in range(self.num_pes):
+            blk = self.blocked[pe]
+            if not isinstance(blk, _CollectiveBlock):
+                continue
+            cls, gid, occ = blk.rkey
+            arrived = self.arrivals.get(blk.rkey, {})
+            members = self.groups.members(gid)
+            finished = [
+                m for m in members
+                if m not in arrived
+                and self.blocked[m] is None
+                and self.idx[m] >= len(self.events[m])
+            ]
+            if finished:
+                refs = tuple(sorted(
+                    (_ref(self.events[p][i])
+                     for p, (_, i, _) in arrived.items()),
+                    key=lambda r: r.seq,
+                ))
+                code = ("BARRIER-MISMATCH" if cls == "barrier"
+                        else "REDUCTION-MISMATCH")
+                self.diagnostics.append(Diagnostic(
+                    code=code,
+                    message=(
+                        f"cells {sorted(arrived)} reach {cls} #{occ} of "
+                        f"group {gid}, but cells {sorted(finished)} "
+                        f"finish their programs without it — group "
+                        f"members disagree on the collective sequence"
+                    ),
+                    events=refs,
+                ))
+                self._complete_rendezvous(blk.rkey)
+                return
+        for pe in range(self.num_pes):
+            blk = self.blocked[pe]
+            if blk is None:
+                continue
+            i = self.idx[pe]
+            ev = self.events[pe][i]
+            self.diagnostics.append(Diagnostic(
+                code="SYNC-STALL",
+                message=(
+                    f"cell {pe} blocks at {EventKind(ev.kind).name} "
+                    f"(seq {ev.seq}) inside a synchronization cycle: no "
+                    f"cell can make progress"
+                ),
+                events=(_ref(ev),),
+            ))
+            if isinstance(blk, _FlagBlock):
+                done = [k for k in blk.need if self._processed(k)]
+                self._join(pe, done)
+                self._finish(pe, i)
+            elif isinstance(blk, _RecvBlock):
+                self._finish(pe, i)
+            elif isinstance(blk, _CollectiveBlock):
+                self._complete_rendezvous(blk.rkey)
+            return
+        raise AssertionError("stall with no blocked cell")  # pragma: no cover
+
+
+def hb_report(trace: Any, subject: str) -> tuple[HBResult, CheckReport]:
+    """Convenience: build happens-before and wrap its diagnostics."""
+    hb = build_happens_before(trace)
+    report = CheckReport(subject=subject)
+    report.extend(hb.diagnostics)
+    return hb, report

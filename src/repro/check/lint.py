@@ -1,0 +1,460 @@
+"""Static SPMD lint over application and example sources.
+
+The dynamic checker sees one execution; these AST rules catch API misuse
+patterns that may only misbehave at other scales or timings.  All rules
+are heuristics over names (``ctx``/``rt`` receivers are not resolved),
+so every finding can be suppressed with a ``# spmd: ignore`` or
+``# spmd: ignore[CODE]`` comment on the flagged line.
+
+Rules:
+
+``SPMD001``
+    The destination of a ``spread_move_*`` / ``write_move_block`` /
+    ``overlap_fix*`` call is read again before a ``movewait`` — the
+    transfer may not have completed (the Ack & Barrier model requires
+    MOVEWAIT before the data is usable).
+``SPMD002``
+    A blocking generator API (``barrier``, ``gop``, ``vgop``,
+    ``flag_wait``, ``movewait``, ``finish_puts``, ``recv``, ...) called
+    without ``yield from`` — the generator is created and dropped, so
+    the call silently does nothing.
+``SPMD003``
+    A packet obtained from an in-place RECEIVE is used after a later
+    blocking receive — the ring-buffer slot may have been reused.
+``SPMD004``
+    An *ungrouped* collective under a cell-dependent branch: if not
+    every cell takes the branch, the collective's membership is wrong
+    and the program deadlocks (collectives passed an explicit group are
+    exempt — conditioning a group collective on membership is correct).
+``SPMD005``
+    An ``ElementStride`` built from an enclosing loop variable: the
+    stride changes per iteration, defeating the single 1-D hardware
+    stride transfer the pattern is meant to produce.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.check.diagnostics import (
+    SEVERITY_WARNING,
+    CheckReport,
+    Diagnostic,
+)
+
+#: Generator-based (blocking) cell APIs that need ``yield from``.
+BLOCKING_CALLS = frozenset({
+    "barrier", "gop", "vgop", "flag_wait", "movewait", "finish_puts",
+    "recv", "recv_array", "creg_load", "wt_bind", "wt_refresh",
+})
+
+#: Collective calls whose membership must agree across cells.
+COLLECTIVE_CALLS = frozenset({"barrier", "gop", "vgop", "movewait"})
+
+#: Run-time move calls -> index of the argument naming the destination.
+MOVE_DEST_ARG = {
+    "spread_move_row": 0,
+    "spread_move_col": 0,
+    "spread_move_block": 0,
+    "write_move_block": 1,
+    "overlap_fix": 0,
+    "overlap_fix_mixed": 0,
+}
+
+_IGNORE_RE = re.compile(r"#\s*spmd:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Line -> suppressed codes (None = all codes) from ignore comments."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(line)
+        if m:
+            codes = m.group(1)
+            out[lineno] = (
+                {c.strip() for c in codes.split(",")} if codes else None
+            )
+    return out
+
+
+def _attr_name(func: ast.expr) -> str | None:
+    """The trailing attribute name of a call target (``rt.gop`` -> gop)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The root Name of an expression like ``dest.data[i]``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _names_loaded(node: ast.AST, *, skip: set[int]) -> set[str]:
+    """Every Name read inside ``node``, excluding subtrees in ``skip``."""
+    found: set[str] = set()
+    stack: list[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if id(cur) in skip:
+            continue
+        if isinstance(cur, ast.Name) and isinstance(cur.ctx, ast.Load):
+            found.add(cur.id)
+        stack.extend(ast.iter_child_nodes(cur))
+    return found
+
+
+def _header_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions evaluated *at* this statement, excluding nested
+    statement bodies (those are scanned by recursion)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, ast.For):
+        return [stmt.iter]
+    if isinstance(stmt, ast.With):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _walk_headers(headers: list[ast.AST]) -> Iterator[ast.AST]:
+    for header in headers:
+        for node in ast.walk(header):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+
+
+def _mentions_taint(node: ast.AST, tainted: set[str]) -> bool:
+    for cur in ast.walk(node):
+        if isinstance(cur, ast.Name) and cur.id in tainted:
+            return True
+        if isinstance(cur, ast.Attribute) and cur.attr == "pe":
+            return True
+    return False
+
+
+def _assigned_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_assigned_names(elt))
+        return out
+    return []
+
+
+class _FunctionLinter:
+    """Runs every rule over one function body (nested functions are
+    linted separately by the file walker)."""
+
+    def __init__(self, func: ast.FunctionDef, filename: str) -> None:
+        self.func = func
+        self.filename = filename
+        self.diagnostics: list[Diagnostic] = []
+        #: Call nodes that are the operand of a ``yield from`` / ``await``.
+        self.driven: set[int] = {
+            id(node.value)
+            for node in ast.walk(func)
+            if isinstance(node, (ast.YieldFrom, ast.Await))
+        }
+
+    def emit(self, code: str, line: int, message: str,
+             severity: str = "error") -> None:
+        self.diagnostics.append(Diagnostic(
+            code=code, message=message, severity=severity,
+            file=self.filename, line=line,
+        ))
+
+    def run(self) -> list[Diagnostic]:
+        self._lint_statements(self._own_body(), tainted={"pe"},
+                              pe_branch=False)
+        self._lint_strides()
+        return self.diagnostics
+
+    def _own_body(self) -> list[ast.stmt]:
+        return self.func.body
+
+    # -- linear rules (SPMD001/002/003/004) ----------------------------
+
+    def _lint_statements(self, body: list[ast.stmt], *, tainted: set[str],
+                         pe_branch: bool) -> None:
+        # pending destination name -> (line, move call name)
+        pending: dict[str, tuple[int, str]] = {}
+        unsafe_packets: dict[str, int] = {}
+        inplace_packets: set[str] = set()
+        for stmt in body:
+            self._scan_statement(stmt, tainted, pe_branch, pending,
+                                 inplace_packets, unsafe_packets)
+
+    def _scan_statement(self, stmt: ast.stmt, tainted: set[str],
+                        pe_branch: bool,
+                        pending: dict[str, tuple[int, str]],
+                        inplace_packets: set[str],
+                        unsafe_packets: dict[str, int]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # linted as its own function
+        # Only this statement's "header" is scanned here; the bodies of
+        # compound statements are visited by the recursion below (so
+        # nothing is reported twice).
+        headers = _header_nodes(stmt)
+        move_calls: list[ast.Call] = []
+        blocking = False
+        for node in _walk_headers(headers):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _attr_name(node.func)
+            if name in MOVE_DEST_ARG:
+                move_calls.append(node)
+            if name in BLOCKING_CALLS:
+                blocking = True
+                if id(node) not in self.driven:
+                    self.emit(
+                        "SPMD002", node.lineno,
+                        f"blocking call `{name}` is not driven with "
+                        f"`yield from`; the generator is created and "
+                        f"dropped, so the {name} never happens",
+                    )
+                if pe_branch and name in COLLECTIVE_CALLS \
+                        and not self._grouped(node, name):
+                    self.emit(
+                        "SPMD004", node.lineno,
+                        f"ungrouped collective `{name}` under a "
+                        f"cell-dependent branch: cells that skip this "
+                        f"branch never arrive, so the collective "
+                        f"deadlocks or matches the wrong instance",
+                    )
+                if name == "movewait":
+                    pending.clear()
+        # SPMD001: reads of not-yet-waited move destinations.
+        skip = {id(c) for c in move_calls}
+        reads = set()
+        for header in headers:
+            reads |= _names_loaded(header, skip=skip)
+        if pending:
+            for read in reads & set(pending):
+                line, move = pending.pop(read)
+                self.emit(
+                    "SPMD001", stmt.lineno,
+                    f"`{read}` is read here but `{move}` on line {line} "
+                    f"has no `movewait` in between: the transfer may "
+                    f"not have completed",
+                )
+        for call in move_calls:
+            name = _attr_name(call.func)
+            assert name is not None
+            dest_idx = MOVE_DEST_ARG[name]
+            if dest_idx < len(call.args):
+                dest = _base_name(call.args[dest_idx])
+                if dest is not None:
+                    pending[dest] = (call.lineno, name)
+        # SPMD003: in-place packets invalidated by further blocking calls.
+        if unsafe_packets:
+            for read in reads & set(unsafe_packets):
+                line = unsafe_packets.pop(read)
+                self.emit(
+                    "SPMD003", stmt.lineno,
+                    f"in-place RECEIVE packet `{read}` (line {line}) is "
+                    f"used after a later blocking call: its ring-buffer "
+                    f"slot may have been reused",
+                    severity=SEVERITY_WARNING,
+                )
+        if blocking:
+            for name in inplace_packets:
+                unsafe_packets.setdefault(name, stmt.lineno)
+        self._track_inplace(stmt, inplace_packets)
+        self._track_taint(stmt, tainted)
+        # Recurse into compound statements in order.
+        for child_body, child_pe in self._child_bodies(stmt, tainted,
+                                                       pe_branch):
+            for child in child_body:
+                self._scan_statement(child, tainted, child_pe, pending,
+                                     inplace_packets, unsafe_packets)
+
+    def _child_bodies(self, stmt: ast.stmt, tainted: set[str],
+                      pe_branch: bool) -> Iterator[
+            tuple[list[ast.stmt], bool]]:
+        if isinstance(stmt, ast.If):
+            dependent = pe_branch or _mentions_taint(stmt.test, tainted)
+            yield stmt.body, dependent
+            yield stmt.orelse, dependent
+        elif isinstance(stmt, ast.While):
+            dependent = pe_branch or _mentions_taint(stmt.test, tainted)
+            yield stmt.body, dependent
+            yield stmt.orelse, dependent
+        elif isinstance(stmt, ast.For):
+            dependent = pe_branch or _mentions_taint(stmt.iter, tainted)
+            yield stmt.body, dependent
+            yield stmt.orelse, dependent
+        elif isinstance(stmt, (ast.With, ast.Try)):
+            for attr in ("body", "orelse", "finalbody"):
+                yield getattr(stmt, attr, []), pe_branch
+            for handler in getattr(stmt, "handlers", []):
+                yield handler.body, pe_branch
+
+    def _grouped(self, call: ast.Call, name: str) -> bool:
+        if any(kw.arg == "group" for kw in call.keywords):
+            return True
+        if name == "barrier":
+            return len(call.args) >= 1
+        if name in ("gop", "vgop"):
+            return len(call.args) >= 3
+        return False  # movewait always synchronizes all cells
+
+    def _track_inplace(self, stmt: ast.stmt,
+                       inplace_packets: set[str]) -> None:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        value = stmt.value
+        if isinstance(value, ast.YieldFrom):
+            value = value.value
+        if not isinstance(value, ast.Call):
+            return
+        if _attr_name(value.func) != "recv":
+            return
+        in_place = any(
+            kw.arg == "in_place"
+            and not (isinstance(kw.value, ast.Constant)
+                     and kw.value.value is False)
+            for kw in value.keywords
+        )
+        if in_place:
+            inplace_packets.update(_assigned_names(stmt.targets[0]))
+
+    def _track_taint(self, stmt: ast.stmt, tainted: set[str]) -> None:
+        if isinstance(stmt, ast.Assign):
+            if self._launders_taint(stmt.value):
+                # An ungrouped reduction returns the same value on every
+                # cell: its result is symmetric even if its inputs were
+                # cell-dependent.
+                for target in stmt.targets:
+                    tainted.difference_update(_assigned_names(target))
+                return
+            if _mentions_taint(stmt.value, tainted):
+                for target in stmt.targets:
+                    tainted.update(_assigned_names(target))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if stmt.value is not None \
+                    and _mentions_taint(stmt.value, tainted):
+                tainted.update(_assigned_names(stmt.target))
+        elif isinstance(stmt, ast.For):
+            if _mentions_taint(stmt.iter, tainted):
+                tainted.update(_assigned_names(stmt.target))
+
+    def _launders_taint(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.YieldFrom):
+            return False
+        call = value.value
+        if not isinstance(call, ast.Call):
+            return False
+        name = _attr_name(call.func)
+        return name in ("gop", "vgop") and not self._grouped(call, name)
+
+    # -- SPMD005 -------------------------------------------------------
+
+    def _lint_strides(self) -> None:
+        self._walk_strides(self.func.body, loop_vars=set())
+
+    def _walk_strides(self, body: list[ast.stmt],
+                      loop_vars: set[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            inner = set(loop_vars)
+            if isinstance(stmt, ast.For):
+                inner.update(_assigned_names(stmt.target))
+            if loop_vars:
+                for node in _walk_headers(_header_nodes(stmt)):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if _attr_name(node.func) != "ElementStride":
+                        continue
+                    used = {
+                        n for arg in node.args for n in ast.walk(arg)
+                        if isinstance(n, ast.Name) and n.id in loop_vars
+                    }
+                    if used:
+                        names = ", ".join(
+                            sorted(n.id for n in used)  # type: ignore[attr-defined]
+                        )
+                        self.emit(
+                            "SPMD005", node.lineno,
+                            f"ElementStride built from loop "
+                            f"variable(s) {names}: the stride varies "
+                            f"per iteration, so this cannot become one "
+                            f"1-D hardware stride transfer",
+                            severity=SEVERITY_WARNING,
+                        )
+            for child_body, _pe in _all_bodies(stmt):
+                self._walk_strides(child_body, inner)
+
+
+def _all_bodies(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        child = getattr(stmt, attr, None)
+        if isinstance(child, list):
+            yield child, False
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body, False
+
+
+def lint_source(source: str, filename: str) -> list[Diagnostic]:
+    """Lint one module's source text; returns sorted diagnostics."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            code="SPMD000",
+            message=f"syntax error: {exc.msg}",
+            file=filename,
+            line=exc.lineno or 1,
+        )]
+    suppress = _suppressions(source)
+    diagnostics: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            diagnostics.extend(_FunctionLinter(node, filename).run())
+    kept = []
+    for diag in diagnostics:
+        codes = suppress.get(diag.line or 0, "missing")
+        if codes == "missing":
+            kept.append(diag)
+        elif codes is not None and diag.code not in codes:
+            kept.append(diag)
+    kept.sort(key=Diagnostic.sort_key)
+    return kept
+
+
+def lint_file(path: str | Path, *, root: str | Path | None = None
+              ) -> list[Diagnostic]:
+    """Lint one file; paths in diagnostics are relative to ``root``."""
+    path = Path(path)
+    shown = path
+    if root is not None:
+        try:
+            shown = path.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            shown = path
+    return lint_source(path.read_text(encoding="utf-8"), str(shown))
+
+
+def lint_paths(paths: list[Path], *, root: str | Path | None = None
+               ) -> CheckReport:
+    """Lint a file set into one report (subject ``lint``)."""
+    report = CheckReport(subject="lint")
+    files = 0
+    for path in sorted(paths):
+        files += 1
+        report.extend(lint_file(path, root=root))
+    report.stats["files"] = files
+    return report.finalize()

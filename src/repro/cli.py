@@ -8,20 +8,24 @@ Usage::
     python -m repro.cli replay cg.jsonl --params my_model.params
     python -m repro.cli params ap1000
     python -m repro.cli report [--paper-scale] [--apps EP MatMul ...]
-    python -m repro.cli bench run [--smoke] [--jobs 4]
+    python -m repro.cli check --all [--json]
+    python -m repro.cli check --buggy
+    python -m repro.cli bench run [--smoke] [--jobs 4] [--check]
     python -m repro.cli bench compare BENCH_x.json --baseline base.json
     python -m repro.cli list
 
 The ``run``/``replay`` split mirrors the paper's methodology: traces are
 recorded once on the (functional) machine, then replayed through MLSim
-under as many parameter files as desired.
+under as many parameter files as desired.  ``check`` runs the race
+detector / synchronization sanitizer over recorded traces and the SPMD
+lint over application source (see ``docs/checker.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.report import run_experiments
 from repro.apps.workloads import ORDER, workload
@@ -42,8 +46,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.trace import sanitize
+
     w = workload(args.app)
-    run = w.run(paper_scale=args.paper_scale, num_cells=args.cells)
+    with sanitize.enabled(args.sanitize):
+        run = w.run(paper_scale=args.paper_scale, num_cells=args.cells)
     status = "VERIFIED" if run.verified else "FAILED"
     print(f"{run.name}: functional run {status} on "
           f"{run.machine.config.num_cells} cells, "
@@ -110,6 +117,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.all_verified else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.bench.cache import DEFAULT_CACHE_DIR
+    from repro.check import check_buggy, check_trace, report_json
+    from repro.check.runner import check_apps, lint_report
+
+    reports = []
+    ok = True
+    if args.trace:
+        trace = load_trace(args.trace)
+        reports.append(check_trace(trace, args.trace))
+    elif args.buggy:
+        reports, ok = check_buggy()
+        # The buggy gate *passes* when the seeded diagnostics are found:
+        # report cleanliness is inverted relative to every other mode.
+        for report in reports:
+            print(f"== {report.subject}: "
+                  f"{report.stats.get('caught', 0)}"
+                  f"/{report.stats.get('expected', 0)} expected "
+                  f"diagnostics caught")
+            if not args.quiet:
+                body = report.render()
+                if body:
+                    print(body)
+        if args.json:
+            print(report_json(reports))
+        print("buggy fixtures: "
+              + ("all seeded bugs caught" if ok
+                 else "SOME SEEDED BUGS MISSED"))
+        return 0 if ok else 1
+    else:
+        if not args.lint_only:
+            names = tuple(args.apps) if args.apps else None
+            reports.extend(check_apps(
+                names,
+                cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+                use_cache=not args.no_cache,
+                paper_scale=args.paper_scale,
+                log=None if args.json else print,
+            ))
+        reports.append(lint_report())
+    if args.json:
+        print(report_json(reports))
+    else:
+        for report in reports:
+            status = "clean" if report.clean else (
+                f"{len(report.diagnostics)} diagnostic(s)")
+            print(f"== {report.subject}: {status}")
+            body = report.render()
+            if body:
+                print(body)
+    clean = all(r.clean for r in reports)
+    if not args.json:
+        print("check: " + ("clean" if clean else "DIAGNOSTICS FOUND"))
+    return 0 if clean else 1
+
+
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import (
         ALL_PRESETS,
@@ -136,6 +199,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         grid_name=grid_name,
         log=print,
+        check=args.check,
     )
     artifact = outcome.artifact
     for app in artifact.app_order:
@@ -153,6 +217,13 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         f"replay {artifact.run['stage_wall_s']['replay']:.2f}s, "
         f"cache hits {artifact.run['cache']['hits']})"
     )
+    if args.check:
+        for app, report in outcome.check_reports.items():
+            if not report.clean:
+                print(f"check {app}:")
+                print(report.render())
+        status = "clean" if outcome.all_check_clean else "DIAGNOSTICS FOUND"
+        print(f"check stage: {status}")
     if args.output:
         path = artifact.save(args.output)
     else:
@@ -160,7 +231,9 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
 
         path = artifact.save(Path(args.output_dir) / artifact_filename())
     print(f"artifact written to {path}")
-    return 0 if artifact.all_verified else 1
+    ok = artifact.all_verified and (not args.check
+                                    or outcome.all_check_clean)
+    return 0 if ok else 1
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -201,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the recorded trace as JSON lines")
     p_run.add_argument("--no-replay", action="store_true",
                        help="skip the MLSim replay summary")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="annotate the trace with byte-range "
+                            "footprints for `repro check`")
     p_run.set_defaults(func=_cmd_run)
 
     p_replay = sub.add_parser("replay",
@@ -232,6 +308,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the sweep")
     p_report.set_defaults(func=_cmd_report)
 
+    p_check = sub.add_parser(
+        "check",
+        help="race detector, synchronization sanitizer, and SPMD lint")
+    p_check.add_argument("apps", nargs="*", metavar="APP",
+                         choices=list(ORDER) + [[]],
+                         help="applications to check (default: all)")
+    p_check.add_argument("--all", action="store_true", dest="check_all",
+                         help="check every shipped application "
+                              "(the default when no apps are named)")
+    p_check.add_argument("--buggy", action="store_true",
+                         help="verify the checker against the seeded "
+                              "bugs in examples/buggy/")
+    p_check.add_argument("--lint-only", action="store_true",
+                         help="run only the static SPMD lint")
+    p_check.add_argument("--trace", metavar="FILE",
+                         help="check one recorded trace file instead")
+    p_check.add_argument("--json", action="store_true",
+                         help="machine-readable repro-check-v1 output")
+    p_check.add_argument("--quiet", action="store_true",
+                         help="suppress per-diagnostic detail (--buggy)")
+    p_check.add_argument("--paper-scale", action="store_true",
+                         help="check the paper-scale configurations")
+    p_check.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="trace cache location (default: "
+                              "benchmarks/.trace_cache)")
+    p_check.add_argument("--no-cache", action="store_true",
+                         help="always re-record, never touch the cache")
+    p_check.set_defaults(func=_cmd_check)
+
     p_bench = sub.add_parser(
         "bench", help="parallel benchmark sweeps with JSON artifacts")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
@@ -258,6 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "benchmarks/.trace_cache)")
     p_bench_run.add_argument("--no-cache", action="store_true",
                              help="ignore and do not write the trace cache")
+    p_bench_run.add_argument("--check", action="store_true",
+                             help="run the race/synchronization checker "
+                                  "over every recorded trace")
     p_bench_run.set_defaults(func=_cmd_bench_run)
 
     p_bench_cmp = bench_sub.add_parser(

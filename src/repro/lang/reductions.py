@@ -29,7 +29,8 @@ hardware end to end.)
 from __future__ import annotations
 
 import struct
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 

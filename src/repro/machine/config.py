@@ -52,6 +52,10 @@ class MachineConfig:
     #: Permit cell counts / memory sizes outside the product catalogue
     #: (handy for tests); official configurations leave this False.
     allow_nonstandard: bool = field(default=True)
+    #: Annotate communication events with byte-range footprints for the
+    #: race checker (:mod:`repro.check`).  Also switchable ambiently via
+    #: :func:`repro.trace.sanitize.enabled`.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_cells < 1:

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import functools
 import inspect
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.network.packet import PacketKind, StrideSpec
 from repro.network.snet import SNet
 from repro.network.tnet import TNet
 from repro.network.topology import TorusTopology
+from repro.trace import sanitize as trace_sanitize
 from repro.trace.buffer import TraceBuffer
 from repro.core.collectives import combine
 
@@ -65,9 +67,11 @@ class _ReductionState:
 class Machine:
     """A functional AP1000+ with ``config.num_cells`` cells."""
 
-    def __init__(self, config: MachineConfig | int = MachineConfig(), *,
+    def __init__(self, config: MachineConfig | int | None = None, *,
                  ack_policy: str = AckPolicy.EVERY_PUT) -> None:
-        if isinstance(config, int):
+        if config is None:
+            config = MachineConfig()
+        elif isinstance(config, int):
             config = MachineConfig(num_cells=config)
         self.config = config
         self.ack_policy = ack_policy
@@ -84,6 +88,9 @@ class Machine:
         for cell, ring in zip(self.hw_cells, self.rings):
             cell.msc.send_sink = ring.deposit
         self.trace = TraceBuffer(num_pes=n, capacity=config.trace_capacity)
+        #: Byte-range annotation for repro.check: on when the config asks
+        #: for it or when the ambient sanitizer switch is set.
+        self.sanitize = bool(config.sanitize or trace_sanitize.active())
         self.world_group = Group(gid=0, members=tuple(range(n)))
         self._heap_next = [_align(flag_area_end(), _HEAP_ALIGN)] * n
         # Private (non-symmetric) allocations grow downward from the top

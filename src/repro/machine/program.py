@@ -18,7 +18,8 @@ a sequential reference) and a *trace* (consumed by MLSim for timing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -250,6 +251,31 @@ class CellContext:
     def _flag_addr(self, flag: Flag | None) -> int:
         return flag.addr if flag is not None else NO_FLAG
 
+    def _annotate(self, ev: TraceEvent, command: Command) -> None:
+        """Stamp the command's byte footprints onto a traced event.
+
+        Active only under the sanitizer (``repro check`` / opt-in config):
+        the remote side is the scatter of a PUT or the gather of a GET,
+        the local side the other half.  Zero-byte transfers (the
+        acknowledge idiom) carry no footprint.
+        """
+        if not self.machine.sanitize:
+            return
+        if command.kind is CommandKind.PUT:
+            rspec, lspec = command.recv_stride, command.send_stride
+        else:
+            rspec, lspec = command.send_stride, command.recv_stride
+        if rspec.total_bytes:
+            ev.raddr = command.raddr
+            ev.rchunk = rspec.item_size
+            ev.rcount = rspec.count
+            ev.rstep = rspec.skip
+        if lspec.total_bytes:
+            ev.laddr = command.laddr
+            ev.lchunk = lspec.item_size
+            ev.lcount = lspec.count
+            ev.lstep = lspec.skip
+
     def _issue(self, command: Command) -> None:
         self.hw.msc.issue(command)
         self.machine.mark_dirty(self.pe)
@@ -282,11 +308,12 @@ class CellContext:
             send_flag=self._flag_addr(send_flag),
             recv_flag=self._flag_addr(recv_flag),
         )
-        self._trace(
+        ev = self._trace(
             EventKind.PUT, partner=dst, size=nbytes,
             send_flag=send_flag.id_on(self.pe) if send_flag else 0,
             recv_flag=recv_flag.id_on(dst) if recv_flag else 0,
         )
+        self._annotate(ev, command)
         self._issue(command)
         if ack and self.acks.record_put(dst):
             self.ack_get(dst)
@@ -316,11 +343,12 @@ class CellContext:
             send_flag=self._flag_addr(send_flag),
             recv_flag=self._flag_addr(recv_flag),
         )
-        self._trace(
+        ev = self._trace(
             EventKind.PUT, partner=dst, size=nbytes, stride=True,
             send_flag=send_flag.id_on(self.pe) if send_flag else 0,
             recv_flag=recv_flag.id_on(dst) if recv_flag else 0,
         )
+        self._annotate(ev, command)
         self._issue(command)
         if ack and self.acks.record_put(dst):
             self.ack_get(dst)
@@ -348,11 +376,12 @@ class CellContext:
             send_flag=self._flag_addr(send_flag),
             recv_flag=self._flag_addr(recv_flag),
         )
-        self._trace(
+        ev = self._trace(
             EventKind.GET, partner=src_pe, size=nbytes,
             send_flag=send_flag.id_on(self.pe) if send_flag else 0,
             recv_flag=recv_flag.id_on(self.pe) if recv_flag else 0,
         )
+        self._annotate(ev, command)
         self._issue(command)
 
     def get_stride(self, src_pe: int, remote: LocalArray, local: LocalArray,
@@ -377,11 +406,12 @@ class CellContext:
             send_flag=self._flag_addr(send_flag),
             recv_flag=self._flag_addr(recv_flag),
         )
-        self._trace(
+        ev = self._trace(
             EventKind.GET, partner=src_pe, size=nbytes, stride=True,
             send_flag=send_flag.id_on(self.pe) if send_flag else 0,
             recv_flag=recv_flag.id_on(self.pe) if recv_flag else 0,
         )
+        self._annotate(ev, command)
         self._issue(command)
 
     def _check_transfer(self, dest: LocalArray, src: LocalArray,
@@ -533,8 +563,13 @@ class CellContext:
         """Non-blocking remote STORE of one element into ``dst``'s instance
         of a symmetric array (hardware-generated, section 4.2)."""
         scratch = np.array([value], dtype=array.dtype)
-        self._trace(EventKind.REMOTE_STORE, partner=dst,
-                    size=scratch.nbytes)
+        ev = self._trace(EventKind.REMOTE_STORE, partner=dst,
+                         size=scratch.nbytes)
+        if self.machine.sanitize:
+            ev.raddr = array.element_addr(offset)
+            ev.rchunk = scratch.nbytes
+            ev.rcount = 1
+            ev.rstep = max(scratch.nbytes, 1)
         self.machine.remote_store(self.pe, dst,
                                   array.element_addr(offset),
                                   scratch.tobytes())
@@ -543,7 +578,12 @@ class CellContext:
                          offset: int) -> float:
         """Blocking remote LOAD of one element from ``src_pe``."""
         itemsize = array.itemsize
-        self._trace(EventKind.REMOTE_LOAD, partner=src_pe, size=itemsize)
+        ev = self._trace(EventKind.REMOTE_LOAD, partner=src_pe, size=itemsize)
+        if self.machine.sanitize:
+            ev.raddr = array.element_addr(offset)
+            ev.rchunk = itemsize
+            ev.rcount = 1
+            ev.rstep = max(itemsize, 1)
         raw = self.machine.remote_load(self.pe, src_pe,
                                        array.element_addr(offset), itemsize)
         return np.frombuffer(raw, dtype=array.dtype)[0]
@@ -610,8 +650,9 @@ class CellContext:
             send_stride=StrideSpec.contiguous(span),
             recv_stride=StrideSpec.contiguous(span),
             recv_flag=self._wt_flag.addr)
-        self._trace(EventKind.GET, partner=handle.home, size=span,
-                    recv_flag=self._wt_flag.id_on(self.pe))
+        ev = self._trace(EventKind.GET, partner=handle.home, size=span,
+                         recv_flag=self._wt_flag.id_on(self.pe))
+        self._annotate(ev, command)
         self._issue(command)
         self._wt_fetches += 1
         yield from self.flag_wait(self._wt_flag, self._wt_fetches)

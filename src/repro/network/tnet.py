@@ -70,7 +70,7 @@ class TNet:
         ordering.
         """
         ready: list[Packet] = []
-        for (src, d), queue in self._channels.items():
+        for (_src, d), queue in self._channels.items():
             if d == dst:
                 ready.extend(queue)
                 queue.clear()

@@ -71,9 +71,28 @@ class TraceEvent:
     group_size: int = 0
     # --- computation -----------------------------------------------------
     work: float = 0.0        # µs of work on the base (SPARC) processor
+    # --- sanitizer byte ranges (repro.check; see trace/sanitize.py) ------
+    # Recorded only when the sanitizer is active: the footprint of the
+    # remote-side access (on ``partner``'s memory) and the local-side
+    # access (on ``pe``'s memory).  A footprint is ``count`` chunks of
+    # ``chunk`` bytes, chunk i starting at ``addr + i * step``; a
+    # contiguous transfer is one chunk.  ``raddr``/``laddr`` of -1 mean
+    # "no annotation on this side".
+    raddr: int = -1
+    rchunk: int = 0
+    rcount: int = 0
+    rstep: int = 0
+    laddr: int = -1
+    lchunk: int = 0
+    lcount: int = 0
+    lstep: int = 0
 
     def is_message(self) -> bool:
         return self.kind in MESSAGE_KINDS
+
+    def is_annotated(self) -> bool:
+        """True when the sanitizer stamped a byte range on this event."""
+        return self.raddr >= 0 or self.laddr >= 0
 
 
 @dataclass

@@ -23,14 +23,25 @@ _FIELDS = (
     "group_size", "work",
 )
 
+# Sanitizer annotations (repro.check): written only when present, so
+# unsanitized traces keep the original line format and older readers
+# that enumerate keys see nothing new.
+_RANGE_FIELDS = (
+    "raddr", "rchunk", "rcount", "rstep",
+    "laddr", "lchunk", "lcount", "lstep",
+)
+
 
 def _event_to_dict(ev: TraceEvent) -> dict:
-    out = {}
+    out: dict[str, object] = {}
     for name in _FIELDS:
         value = getattr(ev, name)
         if name == "kind":
             value = int(value)
         out[name] = value
+    if ev.is_annotated():
+        for name in _RANGE_FIELDS:
+            out[name] = getattr(ev, name)
     return out
 
 

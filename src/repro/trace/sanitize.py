@@ -1,0 +1,41 @@
+"""Opt-in sanitizer switch for byte-range trace annotation.
+
+The checker (:mod:`repro.check`) needs to know *which bytes* every
+PUT/GET touches on which cell; the plain trace records only message
+sizes, because MLSim charges time by size and the paper's probes did the
+same.  When the sanitizer is active, the probe layer additionally stamps
+each communication event with the base address and stride footprint of
+both the remote-side and the local-side access (see the ``raddr`` /
+``laddr`` field family on :class:`~repro.trace.events.TraceEvent`).
+
+Annotation is off by default so ordinary runs keep the paper's trace
+vocabulary; it is enabled either per machine
+(``MachineConfig(sanitize=True)``) or ambiently for a whole code region
+with the :func:`enabled` context manager — the path ``repro check`` and
+the benchmark runner's trace-cache stage use, so cached traces are
+always checkable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+_ACTIVE: ContextVar[bool] = ContextVar("repro_trace_sanitize", default=False)
+
+
+def active() -> bool:
+    """True when the ambient sanitizer switch is on."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def enabled(on: bool = True) -> Iterator[None]:
+    """Context manager turning byte-range annotation on (or off) for
+    every :class:`~repro.machine.machine.Machine` built inside it."""
+    token = _ACTIVE.set(bool(on))
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,74 @@
+"""Unit tests for the byte-footprint intersection used by the race
+detector — span overlap is necessary but not sufficient, so the chunk
+arithmetic must be exact."""
+
+from repro.check.races import Footprint
+
+
+def contiguous(base, nbytes):
+    return Footprint(base=base, chunk=nbytes, count=1, step=max(nbytes, 1))
+
+
+class TestSpan:
+    def test_hi_of_contiguous(self):
+        assert contiguous(100, 64).hi == 164
+
+    def test_hi_of_strided(self):
+        fp = Footprint(base=0, chunk=8, count=4, step=32)
+        assert fp.hi == 3 * 32 + 8
+
+    def test_empty(self):
+        assert Footprint(base=0, chunk=0, count=4, step=8).is_empty()
+        assert Footprint(base=0, chunk=8, count=0, step=8).is_empty()
+
+
+class TestOverlap:
+    def test_contiguous_overlapping(self):
+        assert contiguous(0, 64).overlaps(contiguous(32, 64))
+
+    def test_contiguous_adjacent_disjoint(self):
+        assert not contiguous(0, 64).overlaps(contiguous(64, 64))
+
+    def test_interleaved_columns_disjoint(self):
+        # Column 0 and column 1 of a row-major matrix: same span,
+        # element-disjoint — exactly the TOMCATV halo pattern.
+        col0 = Footprint(base=0, chunk=8, count=8, step=64)
+        col1 = Footprint(base=8, chunk=8, count=8, step=64)
+        assert not col0.overlaps(col1)
+        assert not col1.overlaps(col0)
+
+    def test_interleaved_same_column_overlap(self):
+        col = Footprint(base=0, chunk=8, count=8, step=64)
+        assert col.overlaps(col)
+
+    def test_strided_vs_contiguous_hit(self):
+        col = Footprint(base=0, chunk=8, count=8, step=64)
+        row = contiguous(64, 64)  # second row covers col chunk at 64
+        assert col.overlaps(row)
+        assert row.overlaps(col)
+
+    def test_strided_vs_contiguous_miss(self):
+        col = Footprint(base=0, chunk=8, count=8, step=64)
+        gap = contiguous(16, 40)  # inside row 0, after col 0's chunk
+        assert not col.overlaps(gap)
+        assert not gap.overlaps(col)
+
+    def test_wide_chunk_crossing_stride(self):
+        a = Footprint(base=0, chunk=8, count=4, step=24)   # 0,24,48,72
+        b = contiguous(20, 8)                              # [20,28)
+        assert a.overlaps(b)
+
+    def test_offset_strides_disjoint(self):
+        a = Footprint(base=0, chunk=4, count=10, step=16)
+        b = Footprint(base=8, chunk=4, count=10, step=16)
+        assert not a.overlaps(b)
+
+    def test_different_strides_eventually_collide(self):
+        a = Footprint(base=0, chunk=8, count=6, step=24)   # 0,24,...,120
+        b = Footprint(base=8, chunk=8, count=6, step=16)   # 8,24 hit at 24
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_intersection_span(self):
+        lo, hi = contiguous(0, 64).intersection_span(contiguous(32, 64))
+        assert (lo, hi) == (32, 64)

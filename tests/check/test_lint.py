@@ -1,0 +1,209 @@
+"""Unit tests for the static SPMD lint rules."""
+
+from repro.check.lint import lint_source
+from repro.check.runner import lint_report
+
+
+def codes(source):
+    return [d.code for d in lint_source(source, "t.py")]
+
+
+class TestSPMD001:
+    def test_move_dest_read_before_movewait(self):
+        src = """
+def kernel(ctx, rt, g, buf):
+    rt.spread_move_block(buf, g, 0, 8)
+    total = buf.data.sum()
+    yield from rt.movewait()
+"""
+        assert codes(src) == ["SPMD001"]
+
+    def test_write_move_dest_is_second_arg(self):
+        src = """
+def kernel(ctx, rt, g, buf):
+    rt.write_move_block(buf, g, 0, 8)
+    total = g.block.data.sum()
+    yield from rt.movewait()
+"""
+        assert codes(src) == ["SPMD001"]
+
+    def test_movewait_clears_pending(self):
+        src = """
+def kernel(ctx, rt, g, buf):
+    rt.spread_move_block(buf, g, 0, 8)
+    yield from rt.movewait()
+    total = buf.data.sum()
+"""
+        assert codes(src) == []
+
+    def test_unread_dest_is_fine(self):
+        src = """
+def kernel(ctx, rt, g, buf):
+    rt.spread_move_block(buf, g, 0, 8)
+    yield from rt.movewait()
+"""
+        assert codes(src) == []
+
+
+class TestSPMD002:
+    def test_undriven_blocking_call(self):
+        src = """
+def kernel(ctx):
+    ctx.barrier()
+"""
+        assert codes(src) == ["SPMD002"]
+
+    def test_driven_call_is_fine(self):
+        src = """
+def kernel(ctx):
+    yield from ctx.barrier()
+    value = yield from ctx.gop(1.0)
+"""
+        assert codes(src) == []
+
+    def test_reported_once_inside_compound_statement(self):
+        src = """
+def kernel(ctx):
+    for i in range(4):
+        if i:
+            ctx.finish_puts()
+"""
+        assert codes(src) == ["SPMD002"]
+
+
+class TestSPMD003:
+    def test_in_place_packet_used_after_blocking_call(self):
+        src = """
+def kernel(ctx):
+    pkt = yield from ctx.recv(src=1, in_place=True)
+    other = yield from ctx.recv(src=2)
+    use(pkt.data)
+"""
+        assert codes(src) == ["SPMD003"]
+
+    def test_copying_recv_is_fine(self):
+        src = """
+def kernel(ctx):
+    pkt = yield from ctx.recv(src=1)
+    other = yield from ctx.recv(src=2)
+    use(pkt.data)
+"""
+        assert codes(src) == []
+
+    def test_in_place_used_before_next_recv_is_fine(self):
+        src = """
+def kernel(ctx):
+    pkt = yield from ctx.recv(src=1, in_place=True)
+    use(pkt.data)
+    other = yield from ctx.recv(src=2)
+"""
+        assert codes(src) == []
+
+
+class TestSPMD004:
+    def test_barrier_under_pe_branch(self):
+        src = """
+def kernel(ctx):
+    if ctx.pe != 0:
+        yield from ctx.barrier()
+"""
+        assert codes(src) == ["SPMD004"]
+
+    def test_taint_propagates_through_assignment(self):
+        src = """
+def kernel(ctx):
+    row, col = divmod(ctx.pe, 4)
+    if col == 0:
+        yield from ctx.barrier()
+"""
+        assert codes(src) == ["SPMD004"]
+
+    def test_grouped_collective_is_exempt(self):
+        src = """
+def kernel(ctx, col_group):
+    row, col = divmod(ctx.pe, 4)
+    if col == 0:
+        total = yield from ctx.gop(1.0, group=col_group)
+        yield from ctx.barrier(col_group)
+"""
+        assert codes(src) == []
+
+    def test_reduction_result_launders_taint(self):
+        # A gop returns the same value everywhere, so branching on it
+        # is NOT cell-dependent (the SCG convergence-loop pattern).
+        src = """
+def kernel(ctx, r):
+    rho = yield from ctx.gop(float((r * r).sum()))
+    while rho > 1.0:
+        rho = yield from ctx.gop(float((r * r).sum()))
+        yield from ctx.barrier()
+"""
+        assert codes(src) == []
+
+    def test_symmetric_branch_is_fine(self):
+        src = """
+def kernel(ctx, iters):
+    for it in range(iters):
+        yield from ctx.barrier()
+"""
+        assert codes(src) == []
+
+
+class TestSPMD005:
+    def test_loop_variable_stride(self):
+        src = """
+def kernel(ctx):
+    for i in range(4):
+        s = ElementStride(1, 4, i + 1)
+"""
+        assert codes(src) == ["SPMD005"]
+
+    def test_constant_stride_in_loop_is_fine(self):
+        src = """
+def kernel(ctx, n):
+    for i in range(4):
+        s = ElementStride(1, 4, n)
+"""
+        assert codes(src) == []
+
+    def test_stride_outside_loop_is_fine(self):
+        src = """
+def kernel(ctx, i):
+    s = ElementStride(1, 4, i + 1)
+"""
+        assert codes(src) == []
+
+
+class TestSuppression:
+    def test_ignore_comment_suppresses(self):
+        src = """
+def kernel(ctx):
+    ctx.barrier()  # spmd: ignore
+"""
+        assert codes(src) == []
+
+    def test_code_scoped_ignore(self):
+        src = """
+def kernel(ctx):
+    ctx.barrier()  # spmd: ignore[SPMD002]
+"""
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = """
+def kernel(ctx):
+    ctx.barrier()  # spmd: ignore[SPMD001]
+"""
+        assert codes(src) == ["SPMD002"]
+
+
+class TestSyntaxError:
+    def test_broken_source_reports_spmd000(self):
+        assert codes("def kernel(:\n") == ["SPMD000"]
+
+
+class TestShippedSources:
+    def test_apps_and_examples_are_clean(self):
+        report = lint_report()
+        assert report.clean, report.render()
+        assert report.stats["files"] >= 15

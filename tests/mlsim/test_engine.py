@@ -187,7 +187,7 @@ class TestBarriers:
 
     def test_generation_separation(self):
         events = []
-        for rep in range(3):
+        for _rep in range(3):
             for pe in (0, 1):
                 events.append(TraceEvent(EventKind.BARRIER, pe=pe,
                                          group=0, group_size=2))

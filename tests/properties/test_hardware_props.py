@@ -69,7 +69,7 @@ def test_cache_tracks_only_read_lines(accesses):
             for line in range(first, last + 1):
                 if resident.get(line % 32) == line:
                     del resident[line % 32]
-    for index, line in resident.items():
+    for line in resident.values():
         assert cache.contains(line * 32)
 
 

@@ -106,7 +106,7 @@ def test_block_partition_covers_exactly(n, p):
     total = sum(d.local_size(i) for i in range(p))
     assert total == n
     ranges = [d.part_range(i) for i in range(p)]
-    for (lo_a, hi_a), (lo_b, hi_b) in zip(ranges, ranges[1:]):
+    for (_lo_a, hi_a), (lo_b, _hi_b) in zip(ranges, ranges[1:]):
         assert hi_a == lo_b   # contiguous, ordered, disjoint
 
 
