@@ -149,7 +149,8 @@ def reference(*, n: int = DEFAULT_N, outer: int = DEFAULT_OUTER,
 
 
 def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N,
-        outer: int = DEFAULT_OUTER, inner: int = DEFAULT_INNER) -> AppRun:
+        outer: int = DEFAULT_OUTER, inner: int = DEFAULT_INNER,
+        trace_capacity: int | None = None) -> AppRun:
     """Run CG and verify the eigenvalue estimate against the sequential
     reference."""
 
@@ -165,4 +166,5 @@ def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N,
         }
 
     return execute("CG", program, num_cells, verify,
+                   trace_capacity=trace_capacity,
                    n=n, outer=outer, inner=inner)

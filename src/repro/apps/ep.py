@@ -91,7 +91,8 @@ def reference(*, log2_pairs: int = DEFAULT_LOG2_PAIRS):
 
 
 def run(num_cells: int = DEFAULT_PES, *,
-        log2_pairs: int = DEFAULT_LOG2_PAIRS) -> AppRun:
+        log2_pairs: int = DEFAULT_LOG2_PAIRS,
+        trace_capacity: int | None = None) -> AppRun:
     """Run EP and verify the distributed counts against the sequential
     reference (the LCG split must be seamless)."""
 
@@ -111,4 +112,5 @@ def run(num_cells: int = DEFAULT_PES, *,
             ),
         }
 
-    return execute("EP", program, num_cells, verify, log2_pairs=log2_pairs)
+    return execute("EP", program, num_cells, verify,
+                   trace_capacity=trace_capacity, log2_pairs=log2_pairs)

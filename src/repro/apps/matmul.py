@@ -82,7 +82,8 @@ def reference(*, n: int = DEFAULT_N) -> np.ndarray:
     return a @ b
 
 
-def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N) -> AppRun:
+def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N,
+        trace_capacity: int | None = None) -> AppRun:
     """Run MatMul and verify C against numpy's ``A @ B``."""
 
     def verify(results, machine):
@@ -93,4 +94,5 @@ def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N) -> AppRun:
             "product_matches": bool(np.allclose(c, expected, atol=1e-8)),
         }
 
-    return execute("MatMul", program, num_cells, verify, n=n)
+    return execute("MatMul", program, num_cells, verify,
+                   trace_capacity=trace_capacity, n=n)

@@ -140,7 +140,8 @@ def reference(*, m: int = DEFAULT_M, tol: float = TOL,
 
 
 def run(num_cells: int = DEFAULT_PES, *, m: int = DEFAULT_M,
-        tol: float = TOL, max_iters: int = MAX_ITERS) -> AppRun:
+        tol: float = TOL, max_iters: int = MAX_ITERS,
+        trace_capacity: int | None = None) -> AppRun:
     """Run SCG and verify convergence and the solution itself."""
 
     def verify(results, machine):
@@ -160,4 +161,5 @@ def run(num_cells: int = DEFAULT_PES, *, m: int = DEFAULT_M,
         }
 
     return execute("SCG", program, num_cells, verify,
+                   trace_capacity=trace_capacity,
                    m=m, tol=tol, max_iters=max_iters)

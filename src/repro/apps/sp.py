@@ -226,7 +226,8 @@ def reference(*, shape: tuple[int, int, int] = DEFAULT_SHAPE,
 
 def run(num_cells: int = DEFAULT_PES, *,
         shape: tuple[int, int, int] = DEFAULT_SHAPE,
-        iters: int = DEFAULT_ITERS, chunks: int | None = DEFAULT_CHUNKS) -> AppRun:
+        iters: int = DEFAULT_ITERS, chunks: int | None = DEFAULT_CHUNKS,
+        trace_capacity: int | None = None) -> AppRun:
     """Run SP and verify the field against the sequential reference."""
 
     def verify(results, machine):
@@ -242,4 +243,5 @@ def run(num_cells: int = DEFAULT_PES, *,
         }
 
     return execute("SP", program, num_cells, verify,
+                   trace_capacity=trace_capacity,
                    shape=shape, iters=iters, chunks=chunks)

@@ -134,7 +134,8 @@ def reference(*, n: int = DEFAULT_N) -> np.ndarray:
     return a @ b
 
 
-def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N) -> AppRun:
+def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N,
+        trace_capacity: int | None = None) -> AppRun:
     """Run SUMMA and verify both the assembled product and the
     group-reduced checksum."""
     g = grid_side(num_cells)
@@ -158,4 +159,5 @@ def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N) -> AppRun:
                 for t in totals),
         }
 
-    return execute("SUMMA", program, num_cells, verify, n=n)
+    return execute("SUMMA", program, num_cells, verify,
+                   trace_capacity=trace_capacity, n=n)

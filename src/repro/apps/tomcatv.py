@@ -159,7 +159,8 @@ def reference(*, n: int = DEFAULT_N, iters: int = DEFAULT_ITERS):
 
 
 def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N,
-        iters: int = DEFAULT_ITERS, use_stride: bool = True) -> AppRun:
+        iters: int = DEFAULT_ITERS, use_stride: bool = True,
+        trace_capacity: int | None = None) -> AppRun:
     """Run TOMCATV and verify mesh coordinates against the sequential
     reference (elementwise-identical arithmetic, so the match is tight)."""
 
@@ -178,4 +179,5 @@ def run(num_cells: int = DEFAULT_PES, *, n: int = DEFAULT_N,
         }
 
     return execute("TOMCATV", program, num_cells, verify,
+                   trace_capacity=trace_capacity,
                    n=n, iters=iters, use_stride=use_stride)

@@ -29,6 +29,7 @@ from collections.abc import Sequence
 
 from repro.analysis.report import run_experiments
 from repro.apps.workloads import ORDER, workload
+from repro.core.errors import ReproError
 from repro.mlsim.params import PRESETS, format_params, parse_params, preset
 from repro.mlsim.simulator import simulate, simulate_models
 from repro.trace.io import load_trace, save_trace
@@ -49,8 +50,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.trace import sanitize
 
     w = workload(args.app)
+    overrides = {}
+    if args.trace_capacity is not None:
+        overrides["trace_capacity"] = args.trace_capacity
     with sanitize.enabled(args.sanitize):
-        run = w.run(paper_scale=args.paper_scale, num_cells=args.cells)
+        run = w.run(paper_scale=args.paper_scale, num_cells=args.cells,
+                    **overrides)
     status = "VERIFIED" if run.verified else "FAILED"
     print(f"{run.name}: functional run {status} on "
           f"{run.machine.config.num_cells} cells, "
@@ -173,6 +178,34 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import SMOKE_APPS, chaos_sweep
+    from repro.faults.plan import FaultPlan, full_plans, smoke_plans
+
+    if args.plan:
+        plans = tuple(FaultPlan.load(args.plan))
+    elif args.smoke:
+        plans = smoke_plans(args.seed)
+    else:
+        plans = full_plans(args.seed)
+    if args.apps:
+        apps = tuple(args.apps)
+    elif args.smoke:
+        apps = SMOKE_APPS
+    else:
+        apps = None
+    report = chaos_sweep(apps, plans, cells=args.cells,
+                         check=not args.no_check,
+                         log=None if args.json else print)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import (
         ALL_PRESETS,
@@ -277,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="annotate the trace with byte-range "
                             "footprints for `repro check`")
+    p_run.add_argument("--trace-capacity", type=int, default=None,
+                       metavar="N",
+                       help="override the trace buffer's event capacity "
+                            "(the AP1000 probes had the same limit)")
     p_run.set_defaults(func=_cmd_run)
 
     p_replay = sub.add_parser("replay",
@@ -337,6 +374,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always re-record, never touch the cache")
     p_check.set_defaults(func=_cmd_check)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep fault-injection plans over the shipped apps and "
+             "demand bit-identical results (docs/faults.md)")
+    p_chaos.add_argument("apps", nargs="*", metavar="APP",
+                         choices=list(ORDER) + [[]],
+                         help="applications to torture (default: all; "
+                              "--smoke defaults to EP MatMul)")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="small CI sweep: 2 apps x 2 plans")
+    p_chaos.add_argument("--seed", type=int, default=1994,
+                         help="base seed for the built-in plan sets")
+    p_chaos.add_argument("--plan", metavar="FILE",
+                         help="JSON fault plan (or list of plans) to use "
+                              "instead of the built-in sets")
+    p_chaos.add_argument("--cells", type=int, default=None,
+                         help="override every app's cell count")
+    p_chaos.add_argument("--no-check", action="store_true",
+                         help="skip the repro.check pass over each "
+                              "faulted trace")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="machine-readable sweep report")
+    p_chaos.set_defaults(func=_cmd_chaos)
+
     p_bench = sub.add_parser(
         "bench", help="parallel benchmark sweeps with JSON artifacts")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
@@ -388,7 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Simulator-domain failures (trace buffer overflow, deadlock,
+        # communication timeout, bad configuration...) are reported as
+        # one clean message, not a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,6 +42,16 @@ class CommunicationError(ReproError):
     """A malformed or unroutable message was issued."""
 
 
+class CommTimeoutError(CommunicationError):
+    """Reliable delivery gave up: a frame exhausted its retry budget or a
+    watchdog expired while cells were blocked on communication.
+
+    Raised only when fault injection (:mod:`repro.faults`) is active; the
+    message carries a structured diagnosis (retry counts, killed cells,
+    and the blocked-cell dump of ``Machine._deadlock_report``) so a hang
+    under injected faults is never silent."""
+
+
 class DeadlockError(ReproError):
     """All runnable cells are blocked and no condition can make progress."""
 

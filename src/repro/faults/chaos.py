@@ -1,0 +1,250 @@
+"""Chaos harness: sweep fault plans over the shipped applications.
+
+The property under test is end-to-end: *a run under any seeded fault
+plan is indistinguishable from the fault-free run* — bit-identical
+per-cell results and memory image, functional verification passing, and
+a clean :mod:`repro.check` report over the (sanitized) trace — except
+for the robustness counters that say how hard the fabric had to work.
+
+Every application is first run on a perfect machine to capture golden
+digests; each plan then re-runs it inside ``repro.faults.applied(plan)``
+and the digests must match.  Failures are collected, not raised, so one
+sweep reports every broken (app, plan) pair; an unexpected error (for
+example a CommTimeoutError from an exhausted retry budget) marks its
+case failed with the message attached.
+
+Imports of the application registry happen lazily inside functions:
+this module is reachable from the CLI while :mod:`repro.machine` imports
+:mod:`repro.faults`, and the app modules import the machine right back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.faults.injector import FaultyTNet
+from repro.faults.plan import FaultPlan, applied, full_plans, smoke_plans
+from repro.trace import sanitize
+from repro.trace.buffer import TraceBuffer
+
+#: Apps exercised by ``repro chaos --smoke`` (one VPP Fortran app with
+#: flag-synchronized PUTs, one C app with GET traffic — small but they
+#: cover both one-sided directions).
+SMOKE_APPS = ("EP", "MatMul")
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+
+def results_digest(results: Any) -> str:
+    """Deterministic digest of per-cell return values (numpy-aware)."""
+    h = hashlib.sha256()
+    _hash_value(h, results)
+    return h.hexdigest()
+
+
+def _hash_value(h, value: Any) -> None:
+    if isinstance(value, np.ndarray):
+        h.update(b"nd:")
+        h.update(str(value.dtype).encode())
+        h.update(str(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (list, tuple)):
+        h.update(b"seq:%d:" % len(value))
+        for item in value:
+            _hash_value(h, item)
+    elif isinstance(value, dict):
+        h.update(b"map:%d:" % len(value))
+        for key in sorted(value, key=repr):
+            h.update(repr(key).encode())
+            _hash_value(h, value[key])
+    else:
+        h.update(repr(value).encode())
+
+
+def memory_digest(machine) -> str:
+    """Digest of every cell's *used* memory: the flag area plus the
+    symmetric heap (bottom-up) and the private area (top-down).  The
+    untouched middle is skipped — it is zero on both machines anyway and
+    cells may carry hundreds of megabytes of it."""
+    h = hashlib.sha256()
+    top = machine.config.memory_per_cell
+    for pe in range(machine.config.num_cells):
+        memory = machine.hw_cells[pe].memory
+        heap_end = machine._heap_next[pe]
+        private_start = machine._private_next[pe]
+        h.update(b"pe:%d:" % pe)
+        h.update(memory.read(0, heap_end))
+        if private_start < top:
+            h.update(memory.read(private_start, top - private_start))
+    return h.hexdigest()
+
+
+def trace_digest(trace: TraceBuffer) -> str:
+    """Digest of a trace, invariant to process-global packet serials.
+
+    ``msg_id`` carries raw packet serial numbers from a process-wide
+    counter, so two identical runs in one process get different raw ids;
+    they are renumbered densely in order of first appearance before
+    hashing.  Two runs with the same fault schedule must digest equal."""
+    remap: dict[int, int] = {0: 0}
+    h = hashlib.sha256()
+    for ev in trace.all_events():
+        if ev.msg_id not in remap:
+            remap[ev.msg_id] = len(remap)
+        record = (
+            int(ev.kind), ev.pe, ev.seq, ev.partner, ev.size,
+            int(ev.stride), ev.send_flag, ev.recv_flag, int(ev.is_ack),
+            remap[ev.msg_id], ev.flag, ev.target, ev.group,
+            ev.group_size, round(ev.work, 9), ev.raddr, ev.rchunk,
+            ev.rcount, ev.rstep, ev.laddr, ev.lchunk, ev.lcount,
+            ev.lstep,
+        )
+        h.update(repr(record).encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Sweep
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChaosCase:
+    """One (application, fault plan) cell of the sweep."""
+
+    app: str
+    plan: str
+    seed: int
+    ok: bool
+    results_match: bool = False
+    memory_match: bool = False
+    verified: bool = False
+    check_clean: bool | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app, "plan": self.plan, "seed": self.seed,
+            "ok": self.ok, "results_match": self.results_match,
+            "memory_match": self.memory_match, "verified": self.verified,
+            "check_clean": self.check_clean,
+            "counters": dict(self.counters), "error": self.error,
+        }
+
+    def describe(self) -> str:
+        if self.ok:
+            c = self.counters
+            weather = (f"{c.get('dropped', 0)} dropped, "
+                       f"{c.get('duplicated', 0)} dup, "
+                       f"{c.get('corrupted', 0)} corrupt, "
+                       f"{c.get('delayed', 0)} delayed, "
+                       f"{c.get('retries', 0)} retries")
+            return f"ok   {self.app:<9} {self.plan:<8} ({weather})"
+        if self.error is not None:
+            return f"FAIL {self.app:<9} {self.plan:<8} {self.error}"
+        what = [
+            name for name, good in (
+                ("results", self.results_match),
+                ("memory", self.memory_match),
+                ("verify", self.verified),
+                ("check", self.check_clean is not False),
+            ) if not good
+        ]
+        return (f"FAIL {self.app:<9} {self.plan:<8} "
+                f"mismatch: {', '.join(what)}")
+
+
+@dataclass
+class ChaosReport:
+    """Every case of one sweep."""
+
+    cases: list[ChaosCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cases) and all(case.ok for case in self.cases)
+
+    def summary(self) -> str:
+        failed = sum(1 for case in self.cases if not case.ok)
+        verdict = "all survived" if failed == 0 else f"{failed} FAILED"
+        return (f"chaos: {len(self.cases)} fault runs over "
+                f"{len({c.app for c in self.cases})} app(s): {verdict}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"ok": self.ok, "summary": self.summary(),
+                "cases": [case.to_dict() for case in self.cases]}
+
+
+def run_under_plan(app: str, plan: FaultPlan | None, *,
+                   cells: int | None = None, annotate: bool = False):
+    """Run one workload under ``plan`` (None = perfect machine)."""
+    from repro.apps.workloads import workload  # lazy: cycles via machine
+
+    with applied(plan), sanitize.enabled(annotate):
+        return workload(app).run(num_cells=cells)
+
+
+def chaos_sweep(apps: Iterable[str] | None = None,
+                plans: Iterable[FaultPlan] | None = None, *,
+                cells: int | None = None, check: bool = True,
+                log: Callable[[str], None] | None = None) -> ChaosReport:
+    """Run ``apps`` x ``plans`` and compare every faulted run against
+    its app's fault-free golden run."""
+    from repro.apps.workloads import ORDER  # lazy: cycles via machine
+
+    app_names = tuple(apps) if apps else ORDER
+    plan_list = tuple(plans) if plans else full_plans()
+    report = ChaosReport()
+    for app in app_names:
+        if log is not None:
+            log(f"golden run: {app}")
+        golden = run_under_plan(app, None, cells=cells)
+        want_results = results_digest(golden.results)
+        want_memory = memory_digest(golden.machine)
+        for plan in plan_list:
+            case = _run_case(app, plan, want_results, want_memory,
+                             cells=cells, check=check)
+            if log is not None:
+                log(case.describe())
+            report.cases.append(case)
+    return report
+
+
+def _run_case(app: str, plan: FaultPlan, want_results: str,
+              want_memory: str, *, cells: int | None,
+              check: bool) -> ChaosCase:
+    from repro.check.runner import check_trace  # lazy: heavy import
+
+    case = ChaosCase(app=app, plan=plan.name, seed=plan.seed, ok=False)
+    try:
+        run = run_under_plan(app, plan, cells=cells, annotate=check)
+    except ReproError as exc:
+        case.error = f"{type(exc).__name__}: {exc}".splitlines()[0]
+        return case
+    tnet = run.machine.tnet
+    if isinstance(tnet, FaultyTNet):
+        case.counters = tnet.stats.as_dict()
+    case.results_match = results_digest(run.results) == want_results
+    case.memory_match = memory_digest(run.machine) == want_memory
+    case.verified = bool(run.verified)
+    if check:
+        case.check_clean = check_trace(
+            run.trace, f"{app}@{plan.name}").clean
+    case.ok = (case.results_match and case.memory_match and case.verified
+               and case.check_clean is not False)
+    return case
+
+
+def smoke_sweep(*, seed: int = 1994, cells: int | None = None,
+                log: Callable[[str], None] | None = None) -> ChaosReport:
+    """The CI-sized sweep behind ``repro chaos --smoke``."""
+    return chaos_sweep(SMOKE_APPS, smoke_plans(seed), cells=cells,
+                       log=log)

@@ -1,0 +1,198 @@
+"""Fault plans: declarative, seed-reproducible failure schedules.
+
+A :class:`FaultPlan` describes *everything* that will go wrong during one
+run — wire fault rates, cell kills and stalls, queue-pressure overrides —
+plus the recovery budget the reliable transport may spend tolerating it.
+All randomness flows from ``plan.seed`` through one ``random.Random``
+held by the injector, so a failing run replays byte-for-byte from its
+plan alone.
+
+Plans travel three ways:
+
+* programmatically — ``FaultPlan(seed=7, drop_rate=0.02)``;
+* through the machine config — ``MachineConfig(fault_plan=plan)``;
+* ambiently — ``with repro.faults.applied(plan): app.run()``, the path
+  the chaos harness uses because application ``run()`` entry points
+  build their machines internally (mirrors ``repro.trace.sanitize``).
+
+JSON round-tripping (:meth:`FaultPlan.to_dict` / :meth:`from_dict`)
+backs the ``repro chaos --plan file.json`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Kill cell ``pe`` immediately before its ``at_resume``-th scheduler
+    resumption (0 kills it before it runs its first blocked step)."""
+
+    pe: int
+    at_resume: int = 0
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """Freeze cell ``pe`` for ``passes`` scheduler rounds starting at its
+    ``at_resume``-th resumption — a transient hiccup, not a death."""
+
+    pe: int
+    at_resume: int = 0
+    passes: int = 3
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One complete, replayable failure schedule."""
+
+    name: str = "custom"
+    seed: int = 0
+    # --- wire faults (per transmitted frame, including retransmissions) --
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: A delayed frame is held for 1..delay_max_rounds drain rounds.
+    delay_max_rounds: int = 4
+    # --- cell faults -----------------------------------------------------
+    kills: tuple[KillSpec, ...] = ()
+    stalls: tuple[StallSpec, ...] = ()
+    #: With degradation on, collectives shrink around killed cells and
+    #: frames to them are discarded; off, communication with a killed
+    #: cell exhausts its retries into a CommTimeoutError.
+    degrade: bool = False
+    # --- queue pressure (None keeps the hardware defaults) ---------------
+    queue_capacity_words: int | None = None
+    spill_buffer_words: int | None = None
+    max_spill_buffers: int | None = None
+    # --- recovery budget -------------------------------------------------
+    #: Quiescent pump rounds before the transport retransmits everything
+    #: still unacknowledged.
+    timeout_rounds: int = 3
+    #: Retransmissions per frame before giving up with CommTimeoutError.
+    max_retries: int = 16
+    #: Scheduler passes with no progress before the flag-wait/barrier
+    #: watchdog converts a silent hang into a CommTimeoutError.
+    watchdog_passes: int = 6
+
+    def __post_init__(self) -> None:
+        for rate_name in ("drop_rate", "dup_rate", "corrupt_rate",
+                          "delay_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"fault plan {self.name!r}: {rate_name} must be in "
+                    f"[0, 1], got {rate}")
+        if self.delay_max_rounds < 1:
+            raise ConfigurationError(
+                f"fault plan {self.name!r}: delay_max_rounds must be >= 1")
+        if self.timeout_rounds < 1 or self.max_retries < 1:
+            raise ConfigurationError(
+                f"fault plan {self.name!r}: recovery budget must allow at "
+                "least one timeout round and one retry")
+        if self.watchdog_passes < 1:
+            raise ConfigurationError(
+                f"fault plan {self.name!r}: watchdog_passes must be >= 1")
+
+    @property
+    def wire_faults(self) -> bool:
+        """True when any per-frame fault rate is non-zero."""
+        return bool(self.drop_rate or self.dup_rate or self.corrupt_rate
+                    or self.delay_rate)
+
+    def killed_at(self, pe: int, resume: int) -> bool:
+        return any(k.pe == pe and resume >= k.at_resume for k in self.kills)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out["kills"] = [asdict(k) for k in self.kills]
+        out["stalls"] = [asdict(s) for s in self.stalls]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"fault plan has unknown keys {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["kills"] = tuple(
+            KillSpec(**k) for k in data.get("kills", ()))
+        kwargs["stalls"] = tuple(
+            StallSpec(**s) for s in data.get("stalls", ()))
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path: str | Path) -> list["FaultPlan"]:
+        """Read one plan or a list of plans from a JSON file."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if isinstance(data, dict):
+            data = [data]
+        return [cls.from_dict(entry) for entry in data]
+
+
+# ----------------------------------------------------------------------
+# Built-in plan sets
+# ----------------------------------------------------------------------
+
+def smoke_plans(seed: int = 1994) -> tuple[FaultPlan, ...]:
+    """The small CI sweep: every wire-fault class at >= 1% rates."""
+    return (
+        FaultPlan(name="drop", seed=seed, drop_rate=0.02),
+        FaultPlan(name="storm", seed=seed + 1, drop_rate=0.01,
+                  dup_rate=0.02, corrupt_rate=0.01, delay_rate=0.05),
+    )
+
+
+def full_plans(seed: int = 1994) -> tuple[FaultPlan, ...]:
+    """The default ``repro chaos`` sweep: each fault class isolated,
+    then combined, then combined under queue pressure."""
+    return (
+        FaultPlan(name="drop", seed=seed, drop_rate=0.03),
+        FaultPlan(name="dup", seed=seed + 1, dup_rate=0.05),
+        FaultPlan(name="corrupt", seed=seed + 2, corrupt_rate=0.03),
+        FaultPlan(name="delay", seed=seed + 3, delay_rate=0.10,
+                  delay_max_rounds=6),
+        FaultPlan(name="storm", seed=seed + 4, drop_rate=0.02,
+                  dup_rate=0.02, corrupt_rate=0.02, delay_rate=0.05),
+        FaultPlan(name="squeeze", seed=seed + 5, drop_rate=0.01,
+                  delay_rate=0.05, queue_capacity_words=16),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ambient plan (mirrors repro.trace.sanitize)
+# ----------------------------------------------------------------------
+
+_ACTIVE: ContextVar[FaultPlan | None] = ContextVar(
+    "repro_fault_plan", default=None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The ambient fault plan, if a :func:`applied` region is open."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def applied(plan: FaultPlan | None) -> Iterator[None]:
+    """Apply ``plan`` to every Machine built inside the region."""
+    token = _ACTIVE.set(plan)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

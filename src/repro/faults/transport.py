@@ -1,0 +1,269 @@
+"""Reliable link layer over the faulty T-net.
+
+When a fault plan is active, every MSC+ packet becomes a *frame*: it is
+stamped with a per-(src, dst)-flow sequence number and a CRC32 covering
+header and payload, and a pristine copy is parked in a retransmit buffer
+until the receiver's cumulative ``LINK_ACK`` covers it.  The receive side
+verifies the checksum (answering ``LINK_NACK`` on corruption), discards
+duplicates, and resequences out-of-order frames so that the upper layers
+still observe the per-flow FIFO order the paper's acknowledge idiom
+(GET-after-PUT, section 4.1) is built on.  Exactly-once delivery also
+protects the flag counters: a duplicated PUT must not increment its
+receive flag twice.
+
+Retransmission is driven by the functional machine's pump loop: when the
+wire is quiescent but frames remain unacknowledged, the machine ticks the
+transport; after ``plan.timeout_rounds`` ticks everything outstanding is
+resent (and recorded as TIMEOUT/RETRY trace events).  A frame that
+exhausts ``plan.max_retries`` raises
+:class:`~repro.core.errors.CommTimeoutError` with the machine's
+blocked-cell dump attached — recovery either succeeds inside the pump
+(preserving the quiescence-at-issue property the happens-before checker
+relies on) or fails loudly; it never hangs.
+
+Killed cells: frames toward a dead cell fall off the wire.  Under
+``plan.degrade`` the transport acknowledges them locally (the sender
+moves on and collectives shrink); otherwise they burn their retry budget
+and surface as a structured timeout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.errors import CommTimeoutError
+from repro.faults.injector import FaultyTNet
+from repro.faults.plan import FaultPlan
+from repro.network.packet import Packet, PacketKind, link_checksum
+from repro.trace.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+Flow = tuple[int, int]
+
+
+class ReliableTransport:
+    """Sequence numbers, checksums, acks, and retransmission."""
+
+    def __init__(self, tnet: FaultyTNet, plan: FaultPlan,
+                 machine: "Machine") -> None:
+        self.tnet = tnet
+        self.plan = plan
+        self.machine = machine
+        self.stats = tnet.stats
+        # sender side
+        self._next_seq: dict[Flow, int] = {}
+        self._unacked: dict[Flow, dict[int, Packet]] = {}
+        self._retry_count: dict[tuple[Flow, int], int] = {}
+        self._ticks = 0
+        # receiver side
+        self._expected: dict[Flow, int] = {}
+        self._reorder: dict[Flow, dict[int, Packet]] = {}
+        #: Last gap sequence NACKed per flow, so a burst of out-of-order
+        #: arrivals asks for one fast retransmit, not one per arrival.
+        self._gap_nacked: dict[Flow, int] = {}
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def outbound(self, packet: Packet) -> None:
+        """Frame a data packet and cross the wire once."""
+        flow = (packet.src, packet.dst)
+        if packet.dst in self.tnet.killed and self.plan.degrade:
+            # Degradation: traffic toward a dead cell is discarded at the
+            # source, acknowledged implicitly.
+            self.stats.degraded_discards += 1
+            return
+        seq = self._next_seq.get(flow, 0)
+        self._next_seq[flow] = seq + 1
+        packet.link_seq = seq
+        packet.checksum = link_checksum(packet)
+        self._unacked.setdefault(flow, {})[seq] = packet
+        self.tnet.transmit(packet)
+
+    def idle(self) -> bool:
+        """True when every framed packet has been acknowledged."""
+        return not any(self._unacked.values())
+
+    def tick(self) -> None:
+        """One quiescent pump round passed with frames outstanding.
+
+        After ``timeout_rounds`` ticks, retransmit everything unacked;
+        a frame beyond its retry budget raises CommTimeoutError."""
+        self._ticks += 1
+        if self._ticks < self.plan.timeout_rounds:
+            return
+        self._ticks = 0
+        self.stats.timeouts += 1
+        for flow, frames in self._unacked.items():
+            if not frames:
+                continue
+            self._record(EventKind.TIMEOUT, pe=flow[0], partner=flow[1],
+                         count=len(frames))
+            for seq in sorted(frames):
+                self._retransmit(flow, seq, frames[seq])
+
+    def _retransmit(self, flow: Flow, seq: int, frame: Packet) -> None:
+        key = (flow, seq)
+        retries = self._retry_count.get(key, 0) + 1
+        self._retry_count[key] = retries
+        if retries > self.plan.max_retries:
+            raise CommTimeoutError(self._give_up_report(flow, seq, frame))
+        self.stats.retries += 1
+        self._record(EventKind.RETRY, pe=flow[0], partner=flow[1],
+                     count=retries)
+        self.tnet.transmit(frame)
+
+    def _give_up_report(self, flow: Flow, seq: int, frame: Packet) -> str:
+        src, dst = flow
+        lines = [
+            f"reliable delivery gave up: frame {seq} of flow "
+            f"{src} -> {dst} ({frame.kind.value}, "
+            f"{frame.payload_bytes} payload bytes) unacknowledged after "
+            f"{self.plan.max_retries} retransmissions"
+        ]
+        if dst in self.tnet.killed:
+            lines.append(
+                f"  cell {dst} was killed by fault plan "
+                f"{self.plan.name!r} (degradation mode off)")
+        lines.append(
+            f"  transport: {self.stats.retries} retries, "
+            f"{self.stats.timeouts} timeouts, "
+            f"{sum(len(f) for f in self._unacked.values())} frames "
+            "outstanding")
+        lines.append(self.machine._deadlock_report(None))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> list[Packet]:
+        """Filter one wire arrival; returns the frames (in per-flow FIFO
+        order) that may be delivered to the MSC+."""
+        kind = packet.kind
+        if kind is PacketKind.LINK_ACK:
+            self._handle_ack(packet)
+            return []
+        if kind is PacketKind.LINK_NACK:
+            self._handle_nack(packet)
+            return []
+        if packet.link_seq < 0:
+            # Unframed packet (injected before the transport was wired,
+            # e.g. by a test poking the raw network): pass through.
+            return [packet]
+        if packet.dst in self.tnet.killed:
+            if self.plan.degrade:
+                self.stats.degraded_discards += 1
+                self._send_ack((packet.src, packet.dst))
+            return []
+        if link_checksum(packet) != packet.checksum:
+            self.stats.corrupt_discarded += 1
+            self._send_control(PacketKind.LINK_NACK, flow_src=packet.src,
+                               flow_dst=packet.dst, seq=packet.link_seq)
+            return []
+        flow = (packet.src, packet.dst)
+        expected = self._expected.get(flow, 0)
+        if packet.link_seq < expected:
+            # Old duplicate (retransmission raced its own ack): discard
+            # and re-ack so the sender stops retrying.
+            self.stats.dup_discarded += 1
+            self._send_ack(flow)
+            return []
+        buffer = self._reorder.setdefault(flow, {})
+        if packet.link_seq > expected:
+            # A gap: a delayed or dropped frame is still missing.  Hold
+            # this one and ask for the missing frame once per gap.
+            if packet.link_seq in buffer:
+                self.stats.dup_discarded += 1
+            else:
+                buffer[packet.link_seq] = packet
+                self.stats.reordered += 1
+            if self._gap_nacked.get(flow) != expected:
+                self._gap_nacked[flow] = expected
+                self._send_control(PacketKind.LINK_NACK, flow_src=flow[0],
+                                   flow_dst=flow[1], seq=expected)
+            return []
+        ready = [packet]
+        expected += 1
+        while expected in buffer:
+            ready.append(buffer.pop(expected))
+            expected += 1
+        self._expected[flow] = expected
+        self._send_ack(flow)
+        return ready
+
+    def _handle_ack(self, packet: Packet) -> None:
+        if link_checksum(packet) != packet.checksum:
+            return  # corrupted control frame; the data timeout recovers
+        flow = (packet.dst, packet.src)  # ack travels receiver -> sender
+        cumulative = packet.link_seq
+        frames = self._unacked.get(flow)
+        if not frames:
+            return
+        for seq in [s for s in frames if s <= cumulative]:
+            del frames[seq]
+            self._retry_count.pop((flow, seq), None)
+
+    def _handle_nack(self, packet: Packet) -> None:
+        if link_checksum(packet) != packet.checksum:
+            return
+        flow = (packet.dst, packet.src)
+        seq = packet.link_seq
+        frame = self._unacked.get(flow, {}).get(seq)
+        if frame is not None:
+            self._retransmit(flow, seq, frame)
+
+    def _send_ack(self, flow: Flow) -> None:
+        expected = self._expected.get(flow, 0)
+        self.stats.acks_sent += 1
+        self._send_control(PacketKind.LINK_ACK, flow_src=flow[0],
+                           flow_dst=flow[1], seq=expected - 1)
+
+    def _send_control(self, kind: PacketKind, *, flow_src: int,
+                      flow_dst: int, seq: int) -> None:
+        """Emit a control frame from the flow's receiver to its sender.
+
+        Control frames ride the same faulty wire (they can be dropped,
+        delayed, or corrupted too) but are consumed by the transport and
+        never reach an MSC+."""
+        if kind is PacketKind.LINK_NACK:
+            self.stats.nacks_sent += 1
+        control = Packet(kind=kind, src=flow_dst, dst=flow_src,
+                         payload_bytes=0, link_seq=seq)
+        control.checksum = link_checksum(control)
+        self.tnet.transmit(control)
+
+    # ------------------------------------------------------------------
+    # Cell death
+    # ------------------------------------------------------------------
+
+    def on_kill(self, pe: int) -> None:
+        """Purge link state involving a killed cell.
+
+        Under degradation, frames toward the dead cell are acknowledged
+        locally; otherwise they stay in the retransmit buffer and burn
+        their budget into a CommTimeoutError."""
+        for flow in list(self._reorder):
+            if pe in flow:
+                self._reorder.pop(flow, None)
+        if not self.plan.degrade:
+            return
+        for flow, frames in self._unacked.items():
+            if flow[1] != pe:
+                continue
+            self.stats.degraded_discards += len(frames)
+            for seq in list(frames):
+                del frames[seq]
+                self._retry_count.pop((flow, seq), None)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: EventKind, *, pe: int, partner: int,
+                count: int) -> None:
+        self.machine.record_robustness_event(kind, pe=pe, partner=partner,
+                                             count=count)

@@ -19,6 +19,7 @@ of interrupt so timing layers can charge them.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -55,6 +56,10 @@ class CommandQueue:
     popped: int = 0
     spilled: int = 0
     high_water_words: int = 0
+    #: Observer invoked as ``on_spill(queue_name, words)`` every time a
+    #: command streams past the hardware queue into DRAM.  The functional
+    #: machine points this at its trace so spills become SPILL events.
+    on_spill: Callable[[str, int], None] | None = None
 
     def push(self, command: Any, words: int = COMMAND_WORDS) -> None:
         """Enqueue a command of ``words`` parameter words.
@@ -91,6 +96,8 @@ class CommandQueue:
         self._spill.append((command, words))
         self._spill_words += words
         self.spilled += 1
+        if self.on_spill is not None:
+            self.on_spill(self.name, words)
 
     def pop(self) -> Any:
         """Dequeue the oldest command, refilling from the spill buffer."""

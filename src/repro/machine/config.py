@@ -18,9 +18,13 @@ operation counts into trace work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.errors import ConfigurationError
 from repro.trace.buffer import DEFAULT_CAPACITY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 MEGABYTE = 1024 * 1024
 
@@ -56,6 +60,10 @@ class MachineConfig:
     #: race checker (:mod:`repro.check`).  Also switchable ambiently via
     #: :func:`repro.trace.sanitize.enabled`.
     sanitize: bool = False
+    #: Seeded fault-injection schedule (:mod:`repro.faults`); None runs a
+    #: perfect machine.  Also switchable ambiently via
+    #: :func:`repro.faults.applied`.
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.num_cells < 1:

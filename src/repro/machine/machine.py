@@ -16,14 +16,23 @@ from __future__ import annotations
 
 import functools
 import inspect
+import random
 from collections.abc import Callable
 from typing import Any
 
 import numpy as np
 
 from repro.core.completion import AckPolicy
-from repro.core.errors import CommunicationError, ConfigurationError, DeadlockError
+from repro.core.errors import (
+    CommTimeoutError,
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+)
 from repro.core.flags import flag_area_end
+from repro.faults.injector import FaultyBNet, FaultyTNet
+from repro.faults.plan import active_plan as _active_fault_plan
+from repro.faults.transport import ReliableTransport
 from repro.hardware.cell import HardwareCell
 from repro.hardware.msc import Command, CommandKind
 from repro.machine.config import MachineConfig
@@ -36,6 +45,7 @@ from repro.network.tnet import TNet
 from repro.network.topology import TorusTopology
 from repro.trace import sanitize as trace_sanitize
 from repro.trace.buffer import TraceBuffer
+from repro.trace.events import EventKind, TraceEvent
 from repro.core.collectives import combine
 
 #: Heap allocations start above the flag area, page-aligned.
@@ -47,21 +57,28 @@ def _align(value: int, alignment: int) -> int:
 
 
 class _BarrierState:
-    __slots__ = ("generation", "arrived")
+    __slots__ = ("generation", "arrived", "members")
 
-    def __init__(self) -> None:
+    def __init__(self, members: tuple[int, ...] = ()) -> None:
         self.generation = 0
         self.arrived: set[int] = set()
+        self.members = tuple(members)
 
 
 class _ReductionState:
-    __slots__ = ("per_pe_generation", "slots", "results", "fetches")
+    __slots__ = ("per_pe_generation", "slots", "results", "fetches",
+                 "members", "ops")
 
-    def __init__(self) -> None:
+    def __init__(self, members: tuple[int, ...] = ()) -> None:
         self.per_pe_generation: dict[int, int] = {}
         self.slots: dict[int, dict[int, Any]] = {}
         self.results: dict[int, Any] = {}
         self.fetches: dict[int, int] = {}
+        self.members = tuple(members)
+        #: Reduction op per pending generation (needed to finish a
+        #: degraded reduction when a kill, not a contribution, completes
+        #: it).
+        self.ops: dict[int, str] = {}
 
 
 class Machine:
@@ -77,9 +94,21 @@ class Machine:
         self.ack_policy = ack_policy
         n = config.num_cells
         self.topology = TorusTopology.for_cells(n)
-        self.tnet = TNet(self.topology)
+        #: Fault-injection schedule: explicit config wins, else ambient.
+        plan = (config.fault_plan if config.fault_plan is not None
+                else _active_fault_plan())
+        self.fault_plan = plan
+        if plan is not None:
+            self.fault_rng = random.Random(plan.seed)
+            self.tnet: TNet = FaultyTNet(self.topology, plan,
+                                         self.fault_rng)
+            self.bnet: BNet = FaultyBNet(n, plan, self.fault_rng,
+                                         self.tnet.stats)
+        else:
+            self.fault_rng = None
+            self.tnet = TNet(self.topology)
+            self.bnet = BNet(n)
         self.snet = SNet(n)
-        self.bnet = BNet(n)
         self.hw_cells = [
             HardwareCell.build(pe, self.tnet, config.memory_per_cell)
             for pe in range(n)
@@ -102,6 +131,37 @@ class Machine:
         #: Progress counter; blocking helpers bump it when their condition
         #: passes, packet deliveries bump it too.
         self.progress = 0
+        #: Cells the fault plan has killed (mirrored into the T-net).
+        self.killed: set[int] = set()
+        #: Live flag waits, pe -> (flag id, target, flag addr); feeds the
+        #: deadlock/timeout report with "waiting on flag F (cur/target)".
+        self._flag_waits: dict[int, tuple[int, int, int]] = {}
+        #: Scheduler resumptions per cell (drives kill/stall timing).
+        self._resumes = [0] * n
+        self._stalls: dict[int, list[Any]] = {}
+        self._stall_remaining: dict[int, int] = {}
+        if plan is not None:
+            for spec in plan.stalls:
+                self._stalls.setdefault(spec.pe, []).append(spec)
+        self._active_generators: dict[int, Any] | None = None
+        #: Reliable link layer; None on a perfect machine.
+        self.transport = (ReliableTransport(self.tnet, plan, self)
+                          if plan is not None else None)
+        if self.transport is not None:
+            self.tnet.transport = self.transport
+        for pe, cell in enumerate(self.hw_cells):
+            msc = cell.msc
+            for queue in (msc.user_send_queue, msc.system_send_queue,
+                          msc.remote_access_queue, msc.get_reply_queue,
+                          msc.remote_load_reply_queue):
+                queue.on_spill = functools.partial(self._record_spill, pe)
+                if plan is not None:
+                    if plan.queue_capacity_words is not None:
+                        queue.capacity_words = plan.queue_capacity_words
+                    if plan.spill_buffer_words is not None:
+                        queue.spill_buffer_words = plan.spill_buffer_words
+                    if plan.max_spill_buffers is not None:
+                        queue.max_spill_buffers = plan.max_spill_buffers
 
     # ------------------------------------------------------------------
     # Memory allocation
@@ -160,30 +220,73 @@ class Machine:
         Drains every dirty MSC+ queue and every in-flight packet; GET
         requests delivered to a cell dirty that cell (its MSC+ must send
         the reply) so the loop runs until nothing moves.
+
+        With a fault plan active the wire may eat frames, so "nothing
+        moves" is not enough: whenever the wire goes quiet while framed
+        packets remain unacknowledged, the reliable transport is ticked
+        (eventually retransmitting) and the wire is drained again.  The
+        loop ends only at *reliable* quiescence — every frame delivered
+        exactly once and acknowledged — or by raising
+        :class:`~repro.core.errors.CommTimeoutError` once a frame's
+        retry budget is spent.  Recovery thus completes inside the pump,
+        preserving the quiescence-at-issue property the happens-before
+        checker relies on.
         """
+        transport = self.transport
+        while True:
+            self._pump_wire()
+            if transport is None or transport.idle():
+                return
+            transport.tick()
+
+    def _pump_wire(self) -> None:
+        """One perfect-wire quiescence loop (no retransmission)."""
         while True:
             dirty = self._dirty
             if not dirty and self.tnet.injected_count == self.tnet.delivered_count:
                 return
             self._dirty = set()
             for pe in dirty:
+                if pe in self.killed:
+                    continue
                 msc = self.hw_cells[pe].msc
                 msc.pump_send()
                 msc.pump_replies()
             for packet in self.tnet.drain_all():
-                msc = self.hw_cells[packet.dst].msc
-                msc.deliver(packet)
-                self.progress += 1
-                if packet.kind in (PacketKind.GET_REQUEST,
-                                   PacketKind.REMOTE_LOAD):
-                    self._dirty.add(packet.dst)
+                if self.transport is not None:
+                    arrivals = self.transport.receive(packet)
+                elif packet.dst in self.killed:
+                    continue
+                else:
+                    arrivals = [packet]
+                for frame in arrivals:
+                    msc = self.hw_cells[frame.dst].msc
+                    msc.deliver(frame)
+                    self.progress += 1
+                    if frame.kind in (PacketKind.GET_REQUEST,
+                                      PacketKind.REMOTE_LOAD):
+                        self._dirty.add(frame.dst)
 
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
 
+    def _alive_members(self, members: tuple[int, ...]) -> tuple[int, ...]:
+        """The members a collective must wait for.
+
+        On a perfect machine (or without ``plan.degrade``) that is every
+        member — a killed cell then hangs the collective until the
+        watchdog converts the hang into a CommTimeoutError.  Under
+        degradation the group shrinks around its dead members."""
+        if self.fault_plan is not None and self.fault_plan.degrade:
+            return tuple(m for m in members if m not in self.killed)
+        return members
+
     def barrier_arrive(self, group: Group, pe: int) -> int:
-        state = self._barriers.setdefault(group.gid, _BarrierState())
+        state = self._barriers.get(group.gid)
+        if state is None:
+            state = _BarrierState(group.members)
+            self._barriers[group.gid] = state
         if pe in state.arrived:
             raise CommunicationError(
                 f"cell {pe} arrived twice at barrier of group {group.gid}")
@@ -193,15 +296,20 @@ class Machine:
                 "not belong to")
         state.arrived.add(pe)
         generation = state.generation
-        if len(state.arrived) == group.size:
-            state.arrived.clear()
-            state.generation += 1
-            self.progress += 1
-            if group.gid == 0:
-                # The all-cells barrier is the hardware S-net's job.
-                for member in group.members:
-                    self.snet.arrive(member)
+        self._maybe_release_barrier(group.gid, state)
         return generation
+
+    def _maybe_release_barrier(self, gid: int, state: _BarrierState) -> None:
+        required = self._alive_members(state.members)
+        if not required or not all(m in state.arrived for m in required):
+            return
+        state.arrived.clear()
+        state.generation += 1
+        self.progress += 1
+        if gid == 0:
+            # The all-cells barrier is the hardware S-net's job.
+            for member in state.members:
+                self.snet.arrive(member)
 
     def barrier_passed(self, gid: int, generation: int) -> bool:
         state = self._barriers.get(gid)
@@ -213,7 +321,10 @@ class Machine:
             raise CommunicationError(
                 f"cell {pe} reducing with group {group.gid} it does not "
                 "belong to")
-        state = self._reductions.setdefault(group.gid, _ReductionState())
+        state = self._reductions.get(group.gid)
+        if state is None:
+            state = _ReductionState(group.members)
+            self._reductions[group.gid] = state
         generation = state.per_pe_generation.get(pe, 0)
         state.per_pe_generation[pe] = generation + 1
         slot = state.slots.setdefault(generation, {})
@@ -222,22 +333,36 @@ class Machine:
                 f"cell {pe} contributed twice to reduction {generation} "
                 f"of group {group.gid}")
         slot[pe] = value
-        if len(slot) == group.size:
-            contributions = [slot[m] for m in group.members]
-            state.results[generation] = functools.reduce(
-                lambda a, b: _combine_values(op, a, b), contributions)
-            state.fetches[generation] = 0
-            del state.slots[generation]
-            self.progress += 1
+        state.ops.setdefault(generation, op)
+        self._maybe_complete_reduction(group.gid, state, generation)
         while generation not in state.results:
             yield
         self.note_progress()
         result = state.results[generation]
         state.fetches[generation] += 1
-        if state.fetches[generation] == group.size:
+        if state.fetches[generation] >= len(
+                self._alive_members(state.members)):
             del state.results[generation]
             del state.fetches[generation]
         return result
+
+    def _maybe_complete_reduction(self, gid: int, state: _ReductionState,
+                                  generation: int) -> None:
+        slot = state.slots.get(generation)
+        if slot is None:
+            return
+        required = self._alive_members(state.members)
+        if not required or not all(m in slot for m in required):
+            return
+        # Combine in member order (alive contributions only, when the
+        # group has degraded around killed cells).
+        contributions = [slot[m] for m in required]
+        op = state.ops.pop(generation)
+        state.results[generation] = functools.reduce(
+            lambda a, b: _combine_values(op, a, b), contributions)
+        state.fetches[generation] = 0
+        del state.slots[generation]
+        self.progress += 1
 
     # ------------------------------------------------------------------
     # Distributed shared memory
@@ -268,6 +393,12 @@ class Machine:
         self.pump()
         reply = self.hw_cells[src].msc.take_load_reply()
         if reply is None:
+            if target in self.killed:
+                # Degradation can discard traffic toward a dead cell, but
+                # a load needs a value; there is no graceful answer.
+                raise CommTimeoutError(
+                    f"remote load from killed cell {target} cannot "
+                    "complete")
             raise CommunicationError(
                 f"remote load from cell {target} produced no reply")
         assert reply.data is not None
@@ -300,9 +431,15 @@ class Machine:
 
         Returns the per-cell return values.  Raises
         :class:`~repro.core.errors.DeadlockError` when every unfinished
-        program is blocked and nothing can make progress.
+        program is blocked and nothing can make progress — or, when the
+        hang is attributable to an active fault plan (killed cells or
+        unacknowledged frames), the structured
+        :class:`~repro.core.errors.CommTimeoutError` so chaos runs never
+        hang silently.  An active plan's kills and stalls fire here,
+        keyed on each cell's scheduler-resumption count.
         """
         n = self.config.num_cells
+        plan = self.fault_plan
         contexts = [CellContext(self, pe) for pe in range(n)]
         results: list[Any] = [None] * n
         generators: dict[int, Any] = {}
@@ -312,26 +449,123 @@ class Machine:
                 generators[pe] = outcome
             else:
                 results[pe] = outcome
+        self._active_generators = generators
         stalled_passes = 0
-        while generators:
-            before = self.progress
-            for pe in sorted(generators):
-                try:
-                    next(generators[pe])
-                except StopIteration as stop:
-                    results[pe] = stop.value
-                    del generators[pe]
-                    self.progress += 1
-            if self.progress == before:
-                stalled_passes += 1
-                if stalled_passes >= 3:
-                    raise DeadlockError(self._deadlock_report(generators))
-            else:
-                stalled_passes = 0
+        watchdog = 3 if plan is None else max(3, plan.watchdog_passes)
+        try:
+            while generators:
+                before = self.progress
+                saw_stall = False
+                for pe in sorted(generators):
+                    if plan is not None:
+                        if self._kill_due(pe):
+                            self.kill_cell(pe)
+                            continue
+                        if self._stall_check(pe):
+                            saw_stall = True
+                            continue
+                    self._resumes[pe] += 1
+                    try:
+                        next(generators[pe])
+                    except StopIteration as stop:
+                        results[pe] = stop.value
+                        del generators[pe]
+                        self.progress += 1
+                if self.progress == before and not saw_stall:
+                    stalled_passes += 1
+                    if stalled_passes >= watchdog:
+                        self._raise_hang(generators)
+                else:
+                    stalled_passes = 0
+        finally:
+            self._active_generators = None
         self.pump()
         return results
 
-    def _deadlock_report(self, generators: dict[int, Any]) -> str:
+    def _raise_hang(self, generators: dict[int, Any]) -> None:
+        """Watchdog expiry: name the hang for what it is."""
+        report = self._deadlock_report(generators)
+        if self.fault_plan is not None and (
+                self.killed
+                or (self.transport is not None
+                    and not self.transport.idle())):
+            raise CommTimeoutError(
+                "communication watchdog expired: cells blocked on "
+                "communication that can no longer complete\n" + report)
+        raise DeadlockError(report)
+
+    def _kill_due(self, pe: int) -> bool:
+        plan = self.fault_plan
+        return (plan is not None and pe not in self.killed
+                and plan.killed_at(pe, self._resumes[pe]))
+
+    def _stall_check(self, pe: int) -> bool:
+        """True when the plan freezes ``pe`` for this scheduler pass."""
+        remaining = self._stall_remaining.get(pe, 0)
+        if remaining > 0:
+            self._stall_remaining[pe] = remaining - 1
+            return True
+        specs = self._stalls.get(pe)
+        if specs:
+            resumes = self._resumes[pe]
+            for spec in list(specs):
+                if resumes >= spec.at_resume:
+                    specs.remove(spec)
+                    # This pass counts as the first frozen one.
+                    self._stall_remaining[pe] = spec.passes - 1
+                    return True
+        return False
+
+    def kill_cell(self, pe: int) -> None:
+        """Kill cell ``pe`` mid-program: its generator dies instantly and
+        frames toward it fall off the wire.  With ``plan.degrade`` the
+        survivors' collectives shrink around the corpse; without it, any
+        cell that depends on ``pe`` times out with a structured error."""
+        if pe in self.killed:
+            return
+        generators = self._active_generators
+        if generators is not None:
+            gen = generators.pop(pe, None)
+            if gen is not None:
+                gen.close()
+        self.killed.add(pe)
+        if isinstance(self.tnet, FaultyTNet):
+            self.tnet.killed.add(pe)
+        self._flag_waits.pop(pe, None)
+        self._dirty.discard(pe)
+        if self.transport is not None:
+            self.transport.on_kill(pe)
+        if self.fault_plan is not None and self.fault_plan.degrade:
+            self._refresh_collectives()
+        self.progress += 1
+
+    def _refresh_collectives(self) -> None:
+        """Re-check every pending collective after the world shrank."""
+        for gid, bstate in self._barriers.items():
+            self._maybe_release_barrier(gid, bstate)
+        for gid, rstate in self._reductions.items():
+            for generation in sorted(rstate.slots):
+                self._maybe_complete_reduction(gid, rstate, generation)
+
+    # ------------------------------------------------------------------
+    # Robustness bookkeeping
+    # ------------------------------------------------------------------
+
+    def record_robustness_event(self, kind: EventKind, *, pe: int,
+                                partner: int, count: int = 0) -> None:
+        """Record a RETRY/TIMEOUT trace event from the transport."""
+        self.trace.record(TraceEvent(kind=kind, pe=pe, partner=partner,
+                                     size=int(count)))
+
+    def _record_spill(self, pe: int, queue_name: str, words: int) -> None:
+        """A command-queue word streamed past the MSC+ into DRAM."""
+        self.trace.record(TraceEvent(kind=EventKind.SPILL, pe=pe,
+                                     size=int(words)))
+
+    def _deadlock_report(self, generators: dict[int, Any] | None = None
+                         ) -> str:
+        if generators is None:
+            generators = self._active_generators or {}
         blocked = sorted(generators)
         lines = [
             f"deadlock: {len(blocked)} cell(s) blocked with no progress "
@@ -342,6 +576,20 @@ class Machine:
                 lines.append(
                     f"  barrier group {gid}: {len(state.arrived)} arrived, "
                     f"waiting for more")
+        for pe in blocked[:16]:
+            wait = self._flag_waits.get(pe)
+            if wait is not None:
+                flag_id, target, addr = wait
+                current = self.hw_cells[pe].mc.read_flag(addr)
+                status = f"waiting on flag {flag_id} ({current}/{target})"
+            else:
+                status = "blocked (barrier, receive, or reduction)"
+            lines.append(
+                f"  cell {pe}: {status}; T-net in flight: "
+                f"{self.tnet.pending_for(pe)} inbound, "
+                f"{self.tnet.pending_from(pe)} outbound")
+        if self.killed:
+            lines.append(f"  killed cells: {sorted(self.killed)}")
         in_flight = self.tnet.injected_count - self.tnet.delivered_count
         lines.append(f"  packets in flight: {in_flight}")
         return "\n".join(lines)

@@ -465,8 +465,13 @@ class CellContext:
         """Block until ``flag``'s counter on this cell reaches ``target``."""
         self._trace(EventKind.FLAG_WAIT, flag=flag.id_on(self.pe),
                     target=int(target))
+        # Register the wait so a hang report can say which flag this
+        # cell is stuck on, and how far the count got.
+        waits = self.machine._flag_waits
+        waits[self.pe] = (flag.id_on(self.pe), int(target), flag.addr)
         while self.hw.mc.read_flag(flag.addr) < target:
             yield
+        waits.pop(self.pe, None)
         self.machine.note_progress()
 
     # ------------------------------------------------------------------

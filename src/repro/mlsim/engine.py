@@ -308,6 +308,11 @@ class MLSimEngine:
             self._apply_theft(st)
             self._busy(st, self.p.creg_access_time, "overhead")
             return True
+        if kind in (EventKind.RETRY, EventKind.TIMEOUT, EventKind.SPILL):
+            # Robustness bookkeeping from repro.faults: the link layer and
+            # the queue spill hardware run concurrently with the processor,
+            # so replay charges no time for them.
+            return True
         raise SimulationError(f"unknown trace event kind {kind}")
 
     # ------------------------------------------------------------------

@@ -32,14 +32,18 @@ class TNet:
     delivered_count: int = 0
     injected_count: int = 0
 
-    def inject(self, packet: Packet) -> None:
-        """Accept a packet from a cell's MSC+ for transport."""
+    def validate_endpoints(self, packet: Packet) -> None:
+        """Reject packets addressed outside the machine."""
         n = self.topology.num_cells
         if not (0 <= packet.src < n and 0 <= packet.dst < n):
             raise CommunicationError(
                 f"packet endpoints ({packet.src} -> {packet.dst}) outside "
                 f"{n}-cell machine"
             )
+
+    def inject(self, packet: Packet) -> None:
+        """Accept a packet from a cell's MSC+ for transport."""
+        self.validate_endpoints(packet)
         self._channels.setdefault((packet.src, packet.dst), deque()).append(packet)
         self.injected_count += 1
 
@@ -51,6 +55,12 @@ class TNet:
         """Number of packets in flight toward ``dst`` from anyone."""
         return sum(
             len(q) for (s, d), q in self._channels.items() if d == dst
+        )
+
+    def pending_from(self, src: int) -> int:
+        """Number of packets in flight out of ``src`` toward anyone."""
+        return sum(
+            len(q) for (s, d), q in self._channels.items() if s == src
         )
 
     def deliver_next(self, src: int, dst: int) -> Packet:

@@ -34,6 +34,10 @@ class EventKind(enum.IntEnum):
     REMOTE_STORE = 11  # non-blocking shared-memory store
     CREG_STORE = 12    # communication-register store (possibly remote)
     CREG_LOAD = 13     # communication-register load (blocks on p-bit)
+    # --- robustness events (repro.faults; zero-cost in MLSim) ---------
+    RETRY = 14         # link-layer retransmission of an unacked frame
+    TIMEOUT = 15       # retransmission timer expired on a cell
+    SPILL = 16         # an MSC+ command queue spilled words to DRAM
 
 
 #: Kinds that correspond to a message leaving this PE.

@@ -33,6 +33,13 @@ class AppStatistics:
     get_per_pe: float
     gets_per_pe: float
     avg_message_bytes: float
+    # Robustness counters (zero on a perfect machine; populated when
+    # repro.faults is active).  Machine-wide totals, not per-PE averages,
+    # because faults are rare events, not per-cell workload.  Defaults
+    # keep cached AppStatistics from before these fields loadable.
+    retries: int = 0
+    timeouts: int = 0
+    spills: int = 0
 
     def as_row(self) -> tuple:
         return (
@@ -83,6 +90,9 @@ def collect_statistics(trace: TraceBuffer) -> AppStatistics:
         get_per_pe=per_pe(counts[EventKind.GET] - gets_stride),
         gets_per_pe=per_pe(gets_stride),
         avg_message_bytes=(msg_bytes / msg_count) if msg_count else 0.0,
+        retries=counts[EventKind.RETRY],
+        timeouts=counts[EventKind.TIMEOUT],
+        spills=counts[EventKind.SPILL],
     )
 
 

@@ -1,0 +1,103 @@
+"""Cell kills: graceful degradation on, and structured timeouts off."""
+
+import pytest
+
+from repro.core.errors import CommTimeoutError
+from repro.faults.plan import FaultPlan, KillSpec
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+
+def make(n=4, plan=None, **kw):
+    kw.setdefault("memory_per_cell", 1 << 21)
+    return Machine(MachineConfig(num_cells=n, fault_plan=plan, **kw))
+
+
+def collective_program(ctx):
+    yield from ctx.barrier()
+    total = yield from ctx.gop(float(ctx.pe), "sum")
+    yield from ctx.barrier()
+    return total
+
+
+class TestDegradation:
+    def test_collectives_shrink_around_killed_cell(self):
+        plan = FaultPlan(name="kill", seed=1, degrade=True,
+                         kills=(KillSpec(pe=2, at_resume=1),))
+        m = make(plan=plan)
+        out = m.run(collective_program)
+        assert m.killed == {2}
+        assert out[2] is None
+        # Survivors reduce over the remaining members: 0 + 1 + 3.
+        assert out[0] == out[1] == out[3] == 4.0
+
+    def test_kill_before_first_resume(self):
+        plan = FaultPlan(name="kill", seed=1, degrade=True,
+                         kills=(KillSpec(pe=0, at_resume=0),))
+        m = make(2, plan=plan)
+        out = m.run(collective_program)
+        assert out == [None, 1.0]
+
+    def test_put_toward_corpse_is_discarded_not_fatal(self):
+        plan = FaultPlan(name="kill", seed=1, degrade=True,
+                         kills=(KillSpec(pe=1, at_resume=0),))
+        m = make(2, plan=plan)
+
+        def program(ctx):
+            a = ctx.alloc(4)
+            flag = ctx.alloc_flag()
+            yield  # let the kill fire first
+            ctx.put(1 - ctx.pe, a, a, send_flag=flag)
+            yield from ctx.flag_wait(flag, 1)
+            return "done"
+
+        out = m.run(program)
+        assert out[0] == "done"
+        assert m.tnet.stats.degraded_discards > 0
+
+    def test_remote_load_from_corpse_has_no_graceful_answer(self):
+        plan = FaultPlan(name="kill", seed=1, degrade=True,
+                         kills=(KillSpec(pe=1, at_resume=0),))
+        m = make(2, plan=plan)
+
+        def program(ctx):
+            a = ctx.alloc(4)
+            yield  # let the kill fire first
+            if ctx.pe == 0:
+                ctx.remote_load_word(1, a, 0)
+
+        with pytest.raises(CommTimeoutError) as err:
+            m.run(program)
+        assert "killed cell 1" in str(err.value)
+
+
+class TestNoDegradation:
+    def test_kill_surfaces_as_structured_timeout_not_hang(self):
+        plan = FaultPlan(name="kill", seed=1,
+                         kills=(KillSpec(pe=2, at_resume=1),))
+        m = make(plan=plan)
+        with pytest.raises(CommTimeoutError) as err:
+            m.run(collective_program)
+        message = str(err.value)
+        assert "watchdog expired" in message
+        assert "killed cells: [2]" in message
+
+    def test_put_toward_corpse_exhausts_retries(self):
+        plan = FaultPlan(name="kill", seed=1, timeout_rounds=1,
+                         max_retries=3,
+                         kills=(KillSpec(pe=1, at_resume=0),))
+        m = make(2, plan=plan)
+
+        def program(ctx):
+            a = ctx.alloc(4)
+            flag = ctx.alloc_flag()
+            if ctx.pe == 0:
+                yield  # let the kill fire first
+                ctx.put(1, a, a, send_flag=flag)
+                yield from ctx.flag_wait(flag, 1)
+
+        with pytest.raises(CommTimeoutError) as err:
+            m.run(program)
+        message = str(err.value)
+        assert "cell 1 was killed" in message
+        assert m.tnet.stats.blackholed > 0

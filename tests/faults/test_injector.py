@@ -1,0 +1,126 @@
+"""Wire-level injector behavior: determinism, accounting, fault kinds."""
+
+import random
+
+import pytest
+
+from repro.core.errors import CommTimeoutError
+from repro.faults.injector import FaultyBNet, FaultyTNet
+from repro.faults.plan import FaultPlan
+from repro.network.packet import Packet, PacketKind, link_checksum
+from repro.network.topology import TorusTopology
+
+
+def frame(src=0, dst=1, seq=0, data=b"\x01\x02\x03\x04"):
+    packet = Packet(kind=PacketKind.PUT, src=src, dst=dst,
+                    payload_bytes=len(data), data=data, link_seq=seq)
+    packet.checksum = link_checksum(packet)
+    return packet
+
+
+def faulty(plan):
+    return FaultyTNet(TorusTopology(2, 2), plan, random.Random(plan.seed))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(name="d", seed=42, drop_rate=0.2, dup_rate=0.2,
+                         corrupt_rate=0.2, delay_rate=0.2)
+        logs = []
+        for _ in range(2):
+            tnet = faulty(plan)
+            for seq in range(200):
+                tnet.transmit(frame(seq=seq))
+            logs.append(list(tnet.schedule))
+        assert logs[0] == logs[1]
+        assert logs[0]  # at those rates something must have fired
+
+    def test_different_seed_different_schedule(self):
+        base = FaultPlan(name="d", seed=1, drop_rate=0.2, dup_rate=0.2)
+        other = FaultPlan(name="d", seed=2, drop_rate=0.2, dup_rate=0.2)
+        a, b = faulty(base), faulty(other)
+        for seq in range(200):
+            a.transmit(frame(seq=seq))
+            b.transmit(frame(seq=seq))
+        assert a.schedule != b.schedule
+
+
+class TestAccounting:
+    def test_drop_keeps_counters_balanced(self):
+        tnet = faulty(FaultPlan(name="d", seed=0, drop_rate=1.0))
+        tnet.transmit(frame())
+        assert tnet.stats.dropped == 1
+        # A dropped frame was never injected: the pump's quiescence
+        # check (injected == delivered) must not wait for it.
+        assert tnet.injected_count == tnet.delivered_count == 0
+
+    def test_delayed_frame_counts_in_flight_and_releases(self):
+        tnet = faulty(FaultPlan(name="d", seed=0, delay_rate=1.0,
+                                delay_max_rounds=3))
+        tnet.transmit(frame())
+        assert tnet.stats.delayed == 1
+        assert tnet.injected_count == 1
+        assert tnet.delayed_frames == 1
+        delivered = []
+        for _ in range(4):  # at most delay_max_rounds drain rounds
+            delivered.extend(tnet.drain_all())
+        assert len(delivered) == 1
+        assert tnet.delayed_frames == 0
+        assert tnet.injected_count == tnet.delivered_count == 1
+
+    def test_duplicate_preserves_link_seq(self):
+        tnet = faulty(FaultPlan(name="d", seed=0, dup_rate=1.0))
+        tnet.transmit(frame(seq=7))
+        copies = tnet.drain_all()
+        assert len(copies) == 2
+        assert all(p.link_seq == 7 for p in copies)
+        assert tnet.stats.duplicated == 1
+
+    def test_corruption_breaks_checksum_not_original(self):
+        tnet = faulty(FaultPlan(name="d", seed=0, corrupt_rate=1.0))
+        original = frame()
+        tnet.transmit(original)
+        (wire,) = tnet.drain_all()
+        assert link_checksum(wire) != wire.checksum
+        # The caller's packet object (the retransmit copy) is pristine.
+        assert link_checksum(original) == original.checksum
+
+    def test_empty_frame_corruption_mangles_checksum(self):
+        tnet = faulty(FaultPlan(name="d", seed=0, corrupt_rate=1.0))
+        empty = Packet(kind=PacketKind.GET_REQUEST, src=0, dst=1,
+                       payload_bytes=0, link_seq=0)
+        empty.checksum = link_checksum(empty)
+        tnet.transmit(empty)
+        (wire,) = tnet.drain_all()
+        assert link_checksum(wire) != wire.checksum
+
+    def test_killed_destination_blackholes(self):
+        tnet = faulty(FaultPlan(name="d", seed=0))
+        tnet.killed.add(1)
+        tnet.transmit(frame(dst=1))
+        assert tnet.stats.blackholed == 1
+        assert tnet.drain_all() == []
+
+
+class TestFaultyBNet:
+    def test_immediate_retry_recovers(self):
+        plan = FaultPlan(name="b", seed=0, drop_rate=0.5, corrupt_rate=0.2)
+        tnet = faulty(plan)
+        bnet = FaultyBNet(4, plan, tnet.rng, tnet.stats)
+        packet = Packet(kind=PacketKind.PUT, src=-1, dst=-1,
+                        payload_bytes=4, data=b"host")
+        bnet.broadcast(packet)
+        # Every cell received exactly one copy despite the weather.
+        for cell in range(4):
+            assert bnet.pending(cell) == 1
+            assert bnet.receive(cell) is packet
+        assert tnet.stats.dropped + tnet.stats.corrupted > 0
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(name="b", seed=0, drop_rate=1.0, max_retries=4)
+        tnet = faulty(plan)
+        bnet = FaultyBNet(2, plan, tnet.rng, tnet.stats)
+        packet = Packet(kind=PacketKind.PUT, src=-1, dst=-1,
+                        payload_bytes=0)
+        with pytest.raises(CommTimeoutError):
+            bnet.broadcast(packet)

@@ -95,3 +95,49 @@ class TestSpill:
             q.push(i)
         assert q.drain() == list(range(12))
         assert not q
+
+    def test_exhaustion_error_names_queue_and_budget(self):
+        q = CommandQueue("reply", spill_buffer_words=8, max_spill_buffers=2)
+        with pytest.raises(QueueOverflowError) as err:
+            for i in range(100):
+                q.push(i)
+        message = str(err.value)
+        assert "'reply'" in message
+        assert "2 buffers of 8 words" in message
+
+
+class TestSpillObserver:
+    def test_on_spill_sees_every_spilled_command(self):
+        seen = []
+        q = CommandQueue("user_send")
+        q.on_spill = lambda name, words: seen.append((name, words))
+        for i in range(8):
+            q.push(i)
+        assert seen == []          # the hardware queue absorbed them all
+        q.push(8)
+        q.push(9, words=12)        # a strided command spills too
+        assert seen == [("user_send", 8), ("user_send", 12)]
+        assert q.spilled == len(seen)
+
+    def test_observer_fires_for_post_overflow_stream(self):
+        seen = []
+        q = CommandQueue("t")
+        q.on_spill = lambda name, words: seen.append(words)
+        for i in range(9):
+            q.push(i)
+        q.pop()
+        q.push(100)   # queue has room, but the spill is still draining
+        assert len(seen) == 2
+
+    def test_observer_failure_propagates(self):
+        # The machine wires on_spill to its trace buffer; a full trace
+        # must surface, not be swallowed by the queue.
+        def boom(name, words):
+            raise RuntimeError("trace full")
+
+        q = CommandQueue("t")
+        q.on_spill = boom
+        for i in range(8):
+            q.push(i)
+        with pytest.raises(RuntimeError):
+            q.push(8)

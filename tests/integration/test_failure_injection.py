@@ -105,7 +105,25 @@ class TestDeadlocks:
 
         with pytest.raises(DeadlockError) as err:
             m.run(program)
-        assert "2 cell(s) blocked" in str(err.value)
+        message = str(err.value)
+        assert "2 cell(s) blocked" in message
+        # Per-cell diagnosis includes the in-flight T-net packet counts.
+        assert "cell 0: blocked (barrier, receive, or reduction)" in message
+        assert "T-net in flight: 0 inbound, 0 outbound" in message
+
+    def test_report_names_pending_flag_wait_targets(self):
+        m = make(2)
+
+        def program(ctx):
+            flag = ctx.alloc_flag()
+            # Nobody ever PUTs with this flag: both cells hang waiting.
+            yield from ctx.flag_wait(flag, 1)
+
+        with pytest.raises(DeadlockError) as err:
+            m.run(program)
+        message = str(err.value)
+        assert "waiting on flag" in message
+        assert "(0/1)" in message
 
 
 class TestResourceExhaustion:

@@ -33,6 +33,51 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "LU"])
 
+    def test_trace_overflow_is_a_clean_error_not_a_traceback(self, capsys):
+        code = main(["run", "MatMul", "--cells", "4",
+                     "--trace-capacity", "10", "--no-replay"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+        assert "trace buffer full" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestChaos:
+    def test_plan_file_sweep(self, tmp_path, capsys):
+        import json
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"name": "mini", "seed": 9, "drop_rate": 0.05,
+             "delay_rate": 0.1}))
+        code = main(["chaos", "MatMul", "--cells", "4",
+                     "--plan", str(plan), "--no-check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok   MatMul    mini" in out
+        assert "all survived" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"name": "mini", "seed": 9,
+                                    "dup_rate": 0.2}))
+        code = main(["chaos", "MatMul", "--cells", "4",
+                     "--plan", str(plan), "--no-check", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        (case,) = report["cases"]
+        assert case["app"] == "MatMul" and case["results_match"]
+
+    def test_bad_plan_file_is_a_clean_error(self, tmp_path, capsys):
+        import json
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"name": "bad", "drop_rat": 0.5}))
+        code = main(["chaos", "MatMul", "--plan", str(plan)])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
 
 class TestReplay:
     @pytest.fixture
