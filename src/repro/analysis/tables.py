@@ -86,6 +86,9 @@ class Table3Cmp:
     name: str
     measured: tuple
     paper: paper_data.Table3Row
+    #: Machine-wide robustness totals (retries, timeouts, spills) — an
+    #: extension over the paper's columns; zero on a perfect machine.
+    faults: tuple = (0, 0, 0)
 
 
 def table3_rows(runs: dict[str, AppRun]) -> list[Table3Cmp]:
@@ -94,7 +97,9 @@ def table3_rows(runs: dict[str, AppRun]) -> list[Table3Cmp]:
         if name not in runs:
             continue
         stats = collect_statistics(runs[name].trace)
-        rows.append(Table3Cmp(name, stats.as_row(), paper_data.TABLE3[name]))
+        rows.append(Table3Cmp(
+            name, stats.as_row(), paper_data.TABLE3[name],
+            faults=(stats.retries, stats.timeouts, stats.spills)))
     return rows
 
 
@@ -102,12 +107,14 @@ def format_table3(rows: list[Table3Cmp]) -> str:
     header = (f"{'App':<10}{'PE':>5}{'SEND':>9}{'Gop':>9}{'VGop':>9}"
               f"{'Sync':>9}{'PUT':>9}{'PUTS':>9}{'GET':>9}{'GETS':>9}"
               f"{'MsgB':>9}")
-    lines = ["Table 3: Application statistics (measured, per PE)", header,
-             "-" * len(header)]
+    measured_header = header + f"{'Retry':>7}{'TimO':>7}{'Spill':>7}"
+    lines = ["Table 3: Application statistics (measured, per PE)",
+             measured_header, "-" * len(measured_header)]
     for r in rows:
         pe, *vals = r.measured
         lines.append(f"{r.name:<10}{pe:>5d}" +
-                     "".join(f"{v:>9.1f}" for v in vals))
+                     "".join(f"{v:>9.1f}" for v in vals) +
+                     "".join(f"{v:>7d}" for v in r.faults))
     lines.append("")
     lines.append("Paper values:")
     lines.append(header)

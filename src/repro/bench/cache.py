@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
 import repro
+from repro.obs.observer import machine_metrics
 from repro.trace.buffer import TraceBuffer
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import AppStatistics
@@ -94,6 +95,10 @@ class CachedRun:
     functional_wall_s: float
     cache_hit: bool
     trace_path: Path
+    #: Telemetry harvested from the functional machine at record time
+    #: (``repro.obs.observer.machine_metrics``); deterministic, so it is
+    #: safe to serve from cache into the artifact's results section.
+    machine_metrics: dict[str, Any] = field(default_factory=dict)
     _trace: TraceBuffer | None = None
 
     @property
@@ -138,6 +143,7 @@ class TraceCache:
             functional_wall_s=meta["functional_wall_s"],
             cache_hit=True,
             trace_path=trace_path,
+            machine_metrics=meta.get("machine_metrics", {}),
         )
 
     def put(
@@ -154,6 +160,10 @@ class TraceCache:
         trace_path = entry / TRACE_NAME
         save_trace(run.trace, trace_path)
         stats = run.statistics
+        machine = getattr(run, "machine", None)
+        telemetry = (
+            jsonify(machine_metrics(machine)) if machine is not None else {}
+        )
         meta = {
             "app": app,
             "config": jsonify(config),
@@ -164,6 +174,7 @@ class TraceCache:
             "statistics": asdict(stats),
             "total_events": run.trace.total_events,
             "functional_wall_s": functional_wall_s,
+            "machine_metrics": telemetry,
         }
         (entry / META_NAME).write_text(
             json.dumps(meta, indent=2, sort_keys=True) + "\n",
@@ -179,4 +190,5 @@ class TraceCache:
             functional_wall_s=functional_wall_s,
             cache_hit=False,
             trace_path=trace_path,
+            machine_metrics=telemetry,
         )

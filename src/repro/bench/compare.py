@@ -11,6 +11,11 @@
   the committed baseline is compared on simulated metrics only and CI
   perf gates should pass a generous wall tolerance if any.
 
+When both artifacts carry the ``repro.obs`` metrics block, a third set
+of lower-is-better telemetry gates joins in: queue high-water marks and
+spill counts, link retries, and the per-preset peak link utilization.
+Baselines that predate the block skip these gates silently.
+
 A regression is a *worse* result beyond tolerance: slower simulated
 time, lower speedup, longer wall clock.  Improvements never fail.
 """
@@ -18,8 +23,18 @@ time, lower speedup, longer wall clock.  Improvements never fail.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.bench.schema import BenchArtifact
+
+#: Machine-telemetry quantities gated when both artifacts carry a
+#: ``metrics`` block (label, dotted path into the block).  All are
+#: lower-is-better congestion/robustness indicators.
+_MACHINE_GATES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("queue high-water words", ("machine", "queues", "max_high_water_words")),
+    ("queue spill events", ("machine", "queues", "spilled")),
+    ("link retries", ("machine", "faults", "retries")),
+)
 
 
 @dataclass(frozen=True)
@@ -94,6 +109,58 @@ def _delta(
     )
 
 
+def _metric_at(
+    metrics: dict[str, Any] | None, path: tuple[str, ...]
+) -> float | None:
+    """The numeric value at a dotted path into a metrics block, or
+    None when the path is absent or non-numeric (older baselines)."""
+    node: Any = metrics
+    for key in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(key)
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def _metric_deltas(
+    app: str,
+    baseline: dict[str, Any] | None,
+    current: dict[str, Any] | None,
+    preset_names: list[str],
+    tolerance_pct: float,
+) -> list[Delta]:
+    """Observability gates for one app row.
+
+    Skipped entirely (no deltas, no errors) when either artifact
+    predates the metrics block, so old baselines keep comparing.
+    """
+    deltas: list[Delta] = []
+    gates = list(_MACHINE_GATES) + [
+        (
+            f"{preset} link max utilization",
+            ("replay", preset, "links_max_utilization"),
+        )
+        for preset in preset_names
+    ]
+    for label, path in gates:
+        base_value = _metric_at(baseline, path)
+        cur_value = _metric_at(current, path)
+        if base_value is None or cur_value is None:
+            continue
+        deltas.append(
+            _delta(
+                f"{app} / {label}",
+                base_value,
+                cur_value,
+                tolerance_pct,
+                higher_is_better=False,
+            )
+        )
+    return deltas
+
+
 def compare_artifacts(
     current: BenchArtifact,
     baseline: BenchArtifact,
@@ -149,6 +216,15 @@ def compare_artifacts(
                     higher_is_better=True,
                 )
             )
+        deltas.extend(
+            _metric_deltas(
+                app,
+                base_app.metrics,
+                cur_app.metrics,
+                baseline.preset_names,
+                tolerance_pct,
+            )
+        )
     if wall_tolerance_pct is not None:
         base_stage = baseline.run.get("stage_wall_s", {})
         cur_stage = current.run.get("stage_wall_s", {})

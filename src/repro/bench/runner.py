@@ -53,6 +53,7 @@ from repro.core.errors import ConfigurationError
 from repro.mlsim.breakdown import MLSimResult
 from repro.mlsim.params import preset as load_preset
 from repro.mlsim.simulator import ModelComparison, simulate
+from repro.obs import observer as obs
 from repro.trace import sanitize as trace_sanitize
 from repro.trace.io import load_trace
 
@@ -69,6 +70,7 @@ class _AppStage:
     cache_hit: bool
     replays: dict[str, MLSimResult] = field(default_factory=dict)
     replay_s: dict[str, float] = field(default_factory=dict)
+    machine_metrics: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -127,8 +129,10 @@ def _functional_task(
             return hit
     start = time.perf_counter()
     # Record with footprint annotations so the cached trace also serves
-    # `repro check` and the --check stage (replays ignore the fields).
-    with trace_sanitize.enabled():
+    # `repro check` and the --check stage (replays ignore the fields),
+    # and with the machine observer attached so the cache entry carries
+    # the telemetry harvest (link traffic, queue occupancy).
+    with trace_sanitize.enabled(), obs.enabled():
         run = spec.run()
     wall = time.perf_counter() - start
     return cache.put(spec.app, spec.config(), run, wall)
@@ -142,7 +146,7 @@ def _replay_task(
     """Worker: replay one cached trace under one preset."""
     start = time.perf_counter()
     trace = load_trace(trace_path)
-    result = simulate(trace, load_preset(preset_name))
+    result = simulate(trace, load_preset(preset_name), collect_metrics=True)
     return app, preset_name, result, time.perf_counter() - start
 
 
@@ -182,6 +186,7 @@ def _run_serial(
                 total_events=record.total_events,
                 functional_s=record.functional_wall_s,
                 cache_hit=True,
+                machine_metrics=record.machine_metrics,
             )
             log(
                 f"[{i}/{len(specs)}] {spec.app}: functional run cached "
@@ -189,9 +194,15 @@ def _run_serial(
             )
         else:
             start = time.perf_counter()
-            with trace_sanitize.enabled():
+            with trace_sanitize.enabled(), obs.enabled():
                 run = spec.run()
             wall = time.perf_counter() - start
+            machine = getattr(run, "machine", None)
+            telemetry = (
+                jsonify(obs.machine_metrics(machine))
+                if machine is not None
+                else {}
+            )
             if cache is not None:
                 # Store before replaying: replays coalesce the trace.
                 cache.put(spec.app, spec.config(), run, wall)
@@ -200,6 +211,7 @@ def _run_serial(
                 total_events=run.trace.total_events,
                 functional_s=wall,
                 cache_hit=False,
+                machine_metrics=telemetry,
             )
             log(
                 f"[{i}/{len(specs)}] {spec.app}: functional run "
@@ -207,7 +219,11 @@ def _run_serial(
             )
         for preset_name in preset_names:
             start = time.perf_counter()
-            result = simulate(stage.run.trace, load_preset(preset_name))
+            result = simulate(
+                stage.run.trace,
+                load_preset(preset_name),
+                collect_metrics=True,
+            )
             stage.replays[preset_name] = result
             stage.replay_s[preset_name] = time.perf_counter() - start
         stages[spec.app] = stage
@@ -248,6 +264,7 @@ def _run_parallel(
                         total_events=record.total_events,
                         functional_s=record.functional_wall_s,
                         cache_hit=record.cache_hit,
+                        machine_metrics=record.machine_metrics,
                     )
                     done_count += 1
                     state = (
@@ -302,6 +319,13 @@ def _assemble(
             },
             speedups_vs_ap1000=_speedups(stage.replays),
             check=report.to_dict() if report is not None else None,
+            metrics={
+                "machine": stage.machine_metrics,
+                "replay": {
+                    p: jsonify(stage.replays[p].metrics or {})
+                    for p in preset_names
+                },
+            },
         )
         timings[spec.app] = AppTimings(
             functional_s=stage.functional_s,

@@ -71,6 +71,10 @@ class AppResult:
     #: ``repro.check`` report over this row's trace (``--check`` runs
     #: only); deterministic, so it lives in the results section.
     check: dict[str, Any] | None = None
+    #: Observability block (repro.obs): ``machine`` holds the functional
+    #: machine's telemetry harvest, ``replay`` one replay metric document
+    #: per preset.  Deterministic, so it gates in ``repro bench compare``.
+    metrics: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -145,6 +149,7 @@ class BenchArtifact:
                 },
                 speedups_vs_ap1000=a.get("speedups_vs_ap1000", {}),
                 check=a.get("check"),
+                metrics=a.get("metrics"),
             )
         timings = {
             name: AppTimings(**t)

@@ -3,9 +3,14 @@ parameter files, and reproduce the full evaluation.
 
 Usage::
 
-    python -m repro.cli run CG --cells 16 --trace cg.jsonl
-    python -m repro.cli replay cg.jsonl --preset ap1000+
+    python -m repro.cli run CG --cells 16 --trace cg.jsonl [--json]
+    python -m repro.cli run CG --observe
+    python -m repro.cli replay cg.jsonl --preset ap1000+ [--json]
     python -m repro.cli replay cg.jsonl --params my_model.params
+    python -m repro.cli trace export --micro --format perfetto -o out.json
+    python -m repro.cli trace export cg.jsonl --format chrome
+    python -m repro.cli top cg.jsonl [--json]
+    python -m repro.cli top BENCH_20260101T000000Z.json
     python -m repro.cli params ap1000
     python -m repro.cli report [--paper-scale] [--apps EP MatMul ...]
     python -m repro.cli check --all [--json]
@@ -18,14 +23,19 @@ The ``run``/``replay`` split mirrors the paper's methodology: traces are
 recorded once on the (functional) machine, then replayed through MLSim
 under as many parameter files as desired.  ``check`` runs the race
 detector / synchronization sanitizer over recorded traces and the SPMD
-lint over application source (see ``docs/checker.md``).
+lint over application source (see ``docs/checker.md``).  ``trace
+export`` and ``top`` surface the observability layer (``repro.obs``,
+see ``docs/observability.md``): Perfetto/Chrome timeline exports and an
+ASCII utilization dashboard over a trace or bench artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis.report import run_experiments
 from repro.apps.workloads import ORDER, workload
@@ -46,31 +56,62 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_json(doc: dict) -> None:
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.bench.cache import jsonify
+    from repro.obs import observer as obs
     from repro.trace import sanitize
 
     w = workload(args.app)
     overrides = {}
     if args.trace_capacity is not None:
         overrides["trace_capacity"] = args.trace_capacity
-    with sanitize.enabled(args.sanitize):
+    with sanitize.enabled(args.sanitize), obs.enabled(args.observe):
         run = w.run(paper_scale=args.paper_scale, num_cells=args.cells,
                     **overrides)
-    status = "VERIFIED" if run.verified else "FAILED"
-    print(f"{run.name}: functional run {status} on "
-          f"{run.machine.config.num_cells} cells, "
-          f"{run.trace.total_events} trace events")
-    for name, value in run.checks.items():
-        print(f"  check {name}: {value}")
-    print(format_table3_row(run.name, run.statistics))
+    # Statistics and the trace file must be taken before any replay:
+    # replays coalesce (mutate) the trace buffer.
+    statistics = run.statistics
+    total_events = run.trace.total_events
     if args.trace:
         save_trace(run.trace, args.trace)
-        print(f"trace written to {args.trace}")
+    speedups = None
     if not args.no_replay:
         cmp = simulate_models(run.trace)
         plus, fast = cmp.table2_row()
-        print(f"Table 2 speedups vs AP1000: AP1000+ {plus:.2f}, "
-              f"AP1000/SuperSPARC {fast:.2f}")
+        speedups = {"ap1000+": plus, "ap1000-fast": fast}
+    if args.json:
+        _print_json({
+            "schema": "repro-run-v1",
+            "app": run.name,
+            "cells": run.machine.config.num_cells,
+            "verified": bool(run.verified),
+            "checks": jsonify(run.checks),
+            "total_events": total_events,
+            "statistics": jsonify(asdict(statistics)),
+            "speedups_vs_ap1000": speedups,
+            "metrics": jsonify(obs.machine_metrics(run.machine)),
+            "trace_file": args.trace,
+        })
+        return 0 if run.verified else 1
+    status = "VERIFIED" if run.verified else "FAILED"
+    print(f"{run.name}: functional run {status} on "
+          f"{run.machine.config.num_cells} cells, "
+          f"{total_events} trace events")
+    for name, value in run.checks.items():
+        print(f"  check {name}: {value}")
+    print(format_table3_row(run.name, statistics))
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if speedups is not None:
+        print(f"Table 2 speedups vs AP1000: AP1000+ "
+              f"{speedups['ap1000+']:.2f}, "
+              f"AP1000/SuperSPARC {speedups['ap1000-fast']:.2f}")
     return 0 if run.verified else 1
 
 
@@ -84,11 +125,28 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         from repro.mlsim.engine import MLSimEngine
         from repro.mlsim.timeline import render_timeline
         trace.coalesce_compute()
-        engine = MLSimEngine(trace, params, record_timeline=True)
+        engine = MLSimEngine(trace, params, record_timeline=True,
+                             collect_metrics=args.json)
         result = engine.run()
-        print(render_timeline(engine.timeline))
+        if not args.json:
+            print(render_timeline(engine.timeline))
     else:
-        result = simulate(trace, params)
+        result = simulate(trace, params, collect_metrics=args.json)
+    if args.json:
+        _print_json({
+            "schema": "repro-replay-v1",
+            "trace_file": args.trace,
+            "model": result.model_name,
+            "elapsed_us": result.elapsed_us,
+            "messages": result.messages,
+            "bytes_on_wire": result.bytes_on_wire,
+            "mean_execution_us": result.mean_execution,
+            "mean_rtsys_us": result.mean_rtsys,
+            "mean_overhead_us": result.mean_overhead,
+            "mean_idle_us": result.mean_idle,
+            "metrics": result.metrics,
+        })
+        return 0
     print(f"model {result.model_name}: elapsed {result.elapsed_us:.1f} us, "
           f"{result.messages} messages, "
           f"{result.bytes_on_wire} payload bytes")
@@ -96,6 +154,65 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"  mean rtsys     {result.mean_rtsys:12.1f} us")
     print(f"  mean overhead  {result.mean_overhead:12.1f} us")
     print(f"  mean idle      {result.mean_idle:12.1f} us")
+    return 0
+
+
+def _source_trace(args: argparse.Namespace):
+    """The trace named by a ``trace export``/``top`` invocation."""
+    from repro.core.errors import ConfigurationError
+    from repro.obs.micro import MICRO_CELLS, micro_trace
+
+    if args.micro:
+        return micro_trace(args.cells or MICRO_CELLS)
+    if getattr(args, "app", None):
+        run = workload(args.app).run(num_cells=args.cells)
+        return run.trace
+    if args.trace:
+        return load_trace(args.trace)
+    raise ConfigurationError(
+        "no trace source: name a trace file, or pass --micro or --app")
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import export_trace
+
+    trace = _source_trace(args)
+    params = (parse_params(args.params, name=args.params) if args.params
+              else preset(args.preset))
+    text = export_trace(trace, params, args.format)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"{args.format} export written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.bench.schema import SCHEMA_NAME, BenchArtifact
+    from repro.obs import top as obs_top
+
+    artifact_data = None
+    if args.trace and not args.micro:
+        try:
+            data = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            data = None
+        if isinstance(data, dict) and data.get("schema") == SCHEMA_NAME:
+            artifact_data = data
+    if artifact_data is not None:
+        artifact = BenchArtifact.from_dict(artifact_data)
+        if args.json:
+            _print_json(obs_top.bench_top_document(artifact))
+        else:
+            print(obs_top.render_bench_top(artifact))
+        return 0
+    trace = _source_trace(args)
+    result = obs_top.replay_for_top(trace, preset(args.preset))
+    if args.json:
+        _print_json(obs_top.top_document(result))
+    else:
+        print(obs_top.render_top(result))
     return 0
 
 
@@ -260,8 +377,6 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     if args.output:
         path = artifact.save(args.output)
     else:
-        from pathlib import Path
-
         path = artifact.save(Path(args.output_dir) / artifact_filename())
     print(f"artifact written to {path}")
     ok = artifact.all_verified and (not args.check
@@ -314,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="override the trace buffer's event capacity "
                             "(the AP1000 probes had the same limit)")
+    p_run.add_argument("--observe", action="store_true",
+                       help="attach the repro.obs machine observer "
+                            "(per-link traffic, queue occupancy)")
+    p_run.add_argument("--json", action="store_true",
+                       help="machine-readable repro-run-v1 output")
     p_run.set_defaults(func=_cmd_run)
 
     p_replay = sub.add_parser("replay",
@@ -326,7 +446,53 @@ def build_parser() -> argparse.ArgumentParser:
                           help="custom Figure 6 style parameter file")
     p_replay.add_argument("--timeline", action="store_true",
                           help="print a per-PE ASCII Gantt chart")
+    p_replay.add_argument("--json", action="store_true",
+                          help="machine-readable repro-replay-v1 output "
+                               "(includes the replay metric document)")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace tooling (Perfetto/Chrome timeline export)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_exp = trace_sub.add_parser(
+        "export",
+        help="export a trace as Perfetto/Chrome JSON or native JSONL")
+    p_trace_exp.add_argument("trace", nargs="?",
+                             help="trace file from `run --trace`")
+    p_trace_exp.add_argument("--micro", action="store_true",
+                             help="export the built-in micro workload "
+                                  "(the CI golden-fixture subject)")
+    p_trace_exp.add_argument("--app", choices=list(ORDER), default=None,
+                             help="record and export a workload instead")
+    p_trace_exp.add_argument("--cells", type=int, default=None,
+                             help="cell count for --micro/--app")
+    p_trace_exp.add_argument("--format", default="perfetto",
+                             choices=("perfetto", "chrome", "jsonl"),
+                             help="output format (default: perfetto)")
+    p_trace_exp.add_argument("--preset", default="ap1000+",
+                             choices=sorted(PRESETS),
+                             help="replay preset (default: ap1000+)")
+    p_trace_exp.add_argument("--params", metavar="FILE",
+                             help="custom parameter file for the replay")
+    p_trace_exp.add_argument("-o", "--output", metavar="FILE",
+                             help="write here instead of stdout")
+    p_trace_exp.set_defaults(func=_cmd_trace_export)
+
+    p_top = sub.add_parser(
+        "top",
+        help="ASCII utilization dashboard for a trace or bench artifact")
+    p_top.add_argument("trace", nargs="?",
+                       help="trace file or BENCH_*.json artifact")
+    p_top.add_argument("--micro", action="store_true",
+                       help="show the built-in micro workload")
+    p_top.add_argument("--cells", type=int, default=None,
+                       help="cell count for --micro")
+    p_top.add_argument("--preset", default="ap1000+",
+                       choices=sorted(PRESETS),
+                       help="replay preset (default: ap1000+)")
+    p_top.add_argument("--json", action="store_true",
+                       help="machine-readable repro-top-v1 output")
+    p_top.set_defaults(func=_cmd_top)
 
     p_params = sub.add_parser("params",
                               help="print a parameter file (Figure 6)")

@@ -226,6 +226,8 @@ class FaultyBNet(BNet):
             if cell != packet.src:
                 self._queue_append(cell, packet)
         self.broadcast_count += 1
+        if self.observer is not None:
+            self.observer.on_broadcast(packet)
 
     def scatter(self, packets: list[Packet]) -> None:
         for packet in packets:

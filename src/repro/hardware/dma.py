@@ -42,6 +42,14 @@ class DMAEngine:
         self.bytes_moved += nbytes
         self.largest_transfer = max(self.largest_transfer, nbytes)
 
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for the observability harvest."""
+        return {
+            "operations": self.operations,
+            "bytes_moved": self.bytes_moved,
+            "largest_transfer": self.largest_transfer,
+        }
+
     def gather(self, memory: CellMemory, addr: int, stride: StrideSpec) -> bytes:
         """Read a (possibly strided) block out of memory as one payload."""
         data = memory.gather(addr, stride)

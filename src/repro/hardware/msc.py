@@ -106,6 +106,17 @@ class MSCPlus:
         #: Remote-load replies awaiting pickup by the stalled processor.
         self._load_replies: list[Packet] = []
 
+    def all_queues(self) -> tuple[CommandQueue, ...]:
+        """The five hardware queues, in section 4.1 order."""
+        return (self.user_send_queue, self.system_send_queue,
+                self.remote_access_queue, self.get_reply_queue,
+                self.remote_load_reply_queue)
+
+    def queued_words(self) -> int:
+        """Current occupancy (queue RAM + DRAM spill) across all queues."""
+        return sum(q.words_in_queue + q.words_spilled
+                   for q in self.all_queues())
+
     # ------------------------------------------------------------------
     # Command issue (user writes 8 parameter words; the queue is the
     # special address window)

@@ -60,6 +60,10 @@ class MachineConfig:
     #: race checker (:mod:`repro.check`).  Also switchable ambiently via
     #: :func:`repro.trace.sanitize.enabled`.
     sanitize: bool = False
+    #: Attach the :mod:`repro.obs` machine observer (per-link traffic
+    #: accounting and queue-occupancy sampling).  Also switchable
+    #: ambiently via :func:`repro.obs.observer.enabled`.
+    observe: bool = False
     #: Seeded fault-injection schedule (:mod:`repro.faults`); None runs a
     #: perfect machine.  Also switchable ambiently via
     #: :func:`repro.faults.applied`.

@@ -43,6 +43,8 @@ from repro.network.packet import PacketKind, StrideSpec
 from repro.network.snet import SNet
 from repro.network.tnet import TNet
 from repro.network.topology import TorusTopology
+from repro.obs.observer import MachineObserver
+from repro.obs.observer import active as _obs_active
 from repro.trace import sanitize as trace_sanitize
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import EventKind, TraceEvent
@@ -120,6 +122,14 @@ class Machine:
         #: Byte-range annotation for repro.check: on when the config asks
         #: for it or when the ambient sanitizer switch is set.
         self.sanitize = bool(config.sanitize or trace_sanitize.active())
+        #: Telemetry observer (repro.obs): None unless the config or the
+        #: ambient switch asks for it, so unobserved hot paths pay one
+        #: ``is None`` test.
+        self.obs = (MachineObserver(self)
+                    if (config.observe or _obs_active()) else None)
+        if self.obs is not None:
+            self.tnet.observer = self.obs
+            self.bnet.observer = self.obs
         self.world_group = Group(gid=0, members=tuple(range(n)))
         self._heap_next = [_align(flag_area_end(), _HEAP_ALIGN)] * n
         # Private (non-symmetric) allocations grow downward from the top
@@ -151,9 +161,7 @@ class Machine:
             self.tnet.transport = self.transport
         for pe, cell in enumerate(self.hw_cells):
             msc = cell.msc
-            for queue in (msc.user_send_queue, msc.system_send_queue,
-                          msc.remote_access_queue, msc.get_reply_queue,
-                          msc.remote_load_reply_queue):
+            for queue in msc.all_queues():
                 queue.on_spill = functools.partial(self._record_spill, pe)
                 if plan is not None:
                     if plan.queue_capacity_words is not None:
@@ -232,6 +240,8 @@ class Machine:
         preserving the quiescence-at-issue property the happens-before
         checker relies on.
         """
+        if self.obs is not None:
+            self.obs.sample_queues()
         transport = self.transport
         while True:
             self._pump_wire()

@@ -244,6 +244,16 @@ class CellContext:
         if work_us:
             self._trace(EventKind.RTSYS, work=float(work_us))
 
+    def phase(self, label: str) -> None:
+        """Label the start of a program phase (e.g. one solver iteration).
+
+        Costs zero simulated time; the label shows up in timeline exports
+        (:mod:`repro.obs`) so traces viewed in Perfetto can be navigated
+        by application structure.
+        """
+        self._trace(EventKind.PHASE,
+                    flag=self.machine.trace.phase_id(str(label)))
+
     # ------------------------------------------------------------------
     # PUT / GET (the paper's interface, array-level)
     # ------------------------------------------------------------------

@@ -15,6 +15,9 @@ Section 5.3 defines the buckets exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import SimulationError
 
 
 @dataclass
@@ -40,6 +43,9 @@ class MLSimResult:
     per_pe: list[PEBreakdown] = field(default_factory=list)
     messages: int = 0
     bytes_on_wire: int = 0
+    #: Replay metric document (repro.obs); None unless the engine ran
+    #: with ``collect_metrics=True``.
+    metrics: dict[str, Any] | None = None
 
     @property
     def num_pes(self) -> int:
@@ -100,5 +106,7 @@ class MLSimResult:
     def speedup_over(self, baseline: "MLSimResult") -> float:
         """Table 2 numbers: baseline elapsed / this model's elapsed."""
         if self.elapsed_us == 0:
-            return float("inf")
+            raise SimulationError(
+                f"model {self.model_name!r} has zero elapsed time; speedup "
+                "is undefined (empty or compute-free trace)")
         return baseline.elapsed_us / self.elapsed_us

@@ -35,8 +35,28 @@ from repro.mlsim.breakdown import MLSimResult, PEBreakdown
 from repro.mlsim.params import MLSimParams
 from repro.mlsim import put_model as pm
 from repro.network.topology import TorusTopology
+from repro.obs.registry import REPLAY_SCHEMA, Histogram
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import EventKind, TraceEvent
+
+
+class _MetricsAccum:
+    """Replay-side metric accumulation (repro.obs).
+
+    Per-link busy time follows the same store-and-forward convention as
+    :meth:`MLSimEngine._contended_arrival`: a message's wire time is
+    charged to every physical link on its dimension-order route, an
+    upper bound that exposes hot links.
+    """
+
+    def __init__(self, num_pes: int) -> None:
+        self.flag_wait = Histogram()
+        self.barrier_wait = Histogram()
+        self.dma_busy = [0.0] * num_pes
+        self.link_busy: dict[tuple[int, int], float] = {}
+        self.link_bytes: dict[tuple[int, int], int] = {}
+        self.link_frames: dict[tuple[int, int], int] = {}
+        self.instants = {"RETRY": 0, "TIMEOUT": 0, "SPILL": 0}
 
 
 @dataclass
@@ -60,7 +80,8 @@ class MLSimEngine:
     def __init__(self, trace: TraceBuffer, params: MLSimParams,
                  topology: TorusTopology | None = None, *,
                  link_contention: bool = False,
-                 record_timeline: bool = False) -> None:
+                 record_timeline: bool = False,
+                 collect_metrics: bool = False) -> None:
         if topology is None:
             topology = TorusTopology.for_cells(trace.num_pes)
         if topology.num_cells != trace.num_pes:
@@ -82,6 +103,9 @@ class MLSimEngine:
         if record_timeline:
             from repro.mlsim.timeline import Timeline
             self.timeline = Timeline(num_pes=trace.num_pes)
+        #: Optional replay metric accumulation (repro.obs).
+        self.collect = _MetricsAccum(trace.num_pes) if collect_metrics \
+            else None
         self.pes = [_PEState(pe, trace.events_for(pe))
                     for pe in range(trace.num_pes)]
         # --- shared registries -----------------------------------------
@@ -127,7 +151,43 @@ class MLSimEngine:
         )
         for st in self.pes:
             st.buckets.clock = st.clock
+        if self.collect is not None:
+            result.metrics = self._metrics_dict()
         return result
+
+    def _metrics_dict(self) -> dict:
+        """Render the accumulated replay metrics as a JSON document."""
+        c = self.collect
+        assert c is not None
+        elapsed = max((st.clock for st in self.pes), default=0.0)
+        links = {}
+        for key in sorted(c.link_busy):
+            busy = c.link_busy[key]
+            links[f"{key[0]}->{key[1]}"] = {
+                "busy_us": busy,
+                "bytes": c.link_bytes[key],
+                "frames": c.link_frames[key],
+                "utilization": busy / elapsed if elapsed else 0.0,
+            }
+        dma_max = max(c.dma_busy, default=0.0)
+        return {
+            "schema": REPLAY_SCHEMA,
+            "model": self.p.name,
+            "elapsed_us": elapsed,
+            "waits": {
+                "flag_wait": c.flag_wait.to_dict(),
+                "barrier_wait": c.barrier_wait.to_dict(),
+            },
+            "dma": {
+                "busy_us": list(c.dma_busy),
+                "busy_us_max": dma_max,
+                "busy_fraction_max": dma_max / elapsed if elapsed else 0.0,
+            },
+            "links": links,
+            "links_max_utilization": max(
+                (v["utilization"] for v in links.values()), default=0.0),
+            "robustness": dict(c.instants),
+        }
 
     # ------------------------------------------------------------------
     # Scheduling plumbing
@@ -240,6 +300,32 @@ class MLSimEngine:
             prev = node
         return arrival
 
+    def _charge_links(self, src: int, dst: int, wire_us: float,
+                      nbytes: int) -> None:
+        """Charge one message to every physical link on its route."""
+        c = self.collect
+        if c is None or src == dst:
+            return
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = tuple(self.topology.route(src, dst))
+            self._route_cache[(src, dst)] = route
+        prev = src
+        for node in route:
+            key = (prev, node)
+            c.link_busy[key] = c.link_busy.get(key, 0.0) + wire_us
+            c.link_bytes[key] = c.link_bytes.get(key, 0) + nbytes
+            c.link_frames[key] = c.link_frames.get(key, 0) + 1
+            prev = node
+
+    def _flow(self, src: int, depart: float, dst: int, arrival: float,
+              kind: str, size: int) -> None:
+        if self.timeline is not None:
+            from repro.mlsim.timeline import Flow
+            self.timeline.add_flow(Flow(
+                src=src, depart=depart, dst=dst, arrival=arrival,
+                kind=kind, size=size))
+
     def _record_flag(self, gid: int, t: float) -> None:
         if gid == 0:
             return
@@ -312,6 +398,20 @@ class MLSimEngine:
             # Robustness bookkeeping from repro.faults: the link layer and
             # the queue spill hardware run concurrently with the processor,
             # so replay charges no time for them.
+            if self.collect is not None:
+                self.collect.instants[kind.name] += 1
+            if self.timeline is not None:
+                from repro.mlsim.timeline import Instant
+                self.timeline.add_instant(Instant(
+                    pe=st.pe, t=st.clock, name=kind.name))
+            return True
+        if kind is EventKind.PHASE:
+            # User phase annotation (repro.obs): zero simulated time.
+            if self.timeline is not None:
+                from repro.mlsim.timeline import PhaseMark
+                self.timeline.add_phase(PhaseMark(
+                    pe=st.pe, t=st.clock,
+                    label=self.trace.phase_label(ev.flag)))
             return True
         raise SimulationError(f"unknown trace event kind {kind}")
 
@@ -337,6 +437,11 @@ class MLSimEngine:
             self._record_flag(
                 ev.recv_flag, arrival + pm.recv_flag_update_time(p, ev.size))
         self.pes[ev.partner].pending_theft += pm.recv_cpu_theft(p, ev.size)
+        self._flow(st.pe, depart, ev.partner, arrival, "PUT", ev.size)
+        if self.collect is not None:
+            self.collect.dma_busy[st.pe] += drain
+            self._charge_links(st.pe, ev.partner,
+                               pm.network_time(p, ev.size, dist), ev.size)
         self.messages += 1
         self.bytes_on_wire += ev.size
         return True
@@ -363,6 +468,16 @@ class MLSimEngine:
                 ev.recv_flag,
                 reply_arrival + pm.recv_flag_update_time(p, ev.size))
         st.pending_theft += pm.recv_cpu_theft(p, ev.size)
+        self._flow(st.pe, depart, ev.partner, req_arrival, "GET", 0)
+        self._flow(ev.partner, reply_depart, st.pe, reply_arrival,
+                   "GET-REPLY", ev.size)
+        if self.collect is not None:
+            self.collect.dma_busy[ev.partner] += \
+                pm.get_reply_service_time(p, ev.size)
+            self._charge_links(st.pe, ev.partner,
+                               pm.network_time(p, 0, dist), 0)
+            self._charge_links(ev.partner, st.pe,
+                               pm.network_time(p, ev.size, dist), ev.size)
         self.messages += 2
         self.bytes_on_wire += ev.size
         return True
@@ -385,6 +500,9 @@ class MLSimEngine:
         if len(times) < target:
             self._flag_waiters.setdefault(ev.flag, []).append((st.pe, target))
             return False
+        if self.collect is not None:
+            self.collect.flag_wait.observe(
+                max(times[target - 1] - st.clock, 0.0))
         self._wait_until(st, times[target - 1])
         self._busy(st, p.flag_check_epilog_time, "overhead")
         return True
@@ -411,6 +529,11 @@ class MLSimEngine:
             depart + pm.network_time(p, ev.size, dist))
         ready = arrival + pm.recv_service_time(p, ev.size)
         self.pes[ev.partner].pending_theft += pm.recv_cpu_theft(p, ev.size)
+        self._flow(st.pe, depart, ev.partner, arrival, "SEND", ev.size)
+        if self.collect is not None:
+            self.collect.dma_busy[st.pe] += drain
+            self._charge_links(st.pe, ev.partner,
+                               pm.network_time(p, ev.size, dist), ev.size)
         self._ring_arrival[ev.msg_id] = ready
         waiter = self._ring_waiters.pop(ev.msg_id, None)
         if waiter is not None:
@@ -474,6 +597,8 @@ class MLSimEngine:
         if release is None:
             self._slot_waiters.setdefault(slot, []).append(st.pe)
             return False
+        if self.collect is not None:
+            self.collect.barrier_wait.observe(max(release - st.clock, 0.0))
         self._wait_until(st, release)
         return True
 

@@ -26,16 +26,20 @@ from repro.trace.buffer import TraceBuffer
 
 def simulate(trace: TraceBuffer, params: MLSimParams,
              topology: TorusTopology | None = None, *,
-             link_contention: bool = False) -> MLSimResult:
+             link_contention: bool = False,
+             collect_metrics: bool = False) -> MLSimResult:
     """Replay ``trace`` under ``params`` and return the time breakdown.
 
     ``link_contention`` enables the optional shared-link serialization
     model (an extension beyond the paper's MLSim, which models the
-    network purely with delay parameters).
+    network purely with delay parameters).  ``collect_metrics`` attaches
+    the :mod:`repro.obs` replay metric document (wait-latency
+    histograms, per-link utilization, DMA busy time) to the result.
     """
     trace.coalesce_compute()
     return MLSimEngine(trace, params, topology,
-                       link_contention=link_contention).run()
+                       link_contention=link_contention,
+                       collect_metrics=collect_metrics).run()
 
 
 @dataclass(frozen=True)

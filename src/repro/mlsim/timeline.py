@@ -31,12 +31,45 @@ class Span:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class Flow:
+    """One packet's journey: source PE injection to destination arrival."""
+
+    src: int
+    depart: float
+    dst: int
+    arrival: float
+    kind: str             # PUT | GET | GET-REPLY | SEND
+    size: int             # payload bytes
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker (RETRY / TIMEOUT / SPILL)."""
+
+    pe: int
+    t: float
+    name: str
+
+
+@dataclass(frozen=True)
+class PhaseMark:
+    """A user phase label from ``ctx.phase(...)``."""
+
+    pe: int
+    t: float
+    label: str
+
+
 @dataclass
 class Timeline:
     """All spans of one replay, per PE."""
 
     num_pes: int
     _spans: list[list[Span]] = field(default_factory=list)
+    flows: list[Flow] = field(default_factory=list)
+    instants: list[Instant] = field(default_factory=list)
+    phase_marks: list[PhaseMark] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self._spans:
@@ -45,6 +78,15 @@ class Timeline:
     def add(self, span: Span) -> None:
         if span.duration > 0:
             self._spans[span.pe].append(span)
+
+    def add_flow(self, flow: Flow) -> None:
+        self.flows.append(flow)
+
+    def add_instant(self, instant: Instant) -> None:
+        self.instants.append(instant)
+
+    def add_phase(self, mark: PhaseMark) -> None:
+        self.phase_marks.append(mark)
 
     def spans_for(self, pe: int) -> list[Span]:
         return self._spans[pe]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.errors import CommunicationError
 from repro.network.packet import Packet
@@ -29,6 +30,9 @@ class BNet:
     num_cells: int
     _queues: dict[int, deque[Packet]] = field(default_factory=dict)
     broadcast_count: int = 0
+    #: Optional :class:`repro.obs.observer.MachineObserver`; its
+    #: ``on_broadcast`` hook counts shared-bus frames and bytes.
+    observer: Any = None
 
     def _queue(self, cell_id: int) -> deque[Packet]:
         return self._queues.setdefault(cell_id, deque())
@@ -44,6 +48,8 @@ class BNet:
             if cell != packet.src:
                 self._queue(cell).append(packet)
         self.broadcast_count += 1
+        if self.observer is not None:
+            self.observer.on_broadcast(packet)
 
     def scatter(self, packets: list[Packet]) -> None:
         """Host-style data distribution: point-to-point over the shared bus."""

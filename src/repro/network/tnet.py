@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.errors import CommunicationError
 from repro.network.packet import Packet
@@ -31,6 +32,9 @@ class TNet:
     _channels: dict[tuple[int, int], deque[Packet]] = field(default_factory=dict)
     delivered_count: int = 0
     injected_count: int = 0
+    #: Optional :class:`repro.obs.observer.MachineObserver`; its
+    #: ``on_inject`` hook charges per-link frame/byte counters.
+    observer: Any = None
 
     def validate_endpoints(self, packet: Packet) -> None:
         """Reject packets addressed outside the machine."""
@@ -46,6 +50,8 @@ class TNet:
         self.validate_endpoints(packet)
         self._channels.setdefault((packet.src, packet.dst), deque()).append(packet)
         self.injected_count += 1
+        if self.observer is not None:
+            self.observer.on_inject(packet)
 
     def pending(self, src: int, dst: int) -> int:
         """Number of packets in flight from ``src`` to ``dst``."""

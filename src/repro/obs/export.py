@@ -1,0 +1,149 @@
+"""Chrome trace-event / Perfetto export of an MLSim replay.
+
+The exported document follows the Chrome trace-event JSON format, which
+the Perfetto UI (https://ui.perfetto.dev) opens directly:
+
+* one thread track per PE with ``X`` (complete) events for every
+  execution / rtsys / overhead / idle span — the exact Section 5.3
+  buckets, as span categories;
+* ``s``/``f`` flow pairs for every PUT / GET / GET-reply / SEND packet,
+  drawn from the source PE's injection to the destination's arrival
+  (perfetto format only);
+* ``i`` (instant) events for RETRY / TIMEOUT / SPILL robustness markers
+  and for user ``ctx.phase(...)`` labels (perfetto format only).
+
+Exports are *byte-deterministic*: timestamps are rounded to nanosecond
+precision (3 decimal µs digits), keys are sorted, and separators are
+compact, so two replays of the same trace under the same parameters
+serialize identically — the property CI's golden-fixture step enforces.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.core.errors import ConfigurationError
+from repro.mlsim.engine import MLSimEngine
+from repro.mlsim.params import MLSimParams
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import save_trace
+
+#: Formats accepted by :func:`export_trace` / ``repro trace export``.
+FORMATS = ("perfetto", "chrome", "jsonl")
+
+
+def _ts(value: float) -> float:
+    """Round a microsecond timestamp for stable serialization."""
+    return round(value, 3)
+
+
+def replay_with_timeline(trace: TraceBuffer, params: MLSimParams):
+    """Replay a trace recording the timeline; returns (engine, result)."""
+    trace.coalesce_compute()
+    engine = MLSimEngine(trace, params, record_timeline=True,
+                         collect_metrics=True)
+    result = engine.run()
+    return engine, result
+
+
+def _metadata_events(num_pes: int, model: str) -> list[dict]:
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": f"MLSim replay ({model})"},
+    }]
+    for pe in range(num_pes):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": pe,
+            "args": {"name": f"PE {pe}"},
+        })
+    return events
+
+
+def _span_events(timeline) -> list[dict]:
+    events = []
+    for pe in range(timeline.num_pes):
+        for span in timeline.spans_for(pe):
+            events.append({
+                "ph": "X", "name": span.label, "cat": span.bucket,
+                "pid": 0, "tid": pe,
+                "ts": _ts(span.start), "dur": _ts(span.duration),
+            })
+    return events
+
+
+def _flow_events(timeline) -> list[dict]:
+    events = []
+    for i, flow in enumerate(timeline.flows):
+        name = f"{flow.kind} {flow.size}B"
+        events.append({
+            "ph": "s", "id": i, "name": name, "cat": "packet",
+            "pid": 0, "tid": flow.src, "ts": _ts(flow.depart),
+        })
+        events.append({
+            "ph": "f", "bp": "e", "id": i, "name": name, "cat": "packet",
+            "pid": 0, "tid": flow.dst, "ts": _ts(flow.arrival),
+        })
+    return events
+
+
+def _instant_events(timeline) -> list[dict]:
+    events = []
+    for inst in timeline.instants:
+        events.append({
+            "ph": "i", "s": "t", "name": inst.name, "cat": "robustness",
+            "pid": 0, "tid": inst.pe, "ts": _ts(inst.t),
+        })
+    for mark in timeline.phase_marks:
+        events.append({
+            "ph": "i", "s": "t", "name": mark.label, "cat": "phase",
+            "pid": 0, "tid": mark.pe, "ts": _ts(mark.t),
+        })
+    return events
+
+
+def chrome_document(engine: MLSimEngine, result) -> dict:
+    """Span tracks only — the strict Chrome trace-event subset."""
+    timeline = engine.timeline
+    assert timeline is not None
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": (_metadata_events(timeline.num_pes, result.model_name)
+                        + _span_events(timeline)),
+        "otherData": {"model": result.model_name,
+                      "elapsed_us": _ts(result.elapsed_us)},
+    }
+
+
+def perfetto_document(engine: MLSimEngine, result) -> dict:
+    """Chrome document plus flow arrows, robustness instants, and phase
+    marks (Perfetto renders them all)."""
+    doc = chrome_document(engine, result)
+    timeline = engine.timeline
+    doc["traceEvents"] = (doc["traceEvents"]
+                          + _flow_events(timeline)
+                          + _instant_events(timeline))
+    if result.metrics is not None:
+        doc["otherData"]["metrics"] = result.metrics
+    return doc
+
+
+def export_trace(trace: TraceBuffer, params: MLSimParams,
+                 fmt: str = "perfetto") -> str:
+    """Serialize a trace in one of :data:`FORMATS`; returns the text.
+
+    ``jsonl`` writes the native replayable trace format (no replay
+    happens); ``chrome``/``perfetto`` replay under ``params`` and render
+    the timeline.  All three are byte-deterministic.
+    """
+    if fmt == "jsonl":
+        out = io.StringIO()
+        save_trace(trace, out)
+        return out.getvalue()
+    if fmt not in ("chrome", "perfetto"):
+        raise ConfigurationError(
+            f"unknown export format {fmt!r}; choose from {FORMATS}")
+    engine, result = replay_with_timeline(trace, params)
+    doc = (chrome_document if fmt == "chrome"
+           else perfetto_document)(engine, result)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

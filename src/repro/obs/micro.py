@@ -1,0 +1,74 @@
+"""The micro workload: a tiny, fully deterministic exercise of the
+observability surface.
+
+Four cells run three labelled phases — neighbour PUT exchange, a GET
+read-back, and a global reduction — touching every span bucket, both
+flow kinds, flag and barrier waits, and all three networks.  Small
+enough that its Perfetto export serves as a byte-compared golden
+fixture in CI, rich enough that every documented metric is non-trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.config import MachineConfig
+from repro.machine.host import Host, HostChannel
+from repro.machine.machine import Machine
+from repro.trace.buffer import TraceBuffer
+
+#: Cell count of the canonical micro machine.
+MICRO_CELLS = 4
+
+#: Scalar every run starts from (host-broadcast over the B-net).
+MICRO_SEED = 1994.0
+
+
+def micro_program(ctx, host=None):
+    """SPMD body of the micro workload (three labelled phases)."""
+    ctx.phase("init")
+    src = ctx.alloc(64)
+    dst = ctx.alloc(64)
+    back = ctx.alloc(64)
+    put_flag = ctx.alloc_flag()
+    get_flag = ctx.alloc_flag()
+    if host is not None:
+        params = yield from HostChannel(ctx, host).receive_array()
+        seed = float(params[0])
+    else:
+        seed = MICRO_SEED
+    src.data[:] = seed + ctx.pe
+    ctx.compute(25.0)
+    yield from ctx.barrier()
+
+    ctx.phase("exchange")
+    right = (ctx.pe + 1) % ctx.num_cells
+    ctx.put(right, dst, src, recv_flag=put_flag)
+    yield from ctx.flag_wait(put_flag, 1)
+    ctx.compute_flops(500)
+    ctx.get(right, src, back, recv_flag=get_flag)
+    yield from ctx.flag_wait(get_flag, 1)
+    yield from ctx.barrier()
+
+    ctx.phase("reduce")
+    ctx.rtsys(5.0)
+    total = yield from ctx.gop(float(dst.data.sum()), "sum")
+    yield from ctx.barrier()
+    return total
+
+
+def micro_machine(num_cells: int = MICRO_CELLS, *,
+                  observe: bool = True) -> Machine:
+    """Build and run the micro workload; returns the finished machine."""
+    machine = Machine(MachineConfig(num_cells=num_cells,
+                                    memory_per_cell=1 << 22,
+                                    observe=observe))
+    host = Host(machine)
+    host.broadcast(np.array([MICRO_SEED]))
+    machine.run(lambda ctx: micro_program(ctx, host))
+    return machine
+
+
+def micro_trace(num_cells: int = MICRO_CELLS) -> TraceBuffer:
+    """The micro workload's trace (fresh functional run)."""
+    return micro_machine(num_cells).trace

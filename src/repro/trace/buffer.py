@@ -30,6 +30,8 @@ class TraceBuffer:
     _events: list[list[TraceEvent]] = field(default_factory=list)
     _seq: int = 0
     total_events: int = 0
+    _phase_labels: list[str] = field(default_factory=list)
+    _phase_ids: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self._events:
@@ -50,6 +52,30 @@ class TraceBuffer:
         self._events[event.pe].append(event)
         self.total_events += 1
         return event
+
+    def phase_id(self, label: str) -> int:
+        """Intern a phase label and return its 1-based id.
+
+        PHASE events carry the id in their ``flag`` field (0 means "no
+        phase"), keeping the event record fixed-width.
+        """
+        pid = self._phase_ids.get(label)
+        if pid is None:
+            self._phase_labels.append(label)
+            pid = len(self._phase_labels)
+            self._phase_ids[label] = pid
+        return pid
+
+    def phase_label(self, pid: int) -> str:
+        """Resolve a phase id back to its label."""
+        if 1 <= pid <= len(self._phase_labels):
+            return self._phase_labels[pid - 1]
+        return f"phase-{pid}"
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """All interned phase labels, in id order."""
+        return tuple(self._phase_labels)
 
     def events_for(self, pe: int) -> list[TraceEvent]:
         return self._events[pe]

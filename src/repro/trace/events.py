@@ -38,6 +38,8 @@ class EventKind(enum.IntEnum):
     RETRY = 14         # link-layer retransmission of an unacked frame
     TIMEOUT = 15       # retransmission timer expired on a cell
     SPILL = 16         # an MSC+ command queue spilled words to DRAM
+    # --- observability annotations (repro.obs; zero-cost in MLSim) ----
+    PHASE = 17         # user phase label (flag = interned label id)
 
 
 #: Kinds that correspond to a message leaving this PE.

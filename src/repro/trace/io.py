@@ -60,6 +60,10 @@ def save_trace(trace: TraceBuffer, target: str | Path | IO[str]) -> None:
         "groups": {str(gid): list(trace.groups.members(gid))
                    for gid in range(len(trace.groups))},
     }
+    if trace.phases:
+        # Phase labels are optional so unannotated traces keep the
+        # original header shape.
+        header["phases"] = list(trace.phases)
 
     def _write(fh: IO[str]) -> None:
         fh.write(json.dumps(header) + "\n")
@@ -92,6 +96,8 @@ def load_trace(source: str | Path | IO[str]) -> TraceBuffer:
                 continue
             groups.intern(tuple(members))
         trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
+        for label in header.get("phases", []):
+            trace.phase_id(label)
         for line in fh:
             line = line.strip()
             if not line:

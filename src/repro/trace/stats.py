@@ -97,8 +97,11 @@ def collect_statistics(trace: TraceBuffer) -> AppStatistics:
 
 
 def format_table3_row(name: str, stats: AppStatistics) -> str:
-    """Render one application's row in the paper's layout."""
+    """Render one application's row in the paper's layout, extended
+    with the machine-wide robustness totals (retry/timeout/spill)."""
     row = stats.as_row()
     cells = [f"{name:<10}", f"{row[0]:>4d}"]
     cells += [f"{v:>10.1f}" for v in row[1:]]
+    cells += [f"{v:>7d}"
+              for v in (stats.retries, stats.timeouts, stats.spills)]
     return "  ".join(cells)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.errors import SimulationError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.mlsim.breakdown import MLSimResult, PEBreakdown
@@ -98,8 +99,18 @@ class TestResultTypes:
         fractions = res.breakdown_fractions()
         assert sum(fractions.values()) == pytest.approx(1.0)
 
-    def test_speedup_of_empty_result(self):
+    def test_speedup_of_empty_result_raises(self):
+        """A zero-elapsed model has no defined speedup; the old behavior
+        (returning inf) silently poisoned Table 2 renders downstream."""
         empty = MLSimResult(model_name="x")
         base = MLSimResult(model_name="y",
                            per_pe=[PEBreakdown(clock=10.0)])
-        assert empty.speedup_over(base) == float("inf")
+        with pytest.raises(SimulationError, match="zero elapsed"):
+            empty.speedup_over(base)
+
+    def test_speedup_of_normal_result(self):
+        fast = MLSimResult(model_name="x",
+                           per_pe=[PEBreakdown(clock=5.0)])
+        base = MLSimResult(model_name="y",
+                           per_pe=[PEBreakdown(clock=10.0)])
+        assert fast.speedup_over(base) == pytest.approx(2.0)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.grid import BenchSpec
+from repro.bench.runner import run_bench
+
+TINY_SPECS = [
+    BenchSpec(app="EP", num_cells=4, params={"log2_pairs": 8}),
+    BenchSpec(app="MatMul", num_cells=4, params={"n": 40}),
+]
+
+
+@pytest.fixture(scope="session")
+def tiny_artifact():
+    """A small two-app artifact with populated metrics blocks."""
+    outcome = run_bench(
+        TINY_SPECS,
+        ("ap1000", "ap1000+"),
+        jobs=1,
+        use_cache=False,
+        grid_name="tiny",
+    )
+    return outcome.artifact

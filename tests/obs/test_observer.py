@@ -1,0 +1,138 @@
+"""Machine observer: link accounting, occupancy sampling, harvest,
+and the phase-annotation round trip."""
+
+import io
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.obs import observer as obs
+from repro.obs.micro import MICRO_CELLS, micro_machine, micro_trace
+from repro.obs.observer import MAX_SERIES_SAMPLES, machine_metrics
+from repro.obs.registry import MACHINE_SCHEMA
+from repro.trace.events import EventKind
+from repro.trace.io import load_trace, save_trace
+
+
+class TestAttachment:
+    def test_default_machine_has_no_observer(self):
+        m = Machine(MachineConfig(num_cells=2, memory_per_cell=1 << 20))
+        assert m.obs is None
+
+    def test_config_flag_attaches(self):
+        m = Machine(MachineConfig(num_cells=2, memory_per_cell=1 << 20,
+                                  observe=True))
+        assert m.obs is not None
+        assert m.tnet.observer is m.obs
+        assert m.bnet.observer is m.obs
+
+    def test_ambient_switch_attaches(self):
+        with obs.enabled():
+            m = Machine(MachineConfig(num_cells=2,
+                                      memory_per_cell=1 << 20))
+        assert m.obs is not None
+        assert not obs.active()
+
+    def test_ambient_switch_off_is_explicit(self):
+        with obs.enabled(False):
+            m = Machine(MachineConfig(num_cells=2,
+                                      memory_per_cell=1 << 20))
+        assert m.obs is None
+
+
+class TestHarvest:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return machine_metrics(micro_machine())
+
+    def test_document_shape(self, metrics):
+        assert metrics["schema"] == MACHINE_SCHEMA
+        assert metrics["observed"] is True
+        for section in ("network", "queues", "dma", "msc", "faults"):
+            assert section in metrics
+
+    def test_link_accounting(self, metrics):
+        links = metrics["network"]["links"]
+        # The ring exchange touches neighbour links in both directions.
+        assert links, "observer saw no T-net traffic"
+        for link, counts in links.items():
+            assert "->" in link
+            assert counts["frames"] > 0
+            assert counts["bytes"] >= counts["frames"]
+
+    def test_network_totals(self, metrics):
+        net = metrics["network"]
+        assert net["tnet_injected"] == net["tnet_delivered"] > 0
+        assert net["snet_barriers"] > 0
+        assert net["bnet_frames"] > 0  # gop reduction uses the B-net
+
+    def test_queue_and_dma_sections(self, metrics):
+        queues = metrics["queues"]
+        assert len(queues["per_cell_high_water_words"]) == MICRO_CELLS
+        assert queues["max_high_water_words"] > 0
+        assert queues["pushed"] >= queues["popped"] > 0
+        assert queues["occupancy_series"]
+        assert len(queues["occupancy_series"]) <= MAX_SERIES_SAMPLES
+        assert metrics["dma"]["send_bytes"] > 0
+
+    def test_perfect_machine_has_zero_faults(self, metrics):
+        assert all(v == 0 for v in metrics["faults"].values())
+
+    def test_harvest_without_observer_still_counts(self):
+        metrics = machine_metrics(micro_machine(observe=False))
+        assert metrics["observed"] is False
+        assert metrics["network"]["links"] == {}
+        assert metrics["queues"]["occupancy_series"] == []
+        # The always-on hardware counters are still there.
+        assert metrics["network"]["tnet_injected"] > 0
+        assert metrics["queues"]["pushed"] > 0
+
+    def test_harvest_is_deterministic(self, metrics):
+        assert machine_metrics(micro_machine()) == metrics
+
+
+class TestFaultyHarvest:
+    def test_faulty_networks_feed_the_same_document(self):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan(name="obs", seed=7, drop_rate=0.2)
+        with obs.enabled():
+            m = Machine(MachineConfig(num_cells=MICRO_CELLS,
+                                      memory_per_cell=1 << 22,
+                                      fault_plan=plan))
+        from repro.obs.micro import micro_program
+        m.run(micro_program)
+        metrics = machine_metrics(m)
+        assert metrics["network"]["links"], "faulty T-net bypassed hooks"
+        assert metrics["faults"]["retries"] > 0
+
+
+class TestPhaseAnnotations:
+    def test_micro_trace_carries_phase_labels(self):
+        trace = micro_trace()
+        assert trace.phases == ("init", "exchange", "reduce")
+        kinds = [ev.kind for ev in trace.events_for(0)]
+        assert kinds.count(EventKind.PHASE) == 3
+
+    def test_phase_labels_roundtrip_through_jsonl(self):
+        trace = micro_trace()
+        stream = io.StringIO()
+        save_trace(trace, stream)
+        stream.seek(0)
+        loaded = load_trace(stream)
+        assert loaded.phases == trace.phases
+        for ev in loaded.events_for(1):
+            if ev.kind is EventKind.PHASE:
+                assert loaded.phase_label(ev.flag) in trace.phases
+
+    def test_phase_survives_coalescing(self):
+        trace = micro_trace()
+        before = sum(1 for pe in range(trace.num_pes)
+                     for ev in trace.events_for(pe)
+                     if ev.kind is EventKind.PHASE)
+        trace.coalesce_compute()
+        after = sum(1 for pe in range(trace.num_pes)
+                    for ev in trace.events_for(pe)
+                    if ev.kind is EventKind.PHASE)
+        assert before == after == 3 * trace.num_pes

@@ -210,3 +210,110 @@ class TestBench:
         out = capsys.readouterr().out
         assert "REGRESSION" in out
         assert "FAIL" in out
+
+
+class TestJsonDocuments:
+    """`--json` on run/replay/top: schema-stable, parseable round trips."""
+
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(["run", "MatMul", "--cells", "4", "--trace", str(path),
+              "--no-replay"])
+        capsys.readouterr()
+        return path
+
+    def test_run_json_roundtrip(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "mm.jsonl"
+        assert main(["run", "MatMul", "--cells", "4", "--observe",
+                     "--trace", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-run-v1"
+        assert doc["app"] == "MatMul"
+        assert doc["verified"] is True
+        assert doc["cells"] == 4
+        assert doc["trace_file"] == str(trace)
+        assert doc["metrics"]["observed"] is True
+        assert doc["metrics"]["network"]["links"]
+        assert doc["speedups_vs_ap1000"]["ap1000+"] > 1.0
+        assert doc["statistics"]["num_pes"] == 4
+
+    def test_run_json_without_observe(self, capsys):
+        import json
+        assert main(["run", "EP", "--cells", "4", "--no-replay",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["metrics"]["observed"] is False
+        assert doc["speedups_vs_ap1000"] is None
+
+    def test_replay_json_roundtrip(self, trace_file, capsys):
+        import json
+        assert main(["replay", str(trace_file), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-replay-v1"
+        assert doc["model"] == "AP1000+"
+        assert doc["elapsed_us"] > 0
+        assert doc["metrics"]["schema"] == "repro-obs-replay-v1"
+        assert doc["metrics"]["links"]
+
+    def test_top_json_trace_mode(self, trace_file, capsys):
+        import json
+        assert main(["top", str(trace_file), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-top-v1"
+        assert len(doc["per_pe"]) == 4
+
+    def test_top_json_micro(self, capsys):
+        import json
+        assert main(["top", "--micro", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-top-v1"
+
+    def test_top_artifact_mode(self, tmp_path, capsys):
+        import json
+        artifact = tmp_path / "BENCH_t.json"
+        assert main(["bench", "run", "--smoke", "--no-cache",
+                     "--output", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["top", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "bench artifact" in out and "EP" in out
+        assert main(["top", str(artifact), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-top-bench-v1"
+        assert doc["apps"]["EP"]["metrics"]["machine"]["observed"] is True
+
+    def test_top_without_source_is_clean_error(self, capsys):
+        assert main(["top"]) == 2
+        assert "no trace source" in capsys.readouterr().err
+
+
+class TestTraceExport:
+    def test_micro_export_matches_golden(self, tmp_path, capsys):
+        from pathlib import Path
+        out = tmp_path / "micro.json"
+        assert main(["trace", "export", "--micro",
+                     "--format", "perfetto", "-o", str(out)]) == 0
+        capsys.readouterr()
+        golden = (Path(__file__).parent / "obs" / "golden"
+                  / "micro.perfetto.json")
+        assert out.read_text() == golden.read_text()
+
+    def test_export_to_stdout(self, capsys):
+        import json
+        assert main(["trace", "export", "--micro",
+                     "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["model"] == "AP1000+"
+
+    def test_export_saved_trace(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "t.jsonl"
+        main(["run", "EP", "--cells", "4", "--trace", str(trace),
+              "--no-replay"])
+        capsys.readouterr()
+        assert main(["trace", "export", str(trace),
+                     "--format", "perfetto"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
