@@ -74,7 +74,8 @@ class ExperimentReport:
             render_figure8(self.figure8()),
             "",
             "Functional verification: " + (
-                "ALL PASSED" if self.all_verified else "FAILURES: " + ", ".join(
+                "ALL PASSED" if self.all_verified
+                else "FAILURES: " + ", ".join(
                     name for name, run in self.runs.items()
                     if not run.verified)),
         ]

@@ -114,7 +114,7 @@ def _iter_checks(report: ExperimentReport) -> Iterator[ShapeCheck]:
                         "directly and overlap communication with "
                         "computation.")
 
-    # ---- Figure 8 ------------------------------------------------------------
+    # ---- Figure 8 -----------------------------------------------------
     taller = [name for name, cmp in report.comparisons.items()
               if name != "EP"
               and cmp.ap1000_fast.mean_total <= cmp.ap1000_plus.mean_total]

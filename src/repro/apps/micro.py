@@ -125,7 +125,8 @@ def format_latency_table(model_points: dict[str, list[LatencyPoint]]) -> str:
     return "\n".join(lines)
 
 
-def format_collective_table(model_rows: dict[str, list[CollectivePoint]]) -> str:
+def format_collective_table(
+        model_rows: dict[str, list[CollectivePoint]]) -> str:
     lines = ["Collective cost vs machine size (us)"]
     for name, rows in model_rows.items():
         lines.append(f"{name}:")

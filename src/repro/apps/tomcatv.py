@@ -76,7 +76,8 @@ def tridiag_columns(rx: np.ndarray) -> np.ndarray:
 
 
 def relax_step(x: np.ndarray, y: np.ndarray,
-               j_lo: int, j_hi: int) -> tuple[np.ndarray, np.ndarray, float, float]:
+               j_lo: int, j_hi: int,
+               ) -> tuple[np.ndarray, np.ndarray, float, float]:
     """One TOMCATV relaxation over columns [j_lo, j_hi) of a view that
     includes one halo column on each side of that range.
 
@@ -103,7 +104,8 @@ def relax_step(x: np.ndarray, y: np.ndarray,
     dy = tridiag_columns(ry)
     dx[0] = dx[-1] = 0.0
     dy[0] = dy[-1] = 0.0
-    return dx, dy, float(np.abs(dx).max(initial=0.0)), float(np.abs(dy).max(initial=0.0))
+    return (dx, dy, float(np.abs(dx).max(initial=0.0)),
+            float(np.abs(dy).max(initial=0.0)))
 
 
 def program(ctx, *, n: int = DEFAULT_N, iters: int = DEFAULT_ITERS,

@@ -385,7 +385,8 @@ class _FunctionLinter:
                     }
                     if used:
                         names = ", ".join(
-                            sorted(n.id for n in used)  # type: ignore[attr-defined]
+                            sorted(n.id  # type: ignore[attr-defined]
+                                   for n in used)
                         )
                         self.emit(
                             "SPMD005", node.lineno,

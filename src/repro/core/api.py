@@ -68,7 +68,8 @@ def put(ctx: CellContext, node_id: int, raddr: int, laddr: int, size: int,
 
 def get(ctx: CellContext, node_id: int, raddr: int, laddr: int, size: int,
         send_flag: Flag | None = None, recv_flag: Flag | None = None) -> None:
-    """GET ``size`` bytes from ``raddr`` on ``node_id`` into local ``laddr``."""
+    """GET ``size`` bytes from ``raddr`` on ``node_id`` into local
+    ``laddr``."""
     command = Command(
         kind=CommandKind.GET, dst=node_id, raddr=raddr, laddr=laddr,
         send_stride=StrideSpec.contiguous(size),

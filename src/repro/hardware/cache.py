@@ -43,7 +43,8 @@ class WriteThroughCache:
         if self.size_bytes <= 0 or self.line_bytes <= 0:
             raise ConfigurationError("cache and line sizes must be positive")
         if self.size_bytes % self.line_bytes:
-            raise ConfigurationError("cache size must be a multiple of line size")
+            raise ConfigurationError(
+                "cache size must be a multiple of line size")
 
     @property
     def num_lines(self) -> int:

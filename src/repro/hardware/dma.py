@@ -50,7 +50,8 @@ class DMAEngine:
             "largest_transfer": self.largest_transfer,
         }
 
-    def gather(self, memory: CellMemory, addr: int, stride: StrideSpec) -> bytes:
+    def gather(self, memory: CellMemory, addr: int,
+               stride: StrideSpec) -> bytes:
         """Read a (possibly strided) block out of memory as one payload."""
         data = memory.gather(addr, stride)
         self._account(len(data))

@@ -97,19 +97,22 @@ class MemoryController:
     def read_flag(self, flag_logical_addr: int) -> int:
         """Read a flag's current value (the program's flag-check load)."""
         if flag_logical_addr == NO_FLAG:
-            raise AddressError("cannot read flag at address 0 (means 'no flag')")
+            raise AddressError(
+                "cannot read flag at address 0 (means 'no flag')")
         paddr = self.mmu.translate(flag_logical_addr, write=False)
         return self.memory.read_word(paddr)
 
     def write_flag(self, flag_logical_addr: int, value: int) -> None:
         """Reset a flag (programs clear flags between communication phases)."""
         if flag_logical_addr == NO_FLAG:
-            raise AddressError("cannot write flag at address 0 (means 'no flag')")
+            raise AddressError(
+                "cannot write flag at address 0 (means 'no flag')")
         paddr = self.mmu.translate(flag_logical_addr, write=True)
         self.memory.write_word(paddr, value)
 
 
-def allocate_flag_area(mc: MemoryController, base: int, count: int) -> list[int]:
+def allocate_flag_area(mc: MemoryController, base: int,
+                       count: int) -> list[int]:
     """Carve ``count`` word-sized flags out of memory starting at ``base``.
 
     Returns the logical addresses; flags start at zero.  Address 0 is never

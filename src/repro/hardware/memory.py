@@ -35,7 +35,8 @@ class CellMemory:
 
     def __init__(self, size_bytes: int) -> None:
         if size_bytes <= 0:
-            raise ConfigurationError(f"memory size must be positive, got {size_bytes}")
+            raise ConfigurationError(
+                f"memory size must be positive, got {size_bytes}")
         self._buf = np.zeros(size_bytes, dtype=np.uint8)
         self.size_bytes = size_bytes
 
@@ -47,7 +48,8 @@ class CellMemory:
     def _check_range(self, addr: int, size: int) -> None:
         if addr < 0 or size < 0 or addr + size > self.size_bytes:
             raise AddressError(
-                f"access [{addr}, {addr + size}) outside {self.size_bytes}-byte DRAM"
+                f"access [{addr}, {addr + size}) outside "
+                f"{self.size_bytes}-byte DRAM"
             )
 
     def read(self, addr: int, size: int) -> bytes:
@@ -57,7 +59,8 @@ class CellMemory:
 
     def write(self, addr: int, data: bytes | np.ndarray) -> None:
         """Write ``data`` starting at ``addr``."""
-        raw = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data
+        raw = (np.frombuffer(data, dtype=np.uint8)
+               if isinstance(data, (bytes, bytearray)) else data)
         self._check_range(addr, len(raw))
         self._buf[addr : addr + len(raw)] = raw
 
@@ -134,13 +137,15 @@ class AddressMap:
 
     def is_shared(self, paddr: int) -> bool:
         if not 0 <= paddr < PHYSICAL_SPACE_BYTES:
-            raise AddressError(f"physical address {paddr:#x} outside 36-bit space")
+            raise AddressError(
+                f"physical address {paddr:#x} outside 36-bit space")
         return paddr >= SHARED_SPACE_BASE
 
     def shared_base(self, cell_id: int) -> int:
         """Physical base address of ``cell_id``'s exported window."""
         if not 0 <= cell_id < self.num_cells:
-            raise AddressError(f"no cell {cell_id} in {self.num_cells}-cell machine")
+            raise AddressError(
+                f"no cell {cell_id} in {self.num_cells}-cell machine")
         return SHARED_SPACE_BASE + cell_id * self.block_size
 
     def resolve_shared(self, paddr: int) -> tuple[int, int]:
@@ -151,7 +156,8 @@ class AddressMap:
         addresses at the destination cell".
         """
         if not self.is_shared(paddr):
-            raise AddressError(f"{paddr:#x} is in local space, not shared space")
+            raise AddressError(
+                f"{paddr:#x} is in local space, not shared space")
         offset_in_shared = paddr - SHARED_SPACE_BASE
         cell_id = offset_in_shared // self.block_size
         local_offset = offset_in_shared % self.block_size

@@ -84,7 +84,8 @@ class MMU:
             raise AddressError(f"unsupported page size {size}")
         if logical_base % size or physical_base % size:
             raise AddressError("page bases must be aligned to the page size")
-        entry = PageEntry(physical_base=physical_base, size=size, writable=writable)
+        entry = PageEntry(physical_base=physical_base, size=size,
+                          writable=writable)
         table = self._table_4k if size == PAGE_4K else self._table_256k
         table[logical_base // size] = entry
 
@@ -98,7 +99,8 @@ class MMU:
         offset = physical_base - logical_base
         page = start
         while page < end:
-            self.map_page(page, page + offset, size=page_size, writable=writable)
+            self.map_page(page, page + offset, size=page_size,
+                          writable=writable)
             page += page_size
 
     def unmap_page(self, logical_base: int, size: int = PAGE_4K) -> None:
@@ -115,7 +117,8 @@ class MMU:
         page_size = entry.size
         return entry.physical_base + (logical % page_size)
 
-    def translate_range(self, logical: int, size: int, *, write: bool = False) -> int:
+    def translate_range(self, logical: int, size: int, *,
+                        write: bool = False) -> int:
         """Translate a range, verifying every touched page is mapped.
 
         Returns the physical address of the first byte.  This models the

@@ -240,7 +240,8 @@ class MSCPlus:
         """Handle one packet arriving from the T-net."""
         if packet.dst != self.cell_id:
             raise CommunicationError(
-                f"packet for cell {packet.dst} delivered to cell {self.cell_id}")
+                f"packet for cell {packet.dst} delivered to cell "
+                f"{self.cell_id}")
         kind = packet.kind
         if kind in (PacketKind.PUT, PacketKind.PUT_STRIDE):
             self._receive_put(packet)
@@ -277,7 +278,8 @@ class MSCPlus:
             self.cache.invalidate_range(paddr, stride.extent_bytes)
 
     def _receive_put(self, packet: Packet) -> None:
-        stride = packet.recv_stride or StrideSpec.contiguous(packet.payload_bytes)
+        stride = (packet.recv_stride
+                  or StrideSpec.contiguous(packet.payload_bytes))
         assert packet.data is not None
         self._scatter_with_invalidate(packet.remote_addr, stride, packet.data)
         self.stats.puts_received += 1
@@ -285,10 +287,12 @@ class MSCPlus:
         self.mc.increment_flag(packet.recv_flag)
 
     def _receive_get_reply(self, packet: Packet) -> None:
-        stride = packet.recv_stride or StrideSpec.contiguous(packet.payload_bytes)
+        stride = (packet.recv_stride
+                  or StrideSpec.contiguous(packet.payload_bytes))
         if packet.payload_bytes:
             assert packet.data is not None
-            self._scatter_with_invalidate(packet.remote_addr, stride, packet.data)
+            self._scatter_with_invalidate(packet.remote_addr, stride,
+                                          packet.data)
         self.stats.get_replies_received += 1
         self.mc.increment_flag(packet.recv_flag)
 

@@ -84,7 +84,8 @@ class CommandQueue:
         capacity = self._spill_buffers_allocated * self.spill_buffer_words
         if self._spill_words + words > capacity:
             if (self.max_spill_buffers is not None
-                    and self._spill_buffers_allocated >= self.max_spill_buffers):
+                    and (self._spill_buffers_allocated
+                         >= self.max_spill_buffers)):
                 raise QueueOverflowError(
                     f"queue '{self.name}': DRAM spill exhausted "
                     f"({self._spill_buffers_allocated} buffers of "

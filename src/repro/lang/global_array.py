@@ -94,7 +94,8 @@ class GlobalArray:
     def interior(self) -> np.ndarray:
         """Numpy view of the owned block (overlap and padding excluded)."""
         sl = [slice(None)] * len(self.shape)
-        sl[self.dist_axis] = slice(self.overlap, self.overlap + self.local_extent)
+        sl[self.dist_axis] = slice(self.overlap,
+                                   self.overlap + self.local_extent)
         return self.block.data[tuple(sl)]
 
     def with_overlap(self) -> np.ndarray:

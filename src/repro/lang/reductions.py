@@ -67,7 +67,8 @@ class CommRegisterReducer:
     at most one generation, so two generations of slots suffice.
     """
 
-    def __init__(self, ctx: "CellContext", group: "Group | None" = None) -> None:
+    def __init__(self, ctx: "CellContext",
+                 group: "Group | None" = None) -> None:
         self.ctx = ctx
         self.group = group or ctx.world
         if ctx.pe not in self.group:

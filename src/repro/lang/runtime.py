@@ -91,7 +91,8 @@ class VPPRuntime:
         owner = src.owner(row)
         if owner == self.ctx.pe:
             self._charge(0)
-            dest.data.reshape(-1)[:ncols] = src.block.data[src.to_local(row), :ncols]
+            local_row = src.block.data[src.to_local(row), :ncols]
+            dest.data.reshape(-1)[:ncols] = local_row
             return
         self._charge(1)
         self.ctx.get(owner, src.block, dest, count=ncols,

@@ -427,7 +427,8 @@ class MLSimEngine:
         drain = pm.dma_drain_time(p, ev.size)
         if ev.send_flag:
             self._record_flag(
-                ev.send_flag, depart + drain + pm.send_complete_to_flag_time(p))
+                ev.send_flag,
+                depart + drain + pm.send_complete_to_flag_time(p))
         st.pending_theft += pm.send_complete_cpu_theft(p)
         dist = self._distance(st.pe, ev.partner)
         arrival = self._channel_arrival(
@@ -602,7 +603,8 @@ class MLSimEngine:
         self._wait_until(st, release)
         return True
 
-    def _reduction_duration(self, ev: TraceEvent, size: int) -> tuple[float, float]:
+    def _reduction_duration(self, ev: TraceEvent,
+                            size: int) -> tuple[float, float]:
         """(total duration, per-member CPU share) of one reduction."""
         p = self.p
         if ev.kind is EventKind.GOP:

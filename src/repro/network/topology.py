@@ -51,7 +51,8 @@ class TorusTopology:
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
             raise ConfigurationError(
-                f"torus dimensions must be positive, got {self.width}x{self.height}"
+                f"torus dimensions must be positive, got "
+                f"{self.width}x{self.height}"
             )
 
     @classmethod
@@ -63,7 +64,8 @@ class TorusTopology:
         and w - h minimal, as the physical cabinets did for supported sizes.
         """
         if num_cells < 1:
-            raise ConfigurationError(f"need at least one cell, got {num_cells}")
+            raise ConfigurationError(
+                f"need at least one cell, got {num_cells}")
         best: tuple[int, int] | None = None
         h = 1
         while h * h <= num_cells:
@@ -122,5 +124,6 @@ class TorusTopology:
     def _check_cell(self, cell_id: int) -> None:
         if not 0 <= cell_id < self.num_cells:
             raise ConfigurationError(
-                f"cell id {cell_id} out of range for {self.num_cells}-cell torus"
+                f"cell id {cell_id} out of range for "
+                f"{self.num_cells}-cell torus"
             )
