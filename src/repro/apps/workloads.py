@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from collections.abc import Callable
 from typing import Any
 
-from repro.apps import cg, ep, ft, matmul, scg, sp, tomcatv
+from repro.apps import cg, ep, ft, latency, matmul, scg, sp, tomcatv
 from repro.apps.base import AppRun
 from repro.core.errors import ConfigurationError
 
@@ -39,7 +39,8 @@ class Workload:
 
     def run(self, *, paper_scale: bool = False,
             num_cells: int | None = None, **overrides) -> AppRun:
-        params = dict(self.paper_params if paper_scale else self.default_params)
+        params = dict(self.paper_params if paper_scale
+                      else self.default_params)
         params.update(overrides)
         cells = num_cells or (self.paper_pes if paper_scale
                               else self.default_pes)
@@ -89,6 +90,16 @@ WORKLOADS: dict[str, Workload] = {
     "SCG": Workload(
         "SCG", scg.run, scg.DEFAULT_PES, {"m": scg.DEFAULT_M},
         scg.PAPER_PES, {"m": scg.PAPER_M}, "C"),
+    # Section 5 latency microbenchmarks; not Table 2/3 rows (they are
+    # excluded from ORDER) but first-class workloads for the perf lane.
+    "PingPong": Workload(
+        "PingPong", latency.run_ping_pong, latency.DEFAULT_PES,
+        {"iters": latency.DEFAULT_ITERS},
+        latency.PAPER_PES, {"iters": latency.PAPER_ITERS}, "C"),
+    "RingShift": Workload(
+        "RingShift", latency.run_ring_shift, latency.DEFAULT_PES,
+        {"hops": latency.DEFAULT_ITERS},
+        latency.PAPER_PES, {"hops": latency.PAPER_ITERS}, "C"),
 }
 
 #: Paper row order (Tables 2 and 3, Figure 8).

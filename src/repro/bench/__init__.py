@@ -18,6 +18,7 @@ from repro.bench.grid import (
     SMOKE_PRESETS,
     BenchSpec,
     bench_specs,
+    micro_specs,
     smoke_specs,
     workload_specs,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "bench_specs",
     "code_version",
     "compare_artifacts",
+    "micro_specs",
     "results_bytes",
     "run_bench",
     "smoke_specs",

@@ -10,7 +10,9 @@ simulator, runtime, or applications invalidates every entry.
 
 Layout: ``<root>/<key>/meta.json`` (provenance, verification checks,
 Table 3 statistics) plus ``<root>/<key>/trace.jsonl`` (the recorded
-trace in the ``repro.trace.io`` format).
+trace, written in the columnar ``repro.trace.io`` v2 format so the
+replay stage can decode it straight into numpy columns; v1 entries from
+older caches still load via format sniffing).
 """
 
 from __future__ import annotations
@@ -26,11 +28,34 @@ from typing import Any
 import repro
 from repro.obs.observer import machine_metrics
 from repro.trace.buffer import TraceBuffer
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import (
+    load_columns_npz,
+    load_trace,
+    load_trace_columns,
+    save_columns_npz,
+    save_trace_v2,
+)
+from repro.trace.soa import TraceColumns
 from repro.trace.stats import AppStatistics
 
 META_NAME = "meta.json"
 TRACE_NAME = "trace.jsonl"
+#: Binary replay-columns sidecar written next to the trace; a decode
+#: accelerator only (the jsonl stays the source of truth).
+COLUMNS_NAME = "columns.npz"
+
+
+def load_cached_columns(trace_path: str | Path, *,
+                        coalesce: bool = True) -> TraceColumns:
+    """Replay columns for a cached trace: the binary sidecar when one
+    sits next to the trace file, else a decode of the trace itself."""
+    sidecar = Path(trace_path).with_name(COLUMNS_NAME)
+    if sidecar.exists():
+        try:
+            return load_columns_npz(sidecar, coalesce=coalesce)
+        except (OSError, ValueError, KeyError):
+            pass  # stale or truncated sidecar: fall through to the trace
+    return load_trace_columns(trace_path, coalesce=coalesce)
 
 #: Default cache location, shared by `repro bench` and the pytest
 #: benchmark harness.
@@ -158,7 +183,8 @@ class TraceCache:
         entry = self.entry_dir(app, config)
         entry.mkdir(parents=True, exist_ok=True)
         trace_path = entry / TRACE_NAME
-        save_trace(run.trace, trace_path)
+        save_trace_v2(run.trace, trace_path)
+        save_columns_npz(run.trace, entry / COLUMNS_NAME)
         stats = run.statistics
         machine = getattr(run, "machine", None)
         telemetry = (

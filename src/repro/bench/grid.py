@@ -6,11 +6,13 @@ replayed through MLSim under every parameter preset.  A grid is a list
 of :class:`BenchSpec` rows (one functional run each) plus the preset
 names to replay every trace under.
 
-Three grids are defined here:
+Four grids are defined here:
 
 * :func:`bench_specs` — the benchmark-scale configurations used by
   ``pytest benchmarks/`` (the Table 2/3 rows at or near paper scale);
 * :func:`smoke_specs` — a two-app, seconds-long grid for CI smoke runs;
+* :func:`micro_specs` — the perf-lane grid (latency microbenchmarks +
+  a small CG) timed by ``repro bench perf``;
 * :func:`workload_specs` — the workload registry's default or paper
   sizes, used by ``repro report``.
 """
@@ -46,6 +48,17 @@ BENCH_CONFIGS: dict[str, dict[str, Any]] = {
 SMOKE_CONFIGS: dict[str, dict[str, Any]] = {
     "EP": dict(num_cells=16, log2_pairs=12),
     "MatMul": dict(num_cells=16, n=200),
+}
+
+#: Perf-lane grid (``repro bench perf``): the section 5 latency
+#: microbenchmarks at many cells — long blocking chains that stress the
+#: SPMD scheduler — plus one real solver whose trace is dominated by the
+#: section 5.3 replay arithmetic.  Sized for seconds per run so the CI
+#: perf job can afford cold + warm passes under both engine modes.
+MICRO_CONFIGS: dict[str, dict[str, Any]] = {
+    "PingPong": dict(num_cells=256, iters=1024),
+    "RingShift": dict(num_cells=256, hops=2048),
+    "CG": dict(num_cells=16, n=700, outer=8, inner=25),
 }
 
 
@@ -96,6 +109,11 @@ def bench_specs(
 def smoke_specs() -> list[BenchSpec]:
     """The CI smoke grid: EP + MatMul at small sizes."""
     return _specs_from(SMOKE_CONFIGS)
+
+
+def micro_specs() -> list[BenchSpec]:
+    """The perf-lane grid: latency microbenchmarks + a small CG."""
+    return _specs_from(MICRO_CONFIGS)
 
 
 def workload_specs(

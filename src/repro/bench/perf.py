@@ -1,0 +1,341 @@
+"""Perf lane: the measurements behind the CI performance job.
+
+The vectorized replay engine and the batched SPMD scheduler exist for
+throughput, so their speedups are regression-tested like any other
+output.  ``repro bench perf`` runs the micro grid twice through the
+normal benchmark runner (a first pass that pays whatever the trace
+cache does not already hold, then a cache-hit pass), then measures two
+controlled A/B speedups:
+
+* **replay** — the pre-refactor replay pipeline (per-preset v1 JSON
+  trace load + scalar ``MLSimEngine``) against the current one (one
+  binary column load per application + ``replay_columns``), per
+  micro-grid application;
+* **functional** — the reference run-every-cell-every-round SPMD
+  scheduler against the batched wake-set scheduler on a long blocking
+  chain (``RingShift``), where scheduler overhead dominates.
+
+Both A/B passes time identical work under ``gc`` control and keep the
+minimum of ``reps`` repetitions, so the ratios are stable even on noisy
+runners.  The gate is expressed in **ratios** (speedups), not absolute
+wall-clock: ratios compare the same host against itself and therefore
+transfer across CI hardware generations, while absolute walls are
+recorded in the artifact for humans but never gated on.  A checked-in
+baseline (``benchmarks/perf_baseline.json``) pins the expected ratios;
+a run fails if any speedup falls below its hard floor or drops more
+than ``baseline_tolerance_pct`` below the baseline ratio.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench.cache import TraceCache, code_version, load_cached_columns
+from repro.bench.grid import ALL_PRESETS, BenchSpec, micro_specs
+from repro.bench.runner import run_bench
+from repro.bench.schema import results_bytes
+from repro.mlsim.engine import MLSimEngine
+from repro.mlsim.engine_soa import replay_columns
+from repro.mlsim.params import preset as load_preset
+from repro.trace.io import load_trace, save_trace
+
+PERF_SCHEMA = "repro-perf-v1"
+
+#: Hard floors: the refactor's contract, independent of any baseline.
+REPLAY_MIN_SPEEDUP = 10.0
+FUNCTIONAL_MIN_SPEEDUP = 3.0
+
+#: A speedup may drift this far below the checked-in baseline ratio
+#: before the lane fails (noise headroom on shared CI runners).
+BASELINE_TOLERANCE_PCT = 25.0
+
+#: The functional A/B workload: a 256-cell ring where every hop blocks
+#: on its neighbour, so the reference scheduler's sweep over all cells
+#: per round is nearly all wasted work.
+FUNCTIONAL_AB = ("RingShift", {"num_cells": 256, "hops": 4096})
+
+Log = Callable[[str], None]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+@dataclass
+class PerfReport:
+    """Outcome of one perf-lane run."""
+
+    document: dict[str, Any]
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def _timed_min(fn: Callable[[], None], reps: int) -> float:
+    """Minimum wall-clock of ``reps`` calls, with the collector parked
+    so a background GC pass cannot land inside a timed region."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        best = float("inf")
+        for _ in range(reps):
+            gc.collect()
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _measure_replay(
+    specs: list[BenchSpec],
+    preset_names: tuple[str, ...],
+    cache: TraceCache,
+    reps: int,
+    log: Log,
+) -> dict[str, Any]:
+    """A/B the replay pipelines over every cached micro-grid trace.
+
+    The "old" side is the pre-refactor pipeline exactly: each (app,
+    preset) cell re-reads the v1 JSON-lines trace, coalesces, and runs
+    the scalar engine.  The "new" side is what the runner does today:
+    one binary column load per application, then the vectorized replay
+    per preset.  Both collect metrics, as the runner always has.
+    """
+    presets = [load_preset(name) for name in preset_names]
+    apps: dict[str, Any] = {}
+    old_total = new_total = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        for spec in specs:
+            cached = cache.get(spec.app, spec.config())
+            if cached is None:  # pragma: no cover - runner just filled it
+                raise RuntimeError(f"no cache entry for {spec.app}")
+            v1_path = Path(tmp) / f"{spec.app}.v1.jsonl"
+            save_trace(cached.trace, v1_path)
+
+            def old_pass() -> None:
+                for p in presets:
+                    trace = load_trace(v1_path)
+                    trace.coalesce_compute()
+                    MLSimEngine(trace, p, None, collect_metrics=True).run()
+
+            def new_pass() -> None:
+                columns = load_cached_columns(cached.trace_path)
+                for p in presets:
+                    replay_columns(columns, p, collect_metrics=True)
+
+            old_s = _timed_min(old_pass, reps)
+            new_s = _timed_min(new_pass, reps)
+            old_total += old_s
+            new_total += new_s
+            apps[spec.app] = {
+                "old_s": old_s,
+                "new_s": new_s,
+                "speedup": old_s / new_s,
+            }
+            log(f"replay {spec.app}: old {old_s * 1000:.0f}ms, "
+                f"new {new_s * 1000:.0f}ms "
+                f"({old_s / new_s:.1f}x)")
+    return {
+        "reps": reps,
+        "presets": list(preset_names),
+        "apps": apps,
+        "old_total_s": old_total,
+        "new_total_s": new_total,
+        "aggregate_speedup": old_total / new_total,
+    }
+
+
+def _measure_functional(reps: int, log: Log) -> dict[str, Any]:
+    """A/B the SPMD schedulers on the blocking-chain workload."""
+    from repro.apps.latency import run_ring_shift
+
+    app, config = FUNCTIONAL_AB
+    walls = {}
+    saved = os.environ.get("REPRO_MACHINE_SCHEDULER")
+    try:
+        for mode in ("batched", "reference"):
+            os.environ["REPRO_MACHINE_SCHEDULER"] = mode
+            walls[mode] = _timed_min(
+                lambda: run_ring_shift(**config), reps)
+            log(f"functional {app} [{mode}]: {walls[mode]:.2f}s")
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_MACHINE_SCHEDULER", None)
+        else:
+            os.environ["REPRO_MACHINE_SCHEDULER"] = saved
+    return {
+        "app": app,
+        "config": config,
+        "reps": reps,
+        "batched_s": walls["batched"],
+        "reference_s": walls["reference"],
+        "speedup": walls["reference"] / walls["batched"],
+    }
+
+
+def compare_to_baseline(
+    document: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance_pct: float = BASELINE_TOLERANCE_PCT,
+) -> list[str]:
+    """Failures where a current speedup fell more than ``tolerance_pct``
+    below the baseline's ratio (absolute walls are never compared)."""
+    failures = []
+    floor_factor = 1.0 - tolerance_pct / 100.0
+    pairs = [
+        ("replay aggregate",
+         document["replay"]["aggregate_speedup"],
+         baseline["speedups"]["replay_aggregate"]),
+        ("functional scheduler",
+         document["functional"]["speedup"],
+         baseline["speedups"]["functional"]),
+    ]
+    for app, ratio in baseline["speedups"].get("replay_apps", {}).items():
+        current = document["replay"]["apps"].get(app)
+        if current is not None:
+            pairs.append((f"replay {app}", current["speedup"], ratio))
+    for name, current, base in pairs:
+        if current < base * floor_factor:
+            failures.append(
+                f"{name} speedup {current:.1f}x is more than "
+                f"{tolerance_pct:g}% below baseline {base:.1f}x")
+    return failures
+
+
+def baseline_from_report(document: dict[str, Any]) -> dict[str, Any]:
+    """The checked-in baseline shape: ratios to gate on, plus the walls
+    and host of the recording run as provenance (informational only)."""
+    return {
+        "schema": PERF_SCHEMA + "-baseline",
+        "recorded_utc": document["created_utc"],
+        "host": document["host"],
+        "speedups": {
+            "replay_aggregate": document["replay"]["aggregate_speedup"],
+            "replay_apps": {
+                app: row["speedup"]
+                for app, row in document["replay"]["apps"].items()
+            },
+            "functional": document["functional"]["speedup"],
+        },
+        "walls_informational": {
+            "micro_cold_s": document["micro"]["cold"]["wall_s"],
+            "micro_warm_s": document["micro"]["warm"]["wall_s"],
+            "replay_new_total_s": document["replay"]["new_total_s"],
+        },
+    }
+
+
+def run_perf(
+    *,
+    cache_dir: str | Path | None = None,
+    replay_reps: int = 3,
+    functional_reps: int = 2,
+    baseline_path: str | Path | None = None,
+    tolerance_pct: float = BASELINE_TOLERANCE_PCT,
+    log: Log | None = None,
+) -> PerfReport:
+    """Run the full perf lane and return its report.
+
+    Stages: micro grid first pass (fills or reuses the trace cache),
+    micro grid cache-hit pass, byte-identity check between the two
+    artifacts, replay A/B, functional A/B, then gating — hard floors
+    first, baseline drift second.
+    """
+    log = log or (lambda message: None)
+    specs = micro_specs()
+    preset_names = ALL_PRESETS
+    cache = TraceCache(cache_dir or "benchmarks/.trace_cache",
+                       code_version())
+
+    passes = {}
+    artifacts = {}
+    for label in ("cold", "warm"):
+        outcome = run_bench(
+            specs, preset_names, jobs=1, cache_dir=cache.root,
+            use_cache=True, grid_name="micro", log=log,
+        )
+        run_info = outcome.artifact.run
+        passes[label] = {
+            "wall_s": run_info["wall_s"],
+            "stage_wall_s": run_info["stage_wall_s"],
+            "cache_hits": run_info["cache"]["hits"],
+            "cache_misses": run_info["cache"]["misses"],
+        }
+        artifacts[label] = outcome.artifact
+        log(f"micro {label}: {run_info['wall_s']:.2f}s "
+            f"({run_info['cache']['hits']} cache hits)")
+
+    identical = (results_bytes(artifacts["cold"])
+                 == results_bytes(artifacts["warm"]))
+    replay = _measure_replay(specs, preset_names, cache, replay_reps, log)
+    functional = _measure_functional(functional_reps, log)
+
+    document: dict[str, Any] = {
+        "schema": PERF_SCHEMA,
+        "created_utc": _utc_now(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "grid": {
+            "apps": [spec.app for spec in specs],
+            "presets": list(preset_names),
+        },
+        "micro": {**passes, "results_identical": identical},
+        "replay": replay,
+        "functional": functional,
+        "gates": {
+            "replay_min_speedup": REPLAY_MIN_SPEEDUP,
+            "functional_min_speedup": FUNCTIONAL_MIN_SPEEDUP,
+            "baseline_tolerance_pct": tolerance_pct,
+        },
+    }
+
+    failures = []
+    if not all(artifacts[label].all_verified for label in artifacts):
+        failures.append("micro grid verification failed")
+    if not identical:
+        failures.append(
+            "cold and cache-hit micro artifacts differ byte for byte")
+    if replay["aggregate_speedup"] < REPLAY_MIN_SPEEDUP:
+        failures.append(
+            f"replay aggregate speedup {replay['aggregate_speedup']:.1f}x "
+            f"is below the {REPLAY_MIN_SPEEDUP:g}x floor")
+    if functional["speedup"] < FUNCTIONAL_MIN_SPEEDUP:
+        failures.append(
+            f"functional scheduler speedup {functional['speedup']:.1f}x "
+            f"is below the {FUNCTIONAL_MIN_SPEEDUP:g}x floor")
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = json.loads(Path(baseline_path).read_text("utf-8"))
+        document["baseline"] = {"path": str(baseline_path),
+                                "speedups": baseline["speedups"]}
+        failures.extend(
+            compare_to_baseline(document, baseline, tolerance_pct))
+    document["failures"] = failures
+    document["pass"] = not failures
+    return PerfReport(document=document, failures=failures)

@@ -329,11 +329,19 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         SMOKE_PRESETS,
         artifact_filename,
         bench_specs,
+        micro_specs,
         run_bench,
         smoke_specs,
     )
 
-    if args.smoke:
+    if args.smoke and args.micro:
+        print("choose one of --smoke / --micro", file=sys.stderr)
+        return 2
+    if args.micro:
+        specs = micro_specs()
+        preset_names = tuple(args.presets or ALL_PRESETS)
+        grid_name = "micro"
+    elif args.smoke:
         specs = smoke_specs()
         preset_names = tuple(args.presets or SMOKE_PRESETS)
         grid_name = "smoke"
@@ -382,6 +390,42 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     ok = artifact.all_verified and (not args.check
                                     or outcome.all_check_clean)
     return 0 if ok else 1
+
+
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from repro.bench.perf import baseline_from_report, run_perf
+
+    baseline = None if args.no_baseline else args.baseline
+    report = run_perf(
+        cache_dir=args.cache_dir,
+        replay_reps=args.replay_reps,
+        functional_reps=args.functional_reps,
+        baseline_path=baseline,
+        tolerance_pct=args.tolerance,
+        log=print,
+    )
+    doc = report.document
+    print(f"replay speedup: {doc['replay']['aggregate_speedup']:.1f}x "
+          f"aggregate (floor {doc['gates']['replay_min_speedup']:g}x)")
+    print(f"functional speedup: {doc['functional']['speedup']:.1f}x "
+          f"(floor {doc['gates']['functional_min_speedup']:g}x)")
+    path = report.save(args.output)
+    print(f"perf report written to {path}")
+    if args.write_baseline:
+        base_path = Path(args.baseline)
+        base_path.parent.mkdir(parents=True, exist_ok=True)
+        base_path.write_text(
+            json.dumps(baseline_from_report(doc), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline written to {base_path}")
+    if report.passed:
+        print("PASS: perf gates hold")
+        return 0
+    for failure in report.failures:
+        print(f"FAIL: {failure}")
+    return 1
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -576,6 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_run.add_argument("--presets", nargs="*", metavar="PRESET",
                              choices=sorted(PRESETS),
                              help="parameter presets to replay under")
+    p_bench_run.add_argument("--micro", action="store_true",
+                             help="run the perf-lane micro grid "
+                                  "(latency microbenchmarks + small CG)")
     p_bench_run.add_argument("--smoke", action="store_true",
                              help="small CI grid: EP + MatMul, 2 presets")
     p_bench_run.add_argument("--jobs", type=int, default=1,
@@ -594,6 +641,40 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run the race/synchronization checker "
                                   "over every recorded trace")
     p_bench_run.set_defaults(func=_cmd_bench_run)
+
+    p_bench_perf = bench_sub.add_parser(
+        "perf",
+        help="measure replay/scheduler speedups and gate on regressions")
+    p_bench_perf.add_argument("--output", metavar="FILE",
+                              default="perf_report.json",
+                              help="perf report path "
+                                   "(default perf_report.json)")
+    p_bench_perf.add_argument("--baseline", metavar="FILE",
+                              default="benchmarks/perf_baseline.json",
+                              help="checked-in speedup baseline to gate "
+                                   "against")
+    p_bench_perf.add_argument("--no-baseline", action="store_true",
+                              help="skip the baseline comparison (hard "
+                                   "floors still apply)")
+    p_bench_perf.add_argument("--write-baseline", action="store_true",
+                              help="record this run's speedups as the "
+                                   "new baseline")
+    p_bench_perf.add_argument("--tolerance", type=float, default=25.0,
+                              metavar="PCT",
+                              help="allowed %% drop below the baseline "
+                                   "speedups (default 25)")
+    p_bench_perf.add_argument("--replay-reps", type=int, default=3,
+                              metavar="N",
+                              help="repetitions per replay A/B timing "
+                                   "(minimum kept; default 3)")
+    p_bench_perf.add_argument("--functional-reps", type=int, default=2,
+                              metavar="N",
+                              help="repetitions per scheduler A/B timing "
+                                   "(default 2)")
+    p_bench_perf.add_argument("--cache-dir", metavar="DIR", default=None,
+                              help="trace cache directory (default "
+                                   "benchmarks/.trace_cache)")
+    p_bench_perf.set_defaults(func=_cmd_bench_perf)
 
     p_bench_cmp = bench_sub.add_parser(
         "compare", help="compare an artifact against a baseline")

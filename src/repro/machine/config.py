@@ -17,6 +17,7 @@ operation counts into trace work.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -68,8 +69,25 @@ class MachineConfig:
     #: perfect machine.  Also switchable ambiently via
     #: :func:`repro.faults.applied`.
     fault_plan: "FaultPlan | None" = None
+    #: SPMD scheduler: ``"batched"`` parks blocked cells and resumes only
+    #: those a progress bump may have woken; ``"reference"`` is the
+    #: original resume-everyone-every-pass loop.  Both produce identical
+    #: traces; fault plans always use the reference loop because kill and
+    #: stall schedules are keyed on per-cell resume counts.  The
+    #: ``REPRO_MACHINE_SCHEDULER`` environment variable overrides the
+    #: default for configs that did not pick one explicitly (the perf
+    #: lane uses it to time the pre-refactor path).
+    scheduler: str = ""
 
     def __post_init__(self) -> None:
+        if not self.scheduler:
+            object.__setattr__(
+                self, "scheduler",
+                os.environ.get("REPRO_MACHINE_SCHEDULER", "batched"))
+        if self.scheduler not in ("batched", "reference"):
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; expected 'batched' "
+                "or 'reference'")
         if self.num_cells < 1:
             raise ConfigurationError("a machine needs at least one cell")
         if self.memory_per_cell < 1024:

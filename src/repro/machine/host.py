@@ -46,10 +46,12 @@ class Host:
 
     def broadcast(self, data: np.ndarray | bytes, *, context: int = 0) -> None:
         """Broadcast one payload to every cell (total order)."""
-        payload = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        payload = (data.tobytes() if isinstance(data, np.ndarray)
+                   else bytes(data))
         self.bnet.broadcast(Packet(
             kind=PacketKind.SEND, src=HOST_ID, dst=-2,
             payload_bytes=len(payload), data=payload, context=context))
+        self.machine.wake_all()
 
     def scatter(self, chunks, *, context: int = 0) -> None:
         """Distribute one chunk per cell (``chunks[pe]`` goes to cell
@@ -66,6 +68,7 @@ class Host:
                 kind=PacketKind.SEND, src=HOST_ID, dst=pe,
                 payload_bytes=len(payload), data=payload, context=context))
         self.bnet.scatter(packets)
+        self.machine.wake_all()
 
     def scatter_array(self, array: np.ndarray, *, context: int = 0) -> None:
         """Block-distribute an array along its first axis (the classic
@@ -130,5 +133,6 @@ class HostChannel:
 
     def send_result(self, data: np.ndarray | bytes) -> None:
         """Send a result up to the host (collection)."""
-        payload = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        payload = (data.tobytes() if isinstance(data, np.ndarray)
+                   else bytes(data))
         self.host.deposit(self.ctx.pe, payload)

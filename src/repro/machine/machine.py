@@ -15,6 +15,7 @@ the scheduler can distinguish "still working" from deadlock.
 from __future__ import annotations
 
 import functools
+import heapq
 import inspect
 import random
 from collections.abc import Callable
@@ -141,6 +142,10 @@ class Machine:
         #: Progress counter; blocking helpers bump it when their condition
         #: passes, packet deliveries bump it too.
         self.progress = 0
+        #: Wake set of the batched scheduler (None outside a batched
+        #: run).  Every state change that can unblock a parked cell must
+        #: name the cells it may have woken here; see :meth:`wake`.
+        self._wake: set[int] | None = None
         #: Cells the fault plan has killed (mirrored into the T-net).
         self.killed: set[int] = set()
         #: Live flag waits, pe -> (flag id, target, flag addr); feeds the
@@ -179,7 +184,8 @@ class Machine:
                     align: int = _HEAP_ALIGN) -> LocalArray:
         dtype = np.dtype(dtype)
         shape = (shape,) if isinstance(shape, int) else tuple(shape)
-        nbytes = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        nbytes = (int(np.prod(shape)) * dtype.itemsize if shape
+                  else dtype.itemsize)
         nbytes = max(nbytes, dtype.itemsize)
         addr = _align(self._heap_next[pe], align)
         end = addr + nbytes
@@ -222,6 +228,20 @@ class Machine:
     def note_progress(self) -> None:
         self.progress += 1
 
+    def wake(self, pe: int) -> None:
+        """Tell the batched scheduler that ``pe``'s blocking condition
+        may have flipped (no-op outside a batched run)."""
+        if self._wake is not None:
+            self._wake.add(pe)
+
+    def wake_group(self, members: tuple[int, ...]) -> None:
+        if self._wake is not None:
+            self._wake.update(members)
+
+    def wake_all(self) -> None:
+        if self._wake is not None:
+            self._wake.update(range(self.config.num_cells))
+
     def pump(self) -> None:
         """Move the machine to communication quiescence.
 
@@ -251,9 +271,11 @@ class Machine:
 
     def _pump_wire(self) -> None:
         """One perfect-wire quiescence loop (no retransmission)."""
+        wake = self._wake
         while True:
             dirty = self._dirty
-            if not dirty and self.tnet.injected_count == self.tnet.delivered_count:
+            if (not dirty and self.tnet.injected_count
+                    == self.tnet.delivered_count):
                 return
             self._dirty = set()
             for pe in dirty:
@@ -262,6 +284,9 @@ class Machine:
                 msc = self.hw_cells[pe].msc
                 msc.pump_send()
                 msc.pump_replies()
+            if wake is not None:
+                # Pumping a cell's MSC+ updates its sending-side flags.
+                wake.update(dirty)
             for packet in self.tnet.drain_all():
                 if self.transport is not None:
                     arrivals = self.transport.receive(packet)
@@ -273,6 +298,8 @@ class Machine:
                     msc = self.hw_cells[frame.dst].msc
                     msc.deliver(frame)
                     self.progress += 1
+                    if wake is not None:
+                        wake.add(frame.dst)
                     if frame.kind in (PacketKind.GET_REQUEST,
                                       PacketKind.REMOTE_LOAD):
                         self._dirty.add(frame.dst)
@@ -316,6 +343,7 @@ class Machine:
         state.arrived.clear()
         state.generation += 1
         self.progress += 1
+        self.wake_group(state.members)
         if gid == 0:
             # The all-cells barrier is the hardware S-net's job.
             for member in state.members:
@@ -373,6 +401,7 @@ class Machine:
         state.fetches[generation] = 0
         del state.slots[generation]
         self.progress += 1
+        self.wake_group(state.members)
 
     # ------------------------------------------------------------------
     # Distributed shared memory
@@ -447,6 +476,21 @@ class Machine:
         :class:`~repro.core.errors.CommTimeoutError` so chaos runs never
         hang silently.  An active plan's kills and stalls fire here,
         keyed on each cell's scheduler-resumption count.
+
+        Two scheduler loops produce the exact same interleaving (and
+        therefore byte-identical traces): the reference loop resumes
+        every unfinished cell every pass; the batched loop (the default)
+        parks a cell when it yields and resumes it only once a state
+        change that can flip its blocking condition names it in the
+        machine's wake set (frame delivery wakes the destination, an
+        MSC+ pump wakes its own cell's sending-side flags, barrier
+        release and reduction completion wake the group, a creg store
+        wakes the register's owner, host traffic wakes everyone).  A
+        skipped resume is provably a no-op: every yield in the cell
+        programs sits in a ``while not condition: yield`` loop whose
+        condition only flips through one of those wake sites, and the
+        failed re-check itself mutates nothing (``ring.receive`` returns
+        None without consuming on a miss).
         """
         n = self.config.num_cells
         plan = self.fault_plan
@@ -460,37 +504,108 @@ class Machine:
             else:
                 results[pe] = outcome
         self._active_generators = generators
-        stalled_passes = 0
-        watchdog = 3 if plan is None else max(3, plan.watchdog_passes)
         try:
-            while generators:
-                before = self.progress
-                saw_stall = False
-                for pe in sorted(generators):
-                    if plan is not None:
-                        if self._kill_due(pe):
-                            self.kill_cell(pe)
-                            continue
-                        if self._stall_check(pe):
-                            saw_stall = True
-                            continue
-                    self._resumes[pe] += 1
+            if plan is None and self.config.scheduler == "batched":
+                self._run_batched(generators, results)
+            else:
+                self._run_reference(generators, results)
+        finally:
+            self._active_generators = None
+        self.pump()
+        return results
+
+    def _run_batched(self, generators: dict[int, Any],
+                     results: list[Any]) -> None:
+        """Wake-set scheduler: resume only cells named by a wake site.
+
+        A "round" mirrors one pass of the reference loop: cells resume
+        in ascending-pe order, each at most once per round.  A wake
+        caused by cell ``p`` for cell ``w`` joins the *current* round
+        when ``w > p`` and ``w`` has not yet run this round (the
+        reference pass would still reach it), and the next round
+        otherwise -- so the sequence of effective (non-no-op) resumes is
+        exactly the reference loop's.  A wake recorded for a cell that
+        is already past its wait costs one no-op resume, so stale wakes
+        are harmless; a *missed* wake would hang, which is what the
+        scheduler-equivalence tests pin down.
+        """
+        resumes = self._resumes
+        wake: set[int] = set()
+        self._wake = wake
+        try:
+            pending = set(generators)   # still to resume this round
+            heap = sorted(pending)
+            done: set[int] = set()      # resumed this round
+            nxt: set[int] = set()       # woken for the next round
+            while True:
+                while heap:
+                    pe = heapq.heappop(heap)
+                    if pe not in pending:
+                        continue
+                    pending.discard(pe)
+                    done.add(pe)
+                    resumes[pe] += 1
                     try:
                         next(generators[pe])
                     except StopIteration as stop:
                         results[pe] = stop.value
                         del generators[pe]
                         self.progress += 1
-                if self.progress == before and not saw_stall:
-                    stalled_passes += 1
-                    if stalled_passes >= watchdog:
-                        self._raise_hang(generators)
-                else:
-                    stalled_passes = 0
+                    if wake:
+                        for w in wake:
+                            if w > pe and w not in done and w in generators:
+                                if w not in pending:
+                                    pending.add(w)
+                                    heapq.heappush(heap, w)
+                            else:
+                                nxt.add(w)
+                        wake.clear()
+                if not generators:
+                    return
+                pending = {w for w in nxt if w in generators}
+                heap = sorted(pending)
+                done.clear()
+                nxt.clear()
+                if not heap:
+                    # Every unfinished cell is parked and nothing woke
+                    # anyone: no re-check can ever pass again.  This is
+                    # the hang the reference loop's watchdog needs three
+                    # stalled passes to call.
+                    self._raise_hang(generators)
         finally:
-            self._active_generators = None
-        self.pump()
-        return results
+            self._wake = None
+
+    def _run_reference(self, generators: dict[int, Any],
+                       results: list[Any]) -> None:
+        """Resume-everyone-every-pass scheduler (fault plans need it:
+        kill/stall schedules count per-cell resumes)."""
+        plan = self.fault_plan
+        stalled_passes = 0
+        watchdog = 3 if plan is None else max(3, plan.watchdog_passes)
+        while generators:
+            before = self.progress
+            saw_stall = False
+            for pe in sorted(generators):
+                if plan is not None:
+                    if self._kill_due(pe):
+                        self.kill_cell(pe)
+                        continue
+                    if self._stall_check(pe):
+                        saw_stall = True
+                        continue
+                self._resumes[pe] += 1
+                try:
+                    next(generators[pe])
+                except StopIteration as stop:
+                    results[pe] = stop.value
+                    del generators[pe]
+                    self.progress += 1
+            if self.progress == before and not saw_stall:
+                stalled_passes += 1
+                if stalled_passes >= watchdog:
+                    self._raise_hang(generators)
+            else:
+                stalled_passes = 0
 
     def _raise_hang(self, generators: dict[int, Any]) -> None:
         """Watchdog expiry: name the hang for what it is."""

@@ -185,7 +185,8 @@ class CellContext:
         return self.machine.world_group
 
     def _trace(self, kind: EventKind, **fields) -> TraceEvent:
-        return self.machine.trace.record(TraceEvent(kind, pe=self.pe, **fields))
+        return self.machine.trace.record(
+            TraceEvent(kind, pe=self.pe, **fields))
 
     # ------------------------------------------------------------------
     # Memory and flags
@@ -395,7 +396,8 @@ class CellContext:
         self._issue(command)
 
     def get_stride(self, src_pe: int, remote: LocalArray, local: LocalArray,
-                   remote_stride: ElementStride, local_stride: ElementStride, *,
+                   remote_stride: ElementStride,
+                   local_stride: ElementStride, *,
                    remote_offset: int = 0, local_offset: int = 0,
                    send_flag: Flag | None = None,
                    recv_flag: Flag | None = None) -> None:
@@ -491,7 +493,8 @@ class CellContext:
     def send(self, dst: int, data: np.ndarray | bytes, *,
              context: int = 0) -> None:
         """Blocking SEND into the destination cell's ring buffer."""
-        payload = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        payload = (data.tobytes() if isinstance(data, np.ndarray)
+                   else bytes(data))
         packet = self.hw.msc.send_message(dst, payload, context=context)
         self._trace(EventKind.SEND, partner=dst, size=len(payload),
                     msg_id=packet.serial)
@@ -506,7 +509,8 @@ class CellContext:
         (no user-area copy — the vector-reduction path of section 4.5).
         """
         while True:
-            taker = self.ring.consume_in_place if in_place else self.ring.receive
+            taker = (self.ring.consume_in_place if in_place
+                     else self.ring.receive)
             packet = taker(src=src, context=context)
             if packet is not None:
                 break
@@ -609,6 +613,7 @@ class CellContext:
         self._trace(EventKind.CREG_STORE, partner=dst, size=4)
         self.machine.hw_cells[dst].mc.registers.store(index, value)
         self.machine.note_progress()
+        self.machine.wake(dst)
 
     def creg_load(self, index: int) -> Iterator[None]:
         """Load from an own communication register, blocking until its

@@ -1,0 +1,1027 @@
+"""Vectorized MLSim replay over structure-of-arrays traces.
+
+Bit-for-bit equivalent to :class:`repro.mlsim.engine.MLSimEngine` (the
+reference implementation, kept for the timeline and link-contention
+extensions and for the golden equivalence tests), but restructured for
+throughput:
+
+* the trace is decoded once into flat column arrays
+  (:mod:`repro.trace.soa`); per-trace structure — kind partitions, torus
+  hop distances, physical link routes — is computed once and shared
+  across all parameter presets of a bench grid;
+* every parameter-dependent cost — the Figure 7 PUT decomposition, wire
+  times, reduction durations, barrier establishment — is precomputed
+  for *all* events of a kind at once with numpy expressions that
+  replicate the reference's float operation order exactly (IEEE-754
+  double arithmetic is deterministic given the same expression tree,
+  and numpy's elementwise float64 ops produce the same bits as the
+  equivalent Python float expressions);
+* the remaining sequential pass — the part that carries cross-PE
+  ordering: FIFO channel clamping, flag wakeups, barrier generations,
+  CPU-theft application — runs over plain Python lists with no
+  per-event object construction, attribute access, or function calls.
+
+Scheduling replicates the reference engine's runnable-deque discipline
+event for event.  Every scheduling decision (park, wake, completion) is
+a *structural* predicate — flag counts, arrival counts, queue
+membership — never a float comparison, so wake order and therefore
+every float accumulation order is identical to the reference engine,
+which is what the golden equivalence tests in
+``tests/mlsim/test_soa_equivalence.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from collections import deque
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.machine.config import SPARC_US_PER_FLOP
+from repro.mlsim.breakdown import MLSimResult, PEBreakdown
+from repro.mlsim.params import MLSimParams
+from repro.network.topology import TorusTopology
+from repro.obs.registry import REPLAY_SCHEMA, Histogram
+from repro.trace.events import EventKind
+from repro.trace.soa import TraceColumns
+
+# Interpreter opcodes: EventKind collapsed to what the replay loop
+# distinguishes (GOP/VGOP share a handler, as do the CREG pair and the
+# three robustness instants).
+_COMPUTE = 0
+_RTSYS = 1
+_PUT = 2
+_GET = 3
+_FLAG_WAIT = 4
+_SEND = 5
+_RECV = 6
+_BARRIER = 7
+_REDUCTION = 8
+_REMOTE_LOAD = 9
+_REMOTE_STORE = 10
+_CREG = 11
+_INSTANT = 12
+_PHASE = 13
+
+_OPCODE = {
+    int(EventKind.COMPUTE): _COMPUTE,
+    int(EventKind.RTSYS): _RTSYS,
+    int(EventKind.PUT): _PUT,
+    int(EventKind.GET): _GET,
+    int(EventKind.FLAG_WAIT): _FLAG_WAIT,
+    int(EventKind.SEND): _SEND,
+    int(EventKind.RECV): _RECV,
+    int(EventKind.BARRIER): _BARRIER,
+    int(EventKind.GOP): _REDUCTION,
+    int(EventKind.VGOP): _REDUCTION,
+    int(EventKind.REMOTE_LOAD): _REMOTE_LOAD,
+    int(EventKind.REMOTE_STORE): _REMOTE_STORE,
+    int(EventKind.CREG_STORE): _CREG,
+    int(EventKind.CREG_LOAD): _CREG,
+    int(EventKind.RETRY): _INSTANT,
+    int(EventKind.TIMEOUT): _INSTANT,
+    int(EventKind.SPILL): _INSTANT,
+    int(EventKind.PHASE): _PHASE,
+}
+
+_INSTANT_NAME = {
+    int(EventKind.RETRY): "RETRY",
+    int(EventKind.TIMEOUT): "TIMEOUT",
+    int(EventKind.SPILL): "SPILL",
+}
+
+#: log2 bucket count of repro.obs.registry.Histogram (bounds 2^0..2^20
+#: plus overflow); the interpreter computes bucket indices with frexp
+#: instead of the Histogram's linear scan.
+_HIST_OVERFLOW = 21
+
+
+def _torus_distances(topology: TorusTopology, src: np.ndarray,
+                     dst: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`TorusTopology.distance`: per-ring shortest hops
+    on the x ring plus the y ring (row-major cell numbering)."""
+    w, h = topology.width, topology.height
+    sx, sy = src % w, src // w
+    dx, dy = dst % w, dst // w
+    fx = (dx - sx) % w
+    fy = (dy - sy) % h
+    return np.minimum(fx, w - fx) + np.minimum(fy, h - fy)
+
+
+def _log2_rounds(sizes: np.ndarray) -> dict[int, int]:
+    """ceil(log2(size)) per unique group size, in exact Python math
+    (``math.log2`` on small ints is correctly rounded; no numpy float
+    detour whose rounding we would have to trust)."""
+    return {int(s): (math.ceil(math.log2(int(s))) if s > 1 else 0)
+            for s in np.unique(sizes)}
+
+
+class _TraceIndex:
+    """Preset-independent structure of one decoded trace.
+
+    Built once per (columns, topology) pair and shared by every
+    per-preset :class:`_Program`: event-kind partitions, hop distances
+    for communication events, the integer operand lists of the
+    interpreter (none of which depend on timing parameters), and —
+    materialized lazily because only metric collection needs it — each
+    communication event's route as a tuple of dense physical-link ids.
+    """
+
+    __slots__ = ("columns", "topology", "by_kind", "dist", "pe_src",
+                 "ops", "starts", "i0", "i1", "i2", "i3",
+                 "instant_counts", "_link_plan", "link_table")
+
+    def __init__(self, columns: TraceColumns,
+                 topology: TorusTopology) -> None:
+        self.columns = columns
+        self.topology = topology
+        kind = columns.kind
+        self.by_kind = {k: np.nonzero(kind == k)[0]
+                        for k in np.unique(kind).tolist()}
+        pe_of_all = np.searchsorted(columns.starts,
+                                    np.arange(len(kind), dtype=np.int64),
+                                    side="right") - 1
+        self.dist = {}
+        self.pe_src = {}
+        for k in (int(EventKind.PUT), int(EventKind.GET),
+                  int(EventKind.SEND), int(EventKind.REMOTE_LOAD)):
+            idx = self.by_kind.get(k)
+            if idx is not None and len(idx):
+                src = pe_of_all[idx]
+                self.pe_src[k] = src
+                self.dist[k] = _torus_distances(topology, src,
+                                                columns.partner[idx])
+        table = np.full(max(_OPCODE) + 1, -1, dtype=np.int64)
+        for k, op in _OPCODE.items():
+            table[k] = op
+        self.ops = table[kind].tolist()
+        self.starts = columns.starts.tolist()
+        # Integer operands (see the _Program docstring table).  The
+        # generic layout is the PUT/GET one; kinds whose operands differ
+        # are rewritten with vectorized index assignments.  ``tolist``
+        # yields plain Python ints, so the interpreter never touches
+        # numpy scalars.
+        i0 = columns.partner.copy()
+        i1 = columns.size.copy()
+        i2 = columns.send_flag.copy()
+        i3 = columns.recv_flag.copy()
+        rewrites = (
+            (EventKind.FLAG_WAIT,
+             (columns.flag, columns.target, 0, 0)),
+            (EventKind.SEND,
+             (None, None, columns.msg_id, 0)),
+            (EventKind.RECV,
+             (columns.msg_id, 0, 0, 0)),
+            (EventKind.BARRIER,
+             (columns.group, 0, columns.group_size, 0)),
+            (EventKind.GOP,
+             (columns.group, None, columns.group_size, 0)),
+            (EventKind.VGOP,
+             (columns.group, None, columns.group_size, 1)),
+        )
+        for k, (v0, v1, v2, v3) in rewrites:
+            idx = self.by_kind.get(int(k))
+            if idx is not None and len(idx):
+                for slot, value in ((i0, v0), (i1, v1), (i2, v2), (i3, v3)):
+                    if value is None:
+                        continue  # keep the generic operand
+                    slot[idx] = value[idx] if isinstance(value, np.ndarray) \
+                        else value
+        self.i0 = i0.tolist()
+        self.i1 = i1.tolist()
+        self.i2 = i2.tolist()
+        self.i3 = i3.tolist()
+        # Robustness instants never affect timing; count them up front.
+        self.instant_counts = {"RETRY": 0, "TIMEOUT": 0, "SPILL": 0}
+        for k, name in _INSTANT_NAME.items():
+            idx = self.by_kind.get(k)
+            if idx is not None:
+                self.instant_counts[name] = len(idx)
+        self._link_plan = None
+        self.link_table: list[tuple[int, int]] = []
+
+    def link_plan(self) -> list:
+        """Per-event link-id routes for metric collection.
+
+        ``plan[i]`` is ``None`` for non-communication events, a tuple of
+        link ids for PUT/SEND (empty for self-sends), and a
+        ``(request_route, reply_route)`` pair for GET.  Link ids are
+        dense indices into ``link_table``.
+        """
+        if self._link_plan is not None:
+            return self._link_plan
+        columns, topology = self.columns, self.topology
+        plan: list = [None] * len(columns.kind)
+        link_ids: dict[tuple[int, int], int] = {}
+        route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+
+        def lids(src: int, dst: int) -> tuple[int, ...]:
+            if src == dst:
+                return ()
+            got = route_cache.get((src, dst))
+            if got is None:
+                ids = []
+                prev = src
+                for node in topology.route(src, dst):
+                    key = (prev, node)
+                    lid = link_ids.get(key)
+                    if lid is None:
+                        lid = len(self.link_table)
+                        link_ids[key] = lid
+                        self.link_table.append(key)
+                    ids.append(lid)
+                    prev = node
+                got = tuple(ids)
+                route_cache[(src, dst)] = got
+            return got
+
+        partner = columns.partner
+        for k in (int(EventKind.PUT), int(EventKind.SEND)):
+            idx = self.by_kind.get(k)
+            if idx is not None and len(idx):
+                src = self.pe_src[k]
+                for j, i in enumerate(idx.tolist()):
+                    plan[i] = lids(int(src[j]), int(partner[i]))
+        idx = self.by_kind.get(int(EventKind.GET))
+        if idx is not None and len(idx):
+            src = self.pe_src[int(EventKind.GET)]
+            for j, i in enumerate(idx.tolist()):
+                s, d = int(src[j]), int(partner[i])
+                plan[i] = (lids(s, d), lids(d, s))
+        self._link_plan = plan
+        return plan
+
+
+def trace_index(columns: TraceColumns,
+                topology: TorusTopology | None = None) -> _TraceIndex:
+    """The cached :class:`_TraceIndex` of ``columns``."""
+    if topology is None:
+        topology = TorusTopology.for_cells(columns.num_pes)
+    cached = getattr(columns, "_soa_index", None)
+    if cached is not None and (cached.topology.width == topology.width
+                               and cached.topology.height == topology.height):
+        return cached
+    index = _TraceIndex(columns, topology)
+    columns._soa_index = index  # type: ignore[attr-defined]
+    return index
+
+
+class _Program:
+    """One (trace, params) pair compiled to flat operand lists.
+
+    The preset-independent integer operand slots live on the shared
+    :class:`_TraceIndex`:
+
+    ========  =======  =======  ==========  =========
+    opcode    i0       i1       i2          i3
+    ========  =======  =======  ==========  =========
+    PUT/GET   partner  size     send_flag   recv_flag
+    SEND      partner  size     msg_id      --
+    RECV      msg_id   --       --          --
+    FLAG      flag     target   --          --
+    BARRIER   group    --       group_size  --
+    GOP/VGOP  group    size     group_size  is_vgop
+    RSTORE    partner  size     --          --
+    ========  =======  =======  ==========  =========
+
+    Float slots carry the precomputed per-event costs; see the per-kind
+    blocks below.
+    """
+
+    __slots__ = ("index", "f0", "f1", "f2", "f3", "f4", "f5")
+
+    def __init__(self, index: _TraceIndex, params: MLSimParams) -> None:
+        self.index = index
+        columns = index.columns
+        p = params
+        hw = p.hardware_put_get
+        kind = columns.kind
+        total = len(kind)
+        by_kind = index.by_kind
+        f0 = np.zeros(total)
+        f1 = np.zeros(total)
+        f2 = np.zeros(total)
+        f3 = np.zeros(total)
+        f4 = np.zeros(total)
+        f5 = np.zeros(total)
+
+        def idx_of(k: EventKind) -> np.ndarray:
+            got = by_kind.get(int(k))
+            return got if got is not None else np.empty(0, dtype=np.int64)
+
+        # Vectorized twins of repro.mlsim.put_model, replicating each
+        # function's float accumulation order exactly.
+        def put_send_cpu(size):
+            cpu = p.put_prolog_time + p.put_enqueue_time
+            if not hw:
+                cpu = cpu + p.put_msg_post_time * size
+                cpu = cpu + p.put_dma_set_time
+            cpu = cpu + p.put_epilog_time
+            return cpu
+
+        def network(size, dist):
+            return (p.network_prolog_time
+                    + p.network_delay_time * np.maximum(dist, 0)
+                    + p.put_msg_time * size
+                    + p.network_epilog_time)
+
+        def recv_service(size):
+            if hw:
+                return p.recv_dma_set_time + np.zeros_like(size, dtype=float)
+            return (p.intr_rtc_time
+                    + p.recv_msg_flush_time * size
+                    + p.recv_dma_set_time
+                    + p.recv_complete_time)
+
+        def recv_flag_update(size):
+            return recv_service(size) + p.recv_complete_flag_time
+
+        def recv_theft(size):
+            if hw:
+                return np.zeros_like(size, dtype=float)
+            return recv_service(size)
+
+        def get_reply_service(size):
+            if hw:
+                return (p.recv_dma_set_time + p.put_dma_set_time
+                        + np.zeros_like(size, dtype=float))
+            return (p.intr_rtc_time
+                    + p.recv_dma_set_time
+                    + p.put_msg_post_time * size
+                    + p.put_dma_set_time)
+
+        def get_reply_theft(size):
+            if hw:
+                return np.zeros_like(size, dtype=float)
+            return get_reply_service(size)
+
+        for k in (EventKind.COMPUTE, EventKind.RTSYS):
+            idx = idx_of(k)
+            if len(idx):
+                f0[idx] = columns.work[idx] * p.computation_factor
+
+        # PUT: f0 send cpu, f1 dma drain, f2 wire, f3 arrival->recv-flag,
+        # f4 receiver theft.
+        idx = idx_of(EventKind.PUT)
+        if len(idx):
+            sz = columns.size[idx]
+            dist = index.dist[int(EventKind.PUT)]
+            f0[idx] = put_send_cpu(sz)
+            f1[idx] = p.put_msg_time * sz
+            f2[idx] = network(sz, dist)
+            f3[idx] = recv_flag_update(sz)
+            f4[idx] = recv_theft(sz)
+
+        # GET: f0 request wire, f1 reply service, f2 reply wire,
+        # f3 target theft, f4 reply-arrival->recv-flag, f5 self theft.
+        idx = idx_of(EventKind.GET)
+        if len(idx):
+            sz = columns.size[idx]
+            dist = index.dist[int(EventKind.GET)]
+            f0[idx] = network(0, dist)
+            f1[idx] = get_reply_service(sz)
+            f2[idx] = network(sz, dist)
+            f3[idx] = get_reply_theft(sz)
+            f4[idx] = recv_flag_update(sz)
+            f5[idx] = recv_theft(sz)
+
+        # SEND: f0 library+issue cpu, f1 dma drain, f2 wire,
+        # f3 arrival->ready service, f4 receiver theft.
+        idx = idx_of(EventKind.SEND)
+        if len(idx):
+            sz = columns.size[idx]
+            dist = index.dist[int(EventKind.SEND)]
+            f0[idx] = p.send_lib_time + put_send_cpu(sz)
+            f1[idx] = p.put_msg_time * sz
+            f2[idx] = network(sz, dist)
+            f3[idx] = recv_service(sz)
+            f4[idx] = recv_theft(sz)
+
+        # RECV: f0 ring-buffer copy.
+        idx = idx_of(EventKind.RECV)
+        if len(idx):
+            f0[idx] = p.recv_copy_byte_time * columns.size[idx]
+
+        # BARRIER: f0 establishment time.
+        idx = idx_of(EventKind.BARRIER)
+        if len(idx):
+            gs = columns.group_size[idx]
+            establish = {s: r * p.group_barrier_step_time
+                         for s, r in _log2_rounds(gs).items()}
+            f0[idx] = [p.barrier_net_time if g == 0 else establish[s]
+                       for g, s in zip(columns.group[idx].tolist(),
+                                       gs.tolist())]
+
+        # GOP: f0 duration == f1 member cpu share.
+        idx = idx_of(EventKind.GOP)
+        if len(idx):
+            gs = columns.group_size[idx]
+            dur = {s: r * p.gop_step_time
+                   for s, r in _log2_rounds(gs).items()}
+            vals = [dur[s] for s in gs.tolist()]
+            f0[idx] = vals
+            f1[idx] = vals
+
+        # VGOP: f0 duration, f1 member cpu share
+        # (MLSimEngine._reduction_duration, vectorized).
+        idx = idx_of(EventKind.VGOP)
+        if len(idx):
+            sz = columns.size[idx]
+            gs = columns.group_size[idx]
+            flops = sz / 8.0
+            exec_us = flops * SPARC_US_PER_FLOP * p.computation_factor
+            copy_us = 0.0 if hw else p.recv_copy_byte_time * sz
+            stage_setup = (p.send_lib_time + put_send_cpu(0)
+                           + p.recv_lib_time)
+            hop = network(0, 1)
+            stages = 2 * np.maximum(gs - 1, 0)
+            wire = 2.0 * sz * p.put_msg_time
+            f0[idx] = stages * (stage_setup + hop) + wire + exec_us + copy_us
+            f1[idx] = 2.0 * stage_setup + exec_us + copy_us
+
+        # REMOTE_LOAD: f0 round trip (request wire + reply service +
+        # reply wire).
+        idx = idx_of(EventKind.REMOTE_LOAD)
+        if len(idx):
+            sz = columns.size[idx]
+            dist = index.dist[int(EventKind.REMOTE_LOAD)]
+            f0[idx] = (network(0, dist)
+                       + get_reply_service(sz)
+                       + network(sz, dist))
+
+        # REMOTE_STORE: f0 receiver theft.
+        idx = idx_of(EventKind.REMOTE_STORE)
+        if len(idx):
+            f0[idx] = recv_theft(columns.size[idx])
+
+        # Slots no kind wrote stay identically zero; materialize those as
+        # plain zero lists instead of round-tripping numpy zeros.
+        zeros = None
+        out = []
+        for arr in (f0, f1, f2, f3, f4, f5):
+            if arr.any():
+                out.append(arr.tolist())
+            else:
+                if zeros is None:
+                    zeros = [0.0] * total
+                out.append(zeros)
+        self.f0, self.f1, self.f2, self.f3, self.f4, self.f5 = out
+
+
+def compile_program(columns: TraceColumns, params: MLSimParams,
+                    topology: TorusTopology | None = None) -> _Program:
+    """Precompute the operand lists for one (trace, params) pair."""
+    return _Program(trace_index(columns, topology), params)
+
+
+def _histogram(count: int, total: float, high: float,
+               buckets: list[int]) -> Histogram:
+    h = Histogram()
+    h.count = count
+    h.total = total
+    h.max = high
+    h._buckets = buckets
+    return h
+
+
+def replay_columns(columns: TraceColumns, params: MLSimParams,
+                   topology: TorusTopology | None = None, *,
+                   collect_metrics: bool = False,
+                   program: _Program | None = None) -> MLSimResult:
+    """Replay decoded trace columns under one parameter set.
+
+    The scalar pass below is the reference engine's scheduling loop with
+    every cost lookup replaced by a precomputed operand; see the module
+    docstring for the equivalence argument.
+    """
+    n = columns.num_pes
+    if topology is not None and topology.num_cells != n:
+        raise SimulationError(
+            f"topology has {topology.num_cells} cells but trace has "
+            f"{n} PEs")
+    p = params
+    if program is None:
+        program = compile_program(columns, p, topology)
+    index = program.index
+    ops = index.ops
+    starts = index.starts
+    i0, i1, i2, i3 = index.i0, index.i1, index.i2, index.i3
+    f0, f1, f2, f3, f4, f5 = (program.f0, program.f1, program.f2,
+                              program.f3, program.f4, program.f5)
+
+    # Per-preset scalar constants (put_model functions of params only).
+    hw = p.hardware_put_get
+    dma_setup = p.put_dma_set_time if hw else 0.0
+    send_flag_tail = p.send_complete_time + p.send_complete_flag_time
+    send_theft = 0.0 if hw else p.send_complete_time
+    get_send_cpu = p.put_prolog_time + p.put_enqueue_time
+    if not hw:
+        get_send_cpu += p.put_msg_post_time * 0
+        get_send_cpu += p.put_dma_set_time
+    get_send_cpu += p.put_epilog_time
+    flag_prolog = p.flag_check_prolog_time
+    flag_epilog = p.flag_check_epilog_time
+    recv_lib = p.recv_lib_time
+    barrier_lib = p.barrier_lib_time
+    remote_access = p.remote_access_time
+    creg_access = p.creg_access_time
+
+    # Per-PE replay state (flat twins of _PEState).  Everything a visit
+    # touches is packed into one list per PE — [cursor, clock, overhead,
+    # attempted, execution, rtsys, idle] — so a context switch is one
+    # unpack on entry and one slice-assign on exit instead of seven list
+    # reads and writes (visits outnumber events on blocking-heavy
+    # traces, so switch cost is a first-order term).  Stolen CPU time is
+    # kept separate: communication handlers credit it cross-PE.
+    ends = starts[1:]
+    state = [[starts[pe], 0.0, 0.0, False, 0.0, 0.0, 0.0]
+             for pe in range(n)]
+    theft = [0.0] * n
+    slot_of: list[int | None] = [None] * n
+
+    # Shared registries — semantically the reference engine's, but laid
+    # out for dict-op throughput: slots and channels are keyed by packed
+    # integers instead of tuples, and barrier/reduction rendezvous keep a
+    # running (count, max-arrival) pair instead of a per-PE arrival dict
+    # (``max`` over floats is order-independent, so the release time is
+    # bit-identical to ``max(arrivals.values())``).
+    flag_times: dict[int, list[float]] = {}
+    flag_waiters: dict[int, list[tuple[int, int]]] = {}
+    ngroups = len(columns.group_sizes) or 1
+    # Rendezvous state: generation counters are dense (pe * ngroups +
+    # gid), so they live in flat lists; each active slot (gen * ngroups
+    # + gid) keeps one mutable record [arrivals, max-arrival, release,
+    # parked PEs], so an arrival costs a single dict probe instead of
+    # one per component.
+    bar_gens = [0] * (n * ngroups)
+    red_gens = [0] * (n * ngroups)
+    bar_slots: dict[int, list] = {}
+    red_slots: dict[int, list] = {}
+    ring_arrival: dict[int, float] = {}
+    ring_waiters: dict[int, int] = {}
+    chan_last: dict[int, tuple[float, float]] = {}  # src * n + dst
+    runnable: deque[int] = deque(range(n))
+    queued: set[int] = set(range(n))
+    messages = 0
+    bytes_on_wire = 0
+
+    # Metric accumulators, inlined from engine._MetricsAccum: wait
+    # histograms as flat counters (bucket index via frexp instead of
+    # Histogram.observe's linear scan), link charges as dense arrays
+    # indexed by the trace index's link-id plan.
+    collect = collect_metrics
+    frexp = math.frexp
+    fw_count = 0
+    fw_total = 0.0
+    fw_max = 0.0
+    fw_buckets = [0] * (_HIST_OVERFLOW + 1)
+    bw_count = 0
+    bw_total = 0.0
+    bw_max = 0.0
+    bw_buckets = [0] * (_HIST_OVERFLOW + 1)
+    if collect:
+        dma_busy = [0.0] * n
+        plan = index.link_plan()
+        nlinks = len(index.link_table)
+        link_busy = [0.0] * nlinks
+        link_bytes = [0] * nlinks
+        link_frames = [0] * nlinks
+    else:
+        dma_busy = []
+        plan = []
+        link_busy = link_bytes = link_frames = []
+
+    def record_flag(gid: int, t: float) -> None:
+        if gid == 0:
+            return
+        times = flag_times.setdefault(gid, [])
+        insort(times, t)
+        waiters = flag_waiters.get(gid)
+        if waiters:
+            still = []
+            for wpe, wtarget in waiters:
+                if len(times) >= wtarget:
+                    if wpe not in queued:
+                        queued.add(wpe)
+                        runnable.append(wpe)
+                else:
+                    still.append((wpe, wtarget))
+            flag_waiters[gid] = still
+
+    while runnable:
+        pe = runnable.popleft()
+        queued.discard(pe)
+        st = state[pe]
+        i, clk, over, att, bex, brt, bid = st
+        end = ends[pe]
+        th = theft[pe]
+        while i < end:
+            op = ops[i]
+            if op == _COMPUTE:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += f0[i]
+                bex += f0[i]
+            elif op == _PUT:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += f0[i]
+                over += f0[i]
+                depart = clk + dma_setup
+                sfl = i2[i]
+                if sfl:
+                    record_flag(sfl, depart + f1[i] + send_flag_tail)
+                th += send_theft
+                partner = i0[i]
+                key = pe * n + partner
+                raw = depart + f2[i]
+                last = chan_last.get(key)
+                if last is None:
+                    arrival = max(raw, 0.0)
+                    chan_last[key] = (depart, arrival)
+                elif depart >= last[0]:
+                    arrival = max(raw, last[1])
+                    chan_last[key] = (depart, arrival)
+                else:
+                    arrival = raw
+                rfl = i3[i]
+                if rfl:
+                    record_flag(rfl, arrival + f3[i])
+                if partner == pe:
+                    th += f4[i]
+                else:
+                    theft[partner] += f4[i]
+                if collect:
+                    dma_busy[pe] += f1[i]
+                    wire = f2[i]
+                    nb = i1[i]
+                    for lid in plan[i]:
+                        link_busy[lid] += wire
+                        link_bytes[lid] += nb
+                        link_frames[lid] += 1
+                messages += 1
+                bytes_on_wire += i1[i]
+            elif op == _FLAG_WAIT:
+                if not att:
+                    if th:
+                        clk += th
+                        over += th
+                        th = 0.0
+                    clk += flag_prolog
+                    over += flag_prolog
+                    att = True
+                target = i1[i]
+                if target <= 0:
+                    clk += flag_epilog
+                    over += flag_epilog
+                else:
+                    times = flag_times.get(i0[i], ())
+                    if len(times) < target:
+                        flag_waiters.setdefault(i0[i], []).append(
+                            (pe, target))
+                        break
+                    t = times[target - 1]
+                    if collect:
+                        w = max(t - clk, 0.0)
+                        fw_count += 1
+                        fw_total += w
+                        if w > fw_max:
+                            fw_max = w
+                        if w <= 1.0:
+                            fw_buckets[0] += 1
+                        else:
+                            m, e = frexp(w)
+                            b = e - 1 if m == 0.5 else e
+                            fw_buckets[b if b < _HIST_OVERFLOW
+                                       else _HIST_OVERFLOW] += 1
+                    if t > clk:
+                        bid += t - clk
+                        clk = t
+                    clk += flag_epilog
+                    over += flag_epilog
+            elif op == _RTSYS:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += f0[i]
+                brt += f0[i]
+            elif op == _BARRIER:
+                if not att:
+                    if th:
+                        clk += th
+                        over += th
+                        th = 0.0
+                    clk += barrier_lib
+                    over += barrier_lib
+                    pk = pe * ngroups + i0[i]
+                    gen = bar_gens[pk]
+                    bar_gens[pk] = gen + 1
+                    slot = gen * ngroups + i0[i]
+                    rec = bar_slots.get(slot)
+                    if rec is None:
+                        rec = [1, clk, None, None]
+                        bar_slots[slot] = rec
+                    else:
+                        rec[0] += 1
+                        if clk > rec[1]:
+                            rec[1] = clk
+                    att = True
+                    slot_of[pe] = slot
+                    if rec[0] == i2[i]:
+                        rec[2] = rec[1] + f0[i]
+                        waiters = rec[3]
+                        if waiters:
+                            rec[3] = None
+                            for waiter in waiters:
+                                if waiter not in queued:
+                                    queued.add(waiter)
+                                    runnable.append(waiter)
+                else:
+                    rec = bar_slots[slot_of[pe]]
+                release = rec[2]
+                if release is None:
+                    if rec[3] is None:
+                        rec[3] = [pe]
+                    else:
+                        rec[3].append(pe)
+                    break
+                if collect:
+                    w = max(release - clk, 0.0)
+                    bw_count += 1
+                    bw_total += w
+                    if w > bw_max:
+                        bw_max = w
+                    if w <= 1.0:
+                        bw_buckets[0] += 1
+                    else:
+                        m, e = frexp(w)
+                        b = e - 1 if m == 0.5 else e
+                        bw_buckets[b if b < _HIST_OVERFLOW
+                                   else _HIST_OVERFLOW] += 1
+                if release > clk:
+                    bid += release - clk
+                    clk = release
+            elif op == _REDUCTION:
+                size = i2[i]
+                if not att:
+                    if th:
+                        clk += th
+                        over += th
+                        th = 0.0
+                    pk = pe * ngroups + i0[i]
+                    gen = red_gens[pk]
+                    red_gens[pk] = gen + 1
+                    slot = gen * ngroups + i0[i]
+                    rec = red_slots.get(slot)
+                    if rec is None:
+                        rec = [1, clk, None, None]
+                        red_slots[slot] = rec
+                    else:
+                        rec[0] += 1
+                        if clk > rec[1]:
+                            rec[1] = clk
+                    att = True
+                    slot_of[pe] = slot
+                    if rec[0] == size:
+                        rec[2] = rec[1] + f0[i]
+                        waiters = rec[3]
+                        if waiters:
+                            rec[3] = None
+                            for waiter in waiters:
+                                if waiter not in queued:
+                                    queued.add(waiter)
+                                    runnable.append(waiter)
+                else:
+                    rec = red_slots[slot_of[pe]]
+                release = rec[2]
+                if release is None:
+                    if rec[3] is None:
+                        rec[3] = [pe]
+                    else:
+                        rec[3].append(pe)
+                    break
+                busy = min(f1[i], max(release - clk, 0.0))
+                clk += busy
+                over += busy
+                if release > clk:
+                    bid += release - clk
+                    clk = release
+                if i3[i]:  # VGOP ring traffic
+                    messages += size - 1
+                    bytes_on_wire += i1[i] * (size - 1)
+            elif op == _GET:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += get_send_cpu
+                over += get_send_cpu
+                depart = clk + dma_setup
+                sfl = i2[i]
+                if sfl:
+                    record_flag(sfl, depart + send_flag_tail)
+                partner = i0[i]
+                key = pe * n + partner
+                raw = depart + f0[i]
+                last = chan_last.get(key)
+                if last is None:
+                    req_arrival = max(raw, 0.0)
+                    chan_last[key] = (depart, req_arrival)
+                elif depart >= last[0]:
+                    req_arrival = max(raw, last[1])
+                    chan_last[key] = (depart, req_arrival)
+                else:
+                    req_arrival = raw
+                reply_depart = req_arrival + f1[i]
+                if partner == pe:
+                    th += f3[i]
+                else:
+                    theft[partner] += f3[i]
+                key = partner * n + pe
+                raw = reply_depart + f2[i]
+                last = chan_last.get(key)
+                if last is None:
+                    reply_arrival = max(raw, 0.0)
+                    chan_last[key] = (reply_depart, reply_arrival)
+                elif reply_depart >= last[0]:
+                    reply_arrival = max(raw, last[1])
+                    chan_last[key] = (reply_depart, reply_arrival)
+                else:
+                    reply_arrival = raw
+                rfl = i3[i]
+                if rfl:
+                    record_flag(rfl, reply_arrival + f4[i])
+                th += f5[i]
+                if collect:
+                    dma_busy[partner] += f1[i]
+                    req_route, rep_route = plan[i]
+                    wire = f0[i]
+                    for lid in req_route:
+                        link_busy[lid] += wire
+                        link_frames[lid] += 1
+                    wire = f2[i]
+                    nb = i1[i]
+                    for lid in rep_route:
+                        link_busy[lid] += wire
+                        link_bytes[lid] += nb
+                        link_frames[lid] += 1
+                messages += 2
+                bytes_on_wire += i1[i]
+            elif op == _SEND:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += f0[i]
+                over += f0[i]
+                depart = clk + dma_setup
+                blocked = depart + f1[i] - clk
+                if blocked > 0:
+                    clk += blocked
+                    over += blocked
+                partner = i0[i]
+                key = pe * n + partner
+                raw = depart + f2[i]
+                last = chan_last.get(key)
+                if last is None:
+                    arrival = max(raw, 0.0)
+                    chan_last[key] = (depart, arrival)
+                elif depart >= last[0]:
+                    arrival = max(raw, last[1])
+                    chan_last[key] = (depart, arrival)
+                else:
+                    arrival = raw
+                ready = arrival + f3[i]
+                if partner == pe:
+                    th += f4[i]
+                else:
+                    theft[partner] += f4[i]
+                if collect:
+                    dma_busy[pe] += f1[i]
+                    wire = f2[i]
+                    nb = i1[i]
+                    for lid in plan[i]:
+                        link_busy[lid] += wire
+                        link_bytes[lid] += nb
+                        link_frames[lid] += 1
+                msg = i2[i]
+                ring_arrival[msg] = ready
+                waiter = ring_waiters.pop(msg, None)
+                if waiter is not None and waiter not in queued:
+                    queued.add(waiter)
+                    runnable.append(waiter)
+                messages += 1
+                bytes_on_wire += i1[i]
+            elif op == _RECV:
+                if not att:
+                    if th:
+                        clk += th
+                        over += th
+                        th = 0.0
+                    clk += recv_lib
+                    over += recv_lib
+                    att = True
+                ready = ring_arrival.get(i0[i])
+                if ready is None:
+                    ring_waiters[i0[i]] = pe
+                    break
+                if ready > clk:
+                    bid += ready - clk
+                    clk = ready
+                clk += f0[i]
+                over += f0[i]
+            elif op == _REMOTE_LOAD:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += remote_access
+                over += remote_access
+                t = clk + f0[i]
+                if t > clk:
+                    bid += t - clk
+                    clk = t
+                messages += 2
+            elif op == _REMOTE_STORE:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += remote_access
+                over += remote_access
+                partner = i0[i]
+                if partner == pe:
+                    th += f0[i]
+                else:
+                    theft[partner] += f0[i]
+                messages += 1
+                bytes_on_wire += i1[i]
+            elif op == _CREG:
+                if th:
+                    clk += th
+                    over += th
+                    th = 0.0
+                clk += creg_access
+                over += creg_access
+            elif op == _INSTANT or op == _PHASE:
+                pass
+            else:
+                raise SimulationError(f"unknown opcode {op}")
+            i += 1
+            att = False
+        st[:] = i, clk, over, att, bex, brt, bid
+        theft[pe] = th
+
+    unfinished = [pe for pe in range(n) if state[pe][0] < ends[pe]]
+    if unfinished:
+        raise SimulationError(
+            f"replay deadlock: PEs {unfinished[:16]} parked forever "
+            "(trace and timing model disagree)")
+
+    per_pe = [PEBreakdown(execution=st[4], rtsys=st[5], overhead=st[2],
+                          idle=st[6], clock=st[1])
+              for st in state]
+    result = MLSimResult(model_name=p.name, per_pe=per_pe,
+                         messages=messages, bytes_on_wire=bytes_on_wire)
+    if collect:
+        elapsed = max((st[1] for st in state), default=0.0)
+        lid_of = {pair: lid for lid, pair in enumerate(index.link_table)}
+        links = {}
+        for pair in sorted(lid_of):
+            lid = lid_of[pair]
+            busy = link_busy[lid]
+            links[f"{pair[0]}->{pair[1]}"] = {
+                "busy_us": busy,
+                "bytes": link_bytes[lid],
+                "frames": link_frames[lid],
+                "utilization": busy / elapsed if elapsed else 0.0,
+            }
+        dma_max = max(dma_busy, default=0.0)
+        result.metrics = {
+            "schema": REPLAY_SCHEMA,
+            "model": p.name,
+            "elapsed_us": elapsed,
+            "waits": {
+                "flag_wait": _histogram(fw_count, fw_total, fw_max,
+                                        fw_buckets).to_dict(),
+                "barrier_wait": _histogram(bw_count, bw_total, bw_max,
+                                           bw_buckets).to_dict(),
+            },
+            "dma": {
+                "busy_us": list(dma_busy),
+                "busy_us_max": dma_max,
+                "busy_fraction_max": dma_max / elapsed if elapsed else 0.0,
+            },
+            "links": links,
+            "links_max_utilization": max(
+                (v["utilization"] for v in links.values()), default=0.0),
+            "robustness": dict(index.instant_counts),
+        }
+    return result

@@ -10,6 +10,7 @@ Typical use, mirroring the paper's methodology end to end::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.mlsim.breakdown import MLSimResult
@@ -24,6 +25,13 @@ from repro.network.topology import TorusTopology
 from repro.trace.buffer import TraceBuffer
 
 
+def _soa_enabled() -> bool:
+    """The vectorized engine is the default; ``REPRO_MLSIM_ENGINE=
+    reference`` forces the original event-object engine everywhere (the
+    golden equivalence tests pin both to identical results)."""
+    return os.environ.get("REPRO_MLSIM_ENGINE", "soa") != "reference"
+
+
 def simulate(trace: TraceBuffer, params: MLSimParams,
              topology: TorusTopology | None = None, *,
              link_contention: bool = False,
@@ -35,8 +43,19 @@ def simulate(trace: TraceBuffer, params: MLSimParams,
     network purely with delay parameters).  ``collect_metrics`` attaches
     the :mod:`repro.obs` replay metric document (wait-latency
     histograms, per-link utilization, DMA busy time) to the result.
+
+    Replay normally runs on the vectorized structure-of-arrays engine
+    (:mod:`repro.mlsim.engine_soa`), which is bit-identical to
+    :class:`MLSimEngine` and ~10x faster; the reference engine handles
+    the link-contention extension (and timeline recording, which has its
+    own entry points).
     """
     trace.coalesce_compute()
+    if not link_contention and _soa_enabled():
+        from repro.mlsim.engine_soa import replay_columns
+        from repro.trace.soa import columns_from_buffer
+        return replay_columns(columns_from_buffer(trace), params, topology,
+                              collect_metrics=collect_metrics)
     return MLSimEngine(trace, params, topology,
                        link_contention=link_contention,
                        collect_metrics=collect_metrics).run()

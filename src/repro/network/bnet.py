@@ -30,6 +30,8 @@ class BNet:
     num_cells: int
     _queues: dict[int, deque[Packet]] = field(default_factory=dict)
     broadcast_count: int = 0
+    #: Next serial stamped on a packet entering the bus (per instance).
+    _next_serial: int = 0
     #: Optional :class:`repro.obs.observer.MachineObserver`; its
     #: ``on_broadcast`` hook counts shared-bus frames and bytes.
     observer: Any = None
@@ -44,6 +46,9 @@ class BNet:
         """
         if packet.src != HOST_ID and not 0 <= packet.src < self.num_cells:
             raise CommunicationError(f"invalid broadcast source {packet.src}")
+        if packet.serial < 0:
+            packet.serial = self._next_serial
+            self._next_serial += 1
         for cell in range(self.num_cells):
             if cell != packet.src:
                 self._queue(cell).append(packet)
@@ -55,7 +60,11 @@ class BNet:
         """Host-style data distribution: point-to-point over the shared bus."""
         for packet in packets:
             if not 0 <= packet.dst < self.num_cells:
-                raise CommunicationError(f"invalid scatter target {packet.dst}")
+                raise CommunicationError(
+                    f"invalid scatter target {packet.dst}")
+            if packet.serial < 0:
+                packet.serial = self._next_serial
+                self._next_serial += 1
             self._queue(packet.dst).append(packet)
 
     def receive(self, cell_id: int) -> Packet:

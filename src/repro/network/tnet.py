@@ -29,9 +29,13 @@ class TNet:
     """In-order per-pair packet transport over a 2-D torus."""
 
     topology: TorusTopology
-    _channels: dict[tuple[int, int], deque[Packet]] = field(default_factory=dict)
+    _channels: dict[tuple[int, int], deque[Packet]] = field(
+        default_factory=dict)
     delivered_count: int = 0
     injected_count: int = 0
+    #: Next serial to stamp on a first-time injection (per network
+    #: instance, so serials are deterministic per machine run).
+    _next_serial: int = 0
     #: Optional :class:`repro.obs.observer.MachineObserver`; its
     #: ``on_inject`` hook charges per-link frame/byte counters.
     observer: Any = None
@@ -46,9 +50,19 @@ class TNet:
             )
 
     def inject(self, packet: Packet) -> None:
-        """Accept a packet from a cell's MSC+ for transport."""
+        """Accept a packet from a cell's MSC+ for transport.
+
+        A packet entering the network for the first time is stamped with
+        the next serial; a retransmission (fault layer) keeps the serial
+        of its first crossing so SEND/RECEIVE matching survives retries.
+        """
         self.validate_endpoints(packet)
-        self._channels.setdefault((packet.src, packet.dst), deque()).append(packet)
+        if packet.serial < 0:
+            packet.serial = self._next_serial
+            self._next_serial += 1
+        channel = self._channels.setdefault((packet.src, packet.dst),
+                                            deque())
+        channel.append(packet)
         self.injected_count += 1
         if self.observer is not None:
             self.observer.on_inject(packet)
@@ -73,7 +87,8 @@ class TNet:
         """Pop the oldest in-flight packet on the (src, dst) channel."""
         queue = self._channels.get((src, dst))
         if not queue:
-            raise CommunicationError(f"no packet in flight from {src} to {dst}")
+            raise CommunicationError(
+                f"no packet in flight from {src} to {dst}")
         self.delivered_count += 1
         return queue.popleft()
 

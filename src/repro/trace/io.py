@@ -1,10 +1,23 @@
 """Trace serialization.
 
-Traces are written as JSON lines: one header object (machine size, groups)
-followed by one object per event in global order.  The format exists so a
-long functional run can be recorded once and replayed through MLSim many
-times with different parameter files — the same decoupling the paper's
-methodology relied on.
+Two on-disk formats share one loader:
+
+* **v1** — JSON lines: one header object (machine size, groups) followed
+  by one object per event in global order.  Human-greppable, kept for
+  back-compat and for small diagnostic dumps.
+* **v2** — one columnar JSON object: the same header fields plus per-PE
+  event ``counts`` and a ``columns`` table (one list per event field,
+  events stored per-PE contiguous).  This is the cache format written by
+  the benchmark runner: :func:`load_trace_columns` turns it into the
+  structure-of-arrays layout the vectorized MLSim engine consumes
+  without materializing a single :class:`TraceEvent`, so a trace is
+  decoded once per application instead of once per (app, preset) cell.
+
+Both formats exist so a long functional run can be recorded once and
+replayed through MLSim many times with different parameter files — the
+same decoupling the paper's methodology relied on.  ``load_trace`` and
+``load_trace_columns`` sniff the format from the first line, so readers
+never need to know which writer produced a file.
 """
 
 from __future__ import annotations
@@ -13,9 +26,20 @@ import json
 from pathlib import Path
 from typing import IO
 
+import numpy as np
+
 from repro.core.errors import SimulationError
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import EventKind, GroupTable, TraceEvent
+from repro.trace.soa import (
+    INT_COLUMNS,
+    TraceColumns,
+    coalesce_columns,
+    columns_from_buffer,
+)
+
+FORMAT_V1 = "ap1000-trace-v1"
+FORMAT_V2 = "ap1000-trace-v2"
 
 _FIELDS = (
     "kind", "pe", "seq", "partner", "size", "stride", "send_flag",
@@ -52,10 +76,10 @@ def _event_from_dict(obj: dict) -> TraceEvent:
 
 
 def save_trace(trace: TraceBuffer, target: str | Path | IO[str]) -> None:
-    """Write a trace as JSON lines."""
+    """Write a trace as JSON lines (format v1)."""
     assert trace.groups is not None
     header = {
-        "format": "ap1000-trace-v1",
+        "format": FORMAT_V1,
         "num_pes": trace.num_pes,
         "groups": {str(gid): list(trace.groups.members(gid))
                    for gid in range(len(trace.groups))},
@@ -77,36 +101,206 @@ def save_trace(trace: TraceBuffer, target: str | Path | IO[str]) -> None:
         _write(target)
 
 
-def load_trace(source: str | Path | IO[str]) -> TraceBuffer:
-    """Read a trace written by :func:`save_trace`."""
+def save_trace_v2(trace: TraceBuffer, target: str | Path | IO[str]) -> None:
+    """Write a trace as one columnar JSON object (format v2).
 
-    def _read(fh: IO[str]) -> TraceBuffer:
-        header_line = fh.readline()
-        if not header_line:
-            raise SimulationError("empty trace file")
-        header = json.loads(header_line)
-        if header.get("format") != "ap1000-trace-v1":
-            raise SimulationError(
-                f"unrecognized trace format {header.get('format')!r}")
-        num_pes = header["num_pes"]
-        groups = GroupTable(tuple(range(num_pes)))
-        for gid_str, members in sorted(
-                header["groups"].items(), key=lambda kv: int(kv[0])):
-            if int(gid_str) == 0:
-                continue
-            groups.intern(tuple(members))
-        trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
-        for label in header.get("phases", []):
-            trace.phase_id(label)
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            ev = _event_from_dict(json.loads(line))
+    Events are stored per-PE contiguous (each PE's program order), with
+    the machine-global ``seq`` column preserving the total order v1
+    lines carried implicitly.  Groups are written as a list in group-id
+    order and phases in phase-id order, so the tables round-trip with
+    deterministic interning no matter which process wrote the file.
+    Sanitizer byte ranges are emitted as full-length columns only when
+    at least one event carries an annotation.
+    """
+    assert trace.groups is not None
+    n = trace.num_pes
+    ordered = [ev for pe in range(n) for ev in trace.events_for(pe)]
+    columns: dict[str, list] = {}
+    for name in _FIELDS:
+        if name == "kind":
+            columns[name] = [int(ev.kind) for ev in ordered]
+        else:
+            columns[name] = [getattr(ev, name) for ev in ordered]
+    doc: dict[str, object] = {
+        "format": FORMAT_V2,
+        "num_pes": n,
+        "groups": [list(trace.groups.members(gid))
+                   for gid in range(len(trace.groups))],
+        "phases": list(trace.phases),
+        "counts": [len(trace.events_for(pe)) for pe in range(n)],
+        "columns": columns,
+    }
+    if any(ev.is_annotated() for ev in ordered):
+        doc["ranges"] = {
+            name: [getattr(ev, name) for ev in ordered]
+            for name in _RANGE_FIELDS
+        }
+    line = json.dumps(doc, separators=(",", ":")) + "\n"
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(line)
+    else:
+        target.write(line)
+
+
+def _buffer_from_v1(header: dict, fh: IO[str]) -> TraceBuffer:
+    """Rebuild a TraceBuffer from a v1 stream positioned after the
+    header line."""
+    num_pes = header["num_pes"]
+    groups = GroupTable(tuple(range(num_pes)))
+    for gid_str, members in sorted(
+            header["groups"].items(), key=lambda kv: int(kv[0])):
+        if int(gid_str) == 0:
+            continue
+        groups.intern(tuple(members))
+    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
+    for label in header.get("phases", []):
+        trace.phase_id(label)
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        ev = _event_from_dict(json.loads(line))
+        seq = ev.seq
+        trace.record(ev)
+        ev.seq = seq  # preserve the original global order
+    return trace
+
+
+def _buffer_from_v2(doc: dict) -> TraceBuffer:
+    """Rebuild a full TraceBuffer (event objects included) from a v2
+    columnar document."""
+    num_pes = doc["num_pes"]
+    groups = GroupTable(tuple(range(num_pes)))
+    for members in doc["groups"][1:]:  # gid 0 is always "all cells"
+        groups.intern(tuple(members))
+    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
+    for label in doc.get("phases", []):
+        trace.phase_id(label)
+    cols = doc["columns"]
+    ranges = doc.get("ranges")
+    names = [name for name in _FIELDS if name != "kind"]
+    kinds = cols["kind"]
+    idx = 0
+    for count in doc["counts"]:
+        for _ in range(count):
+            kwargs = {name: cols[name][idx] for name in names}
+            kwargs["kind"] = EventKind(kinds[idx])
+            if ranges is not None:
+                for name in _RANGE_FIELDS:
+                    kwargs[name] = ranges[name][idx]
+            ev = TraceEvent(**kwargs)
             seq = ev.seq
             trace.record(ev)
             ev.seq = seq  # preserve the original global order
-        return trace
+            idx += 1
+    return trace
+
+
+def _columns_from_v2(doc: dict) -> TraceColumns:
+    """Decode a v2 document straight into the structure-of-arrays
+    layout, skipping TraceEvent objects entirely."""
+    n = doc["num_pes"]
+    cols = doc["columns"]
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.asarray(doc["counts"], dtype=np.int64), out=starts[1:])
+    kind = np.asarray(cols["kind"], dtype=np.int16)
+    ints = {name: np.asarray(cols[name], dtype=np.int64)
+            for name in INT_COLUMNS if name != "kind"}
+    sizes = tuple(len(members) for members in doc["groups"])
+    explicit = np.asarray(cols["group_size"], dtype=np.int64)
+    table = np.asarray(sizes, dtype=np.int64)
+    group_size = np.where(explicit > 0, explicit, table[ints["group"]])
+    work = np.asarray(cols["work"], dtype=np.float64)
+    return TraceColumns(
+        num_pes=n, starts=starts, kind=kind, work=work,
+        group_size=group_size, group_sizes=sizes, **ints)
+
+
+#: Column order of the npz sidecar (everything TraceColumns carries).
+_NPZ_ARRAYS = (
+    "starts", "kind", "partner", "size", "send_flag", "recv_flag",
+    "msg_id", "flag", "target", "group", "group_size", "work",
+    "group_sizes",
+)
+
+
+def save_columns_npz(trace: TraceBuffer, target: str | Path) -> None:
+    """Write the trace's replay columns as a binary numpy archive.
+
+    This is a decode *accelerator*, not a trace format: it carries only
+    the timing-relevant columns (no seq, no sanitizer ranges), with the
+    effective group size already resolved, so the replay stage can map
+    it straight into :class:`TraceColumns` without touching JSON.  The
+    v2 JSON file stays the source of truth beside it.
+    """
+    columns = columns_from_buffer(trace)
+    arrays = {name: getattr(columns, name) for name in _NPZ_ARRAYS
+              if name != "group_sizes"}
+    arrays["group_sizes"] = np.asarray(columns.group_sizes, dtype=np.int64)
+    np.savez(target, **arrays)
+
+
+def load_columns_npz(source: str | Path, *,
+                     coalesce: bool = True) -> TraceColumns:
+    """Read columns written by :func:`save_columns_npz`."""
+    with np.load(source) as data:
+        arrays = {name: data[name] for name in _NPZ_ARRAYS}
+    group_sizes = tuple(int(s) for s in arrays.pop("group_sizes"))
+    starts = arrays.pop("starts")
+    columns = TraceColumns(num_pes=len(starts) - 1, starts=starts,
+                           group_sizes=group_sizes, **arrays)
+    return coalesce_columns(columns) if coalesce else columns
+
+
+def _sniff_header(fh: IO[str]) -> dict:
+    header_line = fh.readline()
+    if not header_line:
+        raise SimulationError("empty trace file")
+    header = json.loads(header_line)
+    if header.get("format") not in (FORMAT_V1, FORMAT_V2):
+        raise SimulationError(
+            f"unrecognized trace format {header.get('format')!r}")
+    return header
+
+
+def load_trace(source: str | Path | IO[str]) -> TraceBuffer:
+    """Read a trace written by :func:`save_trace` or
+    :func:`save_trace_v2` (the format is sniffed from the first line)."""
+
+    def _read(fh: IO[str]) -> TraceBuffer:
+        header = _sniff_header(fh)
+        if header["format"] == FORMAT_V2:
+            return _buffer_from_v2(header)
+        return _buffer_from_v1(header, fh)
+
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as fh:
+            return _read(fh)
+    return _read(source)
+
+
+def load_trace_columns(
+    source: str | Path | IO[str], *, coalesce: bool = True,
+) -> TraceColumns:
+    """Read a trace file straight into :class:`TraceColumns`.
+
+    On a v2 file this is the replay fast path: each column deserializes
+    as one JSON list and lands in one numpy array, with the effective
+    group size resolved vectorially from the group table.  v1 files fall
+    back through :func:`load_trace` + :func:`columns_from_buffer`.  With
+    ``coalesce`` (the default) adjacent COMPUTE/RTSYS events are merged
+    exactly as :meth:`TraceBuffer.coalesce_compute` would, so replaying
+    from columns matches replaying from a coalesced buffer bit for bit.
+    """
+
+    def _read(fh: IO[str]) -> TraceColumns:
+        header = _sniff_header(fh)
+        if header["format"] == FORMAT_V2:
+            columns = _columns_from_v2(header)
+        else:
+            columns = columns_from_buffer(_buffer_from_v1(header, fh))
+        return coalesce_columns(columns) if coalesce else columns
 
     if isinstance(source, (str, Path)):
         with open(source, encoding="utf-8") as fh:

@@ -1,0 +1,165 @@
+"""Structure-of-arrays trace layout.
+
+The trace-driven replay stage walks millions of :class:`TraceEvent`
+objects; attribute access and per-event dataclass overhead dominate its
+runtime.  This module decodes a trace **once** into flat per-field
+column arrays (one numpy array per event field, events stored per-PE
+contiguous), which the vectorized MLSim engine
+(:mod:`repro.mlsim.engine_soa`) consumes: parameter-dependent costs are
+computed with array operations over whole columns, and the remaining
+scalar replay loop only reads plain Python lists.
+
+The columns are cached on the source :class:`TraceBuffer` keyed on its
+event count, so replaying one trace under the three parameter presets
+decodes it only once.  :func:`repro.trace.io.load_trace_columns` builds
+the same layout straight from a trace file without materializing
+``TraceEvent`` objects at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import EventKind
+
+#: Integer event fields decoded into columns (timing-relevant only;
+#: sanitizer byte ranges stay on the event objects).
+INT_COLUMNS = (
+    "kind", "partner", "size", "send_flag", "recv_flag", "msg_id",
+    "flag", "target", "group",
+)
+
+
+@dataclass
+class TraceColumns:
+    """One trace as flat per-field arrays, events per-PE contiguous.
+
+    ``starts[pe] : starts[pe + 1]`` is PE ``pe``'s slice of every
+    column, in that PE's program order.  ``group_size`` is the
+    *effective* group size (the event's own ``group_size`` when set,
+    else the group table's member count), which is what the timing
+    engine consumes.
+    """
+
+    num_pes: int
+    starts: np.ndarray            # int64, length num_pes + 1
+    kind: np.ndarray              # int16
+    partner: np.ndarray           # int64
+    size: np.ndarray              # int64
+    send_flag: np.ndarray         # int64
+    recv_flag: np.ndarray         # int64
+    msg_id: np.ndarray            # int64
+    flag: np.ndarray              # int64
+    target: np.ndarray            # int64
+    group: np.ndarray             # int64
+    group_size: np.ndarray        # int64 (effective)
+    work: np.ndarray              # float64
+    group_sizes: tuple[int, ...]  # group id -> member count
+
+    @property
+    def total_events(self) -> int:
+        return int(self.starts[-1])
+
+
+def columns_from_buffer(trace: TraceBuffer) -> TraceColumns:
+    """Decode ``trace`` into columns, reusing a cached decode when the
+    buffer has not changed since (same event count)."""
+    assert trace.groups is not None
+    cached = getattr(trace, "_soa_columns", None)
+    if cached is not None and cached.total_events == trace.total_events:
+        return cached
+
+    n = trace.num_pes
+    counts = [len(trace.events_for(pe)) for pe in range(n)]
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    total = int(starts[-1])
+
+    kind = np.empty(total, dtype=np.int16)
+    ints = {name: np.empty(total, dtype=np.int64)
+            for name in INT_COLUMNS if name != "kind"}
+    group_size = np.empty(total, dtype=np.int64)
+    work = np.empty(total, dtype=np.float64)
+
+    sizes = tuple(len(trace.groups.members(g))
+                  for g in range(len(trace.groups)))
+    lo = 0
+    for pe in range(n):
+        events = trace.events_for(pe)
+        hi = lo + len(events)
+        kind[lo:hi] = [ev.kind for ev in events]
+        ints["partner"][lo:hi] = [ev.partner for ev in events]
+        ints["size"][lo:hi] = [ev.size for ev in events]
+        ints["send_flag"][lo:hi] = [ev.send_flag for ev in events]
+        ints["recv_flag"][lo:hi] = [ev.recv_flag for ev in events]
+        ints["msg_id"][lo:hi] = [ev.msg_id for ev in events]
+        ints["flag"][lo:hi] = [ev.flag for ev in events]
+        ints["target"][lo:hi] = [ev.target for ev in events]
+        ints["group"][lo:hi] = [ev.group for ev in events]
+        group_size[lo:hi] = [ev.group_size or sizes[ev.group]
+                             for ev in events]
+        work[lo:hi] = [ev.work for ev in events]
+        lo = hi
+
+    columns = TraceColumns(
+        num_pes=n, starts=starts, kind=kind, work=work,
+        group_size=group_size, group_sizes=sizes, **ints)
+    trace._soa_columns = columns  # type: ignore[attr-defined]
+    return columns
+
+
+def coalesce_columns(columns: TraceColumns) -> TraceColumns:
+    """Merge adjacent COMPUTE (and adjacent RTSYS) events per PE.
+
+    The column-level twin of :meth:`TraceBuffer.coalesce_compute`, for
+    columns decoded straight from a trace file.  Work sums accumulate
+    left to right, exactly as the buffer-level merge does.
+    """
+    kind = columns.kind
+    n = columns.num_pes
+    total = len(kind)
+    if total == 0:
+        return columns
+    compute = (kind == int(EventKind.COMPUTE)) | (kind == int(EventKind.RTSYS))
+    # An event merges into its predecessor when both are the same
+    # COMPUTE/RTSYS kind and belong to the same PE.
+    same_prev = np.zeros(total, dtype=bool)
+    same_prev[1:] = compute[1:] & (kind[1:] == kind[:-1])
+    same_prev[columns.starts[1:-1]] = False
+    if not same_prev.any():
+        return columns
+    keep = ~same_prev
+    # Each merged event folds its work into the nearest kept event
+    # before it, accumulating left to right — the same float addition
+    # order as the buffer-level merge.
+    target = np.maximum.accumulate(
+        np.where(keep, np.arange(total), -1)).tolist()
+    wl = columns.work.tolist()
+    for i in np.nonzero(same_prev)[0].tolist():
+        wl[target[i]] += wl[i]
+    work = np.asarray(wl)
+    kept = np.nonzero(keep)[0]
+    per_pe_counts = np.diff(columns.starts)
+    removed_per_pe = np.zeros(n, dtype=np.int64)
+    pe_of = np.repeat(np.arange(n), per_pe_counts)
+    np.add.at(removed_per_pe, pe_of[same_prev], 1)
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(per_pe_counts - removed_per_pe, out=starts[1:])
+    return TraceColumns(
+        num_pes=n, starts=starts,
+        kind=kind[kept],
+        partner=columns.partner[kept],
+        size=columns.size[kept],
+        send_flag=columns.send_flag[kept],
+        recv_flag=columns.recv_flag[kept],
+        msg_id=columns.msg_id[kept],
+        flag=columns.flag[kept],
+        target=columns.target[kept],
+        group=columns.group[kept],
+        group_size=columns.group_size[kept],
+        work=work[kept],
+        group_sizes=columns.group_sizes,
+    )

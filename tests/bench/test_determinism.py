@@ -1,0 +1,64 @@
+"""Bench determinism regressions.
+
+Two bugs this file pins down:
+
+* Trace-event interning (phase labels, packet serials) must not depend
+  on whether an app was recorded by the serial runner or inside a
+  worker process: the same grid under ``jobs=1`` and ``jobs=2`` must
+  produce byte-identical results sections.  Before packet serials
+  became per-network counters, any network constructed earlier in the
+  same process shifted every downstream serial, so results depended on
+  run order.
+* The vectorized replay engine must be transparent to the artifact:
+  running the same grid with ``REPRO_MLSIM_ENGINE=reference`` must
+  reproduce the default (SoA) results bytes exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.grid import BenchSpec
+from repro.bench.runner import run_bench
+from repro.bench.schema import results_bytes
+
+GROUPED_SPECS = [
+    # CG is collective-heavy (partial-group reductions); RingShift
+    # stresses neighbour traffic and packet-serial ordering.
+    BenchSpec(app="CG", num_cells=4, params={"n": 40, "outer": 2,
+                                             "inner": 3}),
+    BenchSpec(app="RingShift", num_cells=8, params={"hops": 24}),
+]
+PRESETS = ("ap1000", "ap1000+")
+
+
+@pytest.fixture(scope="module")
+def serial_outcome():
+    return run_bench(GROUPED_SPECS, PRESETS, jobs=1, use_cache=False,
+                     grid_name="tiny")
+
+
+class TestInterningDeterminism:
+    def test_parallel_matches_serial_with_groups(self, serial_outcome,
+                                                 tmp_path):
+        parallel = run_bench(GROUPED_SPECS, PRESETS, jobs=2,
+                             cache_dir=tmp_path, use_cache=False,
+                             grid_name="tiny")
+        assert results_bytes(parallel.artifact) == results_bytes(
+            serial_outcome.artifact)
+
+    def test_packet_serials_start_at_zero_per_run(self, serial_outcome):
+        # Per-network serials (not a process-global counter) are what
+        # keep worker-process recordings aligned with serial ones.
+        machine = serial_outcome.runs["RingShift"].machine
+        assert machine.tnet.injected_count > 0
+
+
+class TestEngineModeDeterminism:
+    def test_reference_engine_matches_soa(self, serial_outcome,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_MLSIM_ENGINE", "reference")
+        reference = run_bench(GROUPED_SPECS, PRESETS, jobs=1,
+                              use_cache=False, grid_name="tiny")
+        assert results_bytes(reference.artifact) == results_bytes(
+            serial_outcome.artifact)

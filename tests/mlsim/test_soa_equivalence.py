@@ -1,0 +1,147 @@
+"""Golden equivalence: the vectorized SoA replay vs the reference engine.
+
+The refactor's contract is byte-identical output: for any trace and any
+preset, ``replay_columns`` must produce exactly the result the scalar
+``MLSimEngine`` produces — per-PE breakdowns, message counts, and the
+full metrics block.  These tests compare complete result dictionaries
+(via ``json.dumps`` with sorted keys, so float bit patterns matter) on
+real workloads and on a synthetic trace that covers the event kinds the
+shipped applications rarely exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.apps.workloads import workload
+from repro.bench.cache import jsonify
+from repro.mlsim.engine import MLSimEngine
+from repro.mlsim.engine_soa import replay_columns
+from repro.mlsim.params import preset
+from repro.mlsim.simulator import simulate
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.soa import columns_from_buffer
+
+PRESETS = ("ap1000", "ap1000-fast", "ap1000+")
+
+
+def result_doc(result) -> str:
+    """Canonical byte-exact rendering of a full MLSimResult."""
+    return json.dumps(jsonify(asdict(result)), sort_keys=True)
+
+
+def assert_equivalent(trace: TraceBuffer, preset_names=PRESETS) -> None:
+    trace.coalesce_compute()
+    columns = columns_from_buffer(trace)
+    for name in preset_names:
+        p = preset(name)
+        ref = MLSimEngine(trace, p, None, collect_metrics=True).run()
+        soa = replay_columns(columns, p, collect_metrics=True)
+        assert result_doc(soa) == result_doc(ref), name
+
+
+WORKLOAD_CASES = {
+    "EP": dict(num_cells=8, log2_pairs=10),
+    "CG": dict(num_cells=16, n=120, outer=2, inner=5),
+    "MatMul": dict(num_cells=16, n=64),
+    "RingShift": dict(num_cells=16, hops=48),
+    "PingPong": dict(num_cells=16, iters=24),
+}
+
+
+class TestGoldenWorkloads:
+    """Real traces x every preset, full results compared bytewise."""
+
+    @pytest.mark.parametrize("app", sorted(WORKLOAD_CASES))
+    def test_replay_byte_identical(self, app):
+        run = workload(app).runner(**WORKLOAD_CASES[app])
+        assert run.verified
+        assert_equivalent(run.trace)
+
+
+class TestSyntheticCoverage:
+    """Event kinds the shipped grids barely touch, in one dense trace."""
+
+    def _trace(self) -> TraceBuffer:
+        buf = TraceBuffer(num_pes=4)
+        phase = buf.phase_id("synthetic")
+        events = [
+            TraceEvent(EventKind.PHASE, pe=0, flag=phase),
+            # Strided PUT with both flags, plus a self-send.
+            TraceEvent(EventKind.PUT, pe=0, partner=1, size=512,
+                       stride=True, send_flag=11, recv_flag=12),
+            TraceEvent(EventKind.PUT, pe=2, partner=2, size=64,
+                       recv_flag=13),
+            TraceEvent(EventKind.FLAG_WAIT, pe=2, flag=13, target=1),
+            TraceEvent(EventKind.FLAG_WAIT, pe=1, flag=12, target=1),
+            TraceEvent(EventKind.GET, pe=1, partner=0, size=256,
+                       send_flag=14, recv_flag=15),
+            TraceEvent(EventKind.FLAG_WAIT, pe=1, flag=15, target=1),
+            # Two-sided pair.
+            TraceEvent(EventKind.SEND, pe=3, partner=0, size=128,
+                       msg_id=7),
+            TraceEvent(EventKind.RECV, pe=0, partner=3, size=128,
+                       msg_id=7),
+            # Shared-memory and communication-register traffic.
+            TraceEvent(EventKind.REMOTE_LOAD, pe=2, partner=3, size=8),
+            TraceEvent(EventKind.REMOTE_STORE, pe=3, partner=2, size=8),
+            TraceEvent(EventKind.CREG_STORE, pe=0, partner=2, size=4),
+            TraceEvent(EventKind.CREG_LOAD, pe=2, partner=2, size=4),
+            # Zero-cost robustness instants between costed events.
+            TraceEvent(EventKind.RETRY, pe=1, partner=0),
+            TraceEvent(EventKind.TIMEOUT, pe=3),
+            TraceEvent(EventKind.SPILL, pe=0, size=16),
+            # Compute/RTSYS runs that the coalescer merges.
+            TraceEvent(EventKind.COMPUTE, pe=1, work=5.0),
+            TraceEvent(EventKind.COMPUTE, pe=1, work=7.0),
+            TraceEvent(EventKind.RTSYS, pe=2, work=3.0),
+            TraceEvent(EventKind.RTSYS, pe=2, work=4.0),
+            # Collectives: barrier plus scalar and vector reductions.
+            TraceEvent(EventKind.BARRIER, pe=0, group=0, group_size=4),
+            TraceEvent(EventKind.BARRIER, pe=1, group=0, group_size=4),
+            TraceEvent(EventKind.BARRIER, pe=2, group=0, group_size=4),
+            TraceEvent(EventKind.BARRIER, pe=3, group=0, group_size=4),
+            TraceEvent(EventKind.GOP, pe=0, group=0, group_size=4,
+                       size=8),
+            TraceEvent(EventKind.GOP, pe=1, group=0, group_size=4,
+                       size=8),
+            TraceEvent(EventKind.GOP, pe=2, group=0, group_size=4,
+                       size=8),
+            TraceEvent(EventKind.GOP, pe=3, group=0, group_size=4,
+                       size=8),
+            TraceEvent(EventKind.VGOP, pe=0, group=0, group_size=4,
+                       size=256),
+            TraceEvent(EventKind.VGOP, pe=1, group=0, group_size=4,
+                       size=256),
+            TraceEvent(EventKind.VGOP, pe=2, group=0, group_size=4,
+                       size=256),
+            TraceEvent(EventKind.VGOP, pe=3, group=0, group_size=4,
+                       size=256),
+        ]
+        for ev in events:
+            buf.record(ev)
+        return buf
+
+    def test_synthetic_trace_byte_identical(self):
+        assert_equivalent(self._trace())
+
+
+class TestEngineFlag:
+    """``REPRO_MLSIM_ENGINE`` keeps the slow reference path reachable."""
+
+    def _trace(self):
+        run = workload("MatMul").runner(num_cells=4, n=24)
+        return run.trace
+
+    def test_reference_mode_matches_default(self, monkeypatch):
+        trace = self._trace()
+        p = preset("ap1000+")
+        monkeypatch.delenv("REPRO_MLSIM_ENGINE", raising=False)
+        fast = simulate(trace, p, collect_metrics=True)
+        monkeypatch.setenv("REPRO_MLSIM_ENGINE", "reference")
+        slow = simulate(trace, p, collect_metrics=True)
+        assert result_doc(fast) == result_doc(slow)

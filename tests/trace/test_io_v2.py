@@ -1,0 +1,118 @@
+"""Columnar (v2) trace format: roundtrip, fast path, and npz sidecar.
+
+The cache writes v2; readers sniff the format, so v1 and v2 files must
+load into identical buffers, and the column fast path must produce
+exactly the arrays the event-object path produces.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.apps.workloads import workload
+from repro.core.errors import SimulationError
+from repro.trace import sanitize as trace_sanitize
+from repro.trace.io import (
+    load_columns_npz,
+    load_trace,
+    load_trace_columns,
+    save_columns_npz,
+    save_trace,
+    save_trace_v2,
+)
+from repro.trace.soa import columns_from_buffer
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """A sanitized MatMul run: PUT traffic (so byte-range annotations),
+    collectives, and phases all present."""
+    with trace_sanitize.enabled():
+        run = workload("MatMul").runner(num_cells=4, n=32)
+    return run.trace
+
+
+def events_doc(trace):
+    return [repr(ev) for ev in trace.all_events()]
+
+
+def assert_columns_equal(a, b):
+    assert a.num_pes == b.num_pes
+    assert a.group_sizes == b.group_sizes
+    for name in ("starts", "kind", "partner", "size", "send_flag",
+                 "recv_flag", "msg_id", "flag", "target", "group",
+                 "group_size", "work"):
+        np.testing.assert_array_equal(getattr(a, name), getattr(b, name),
+                                      err_msg=name)
+
+
+class TestRoundTrip:
+    def test_v2_buffer_matches_v1(self, recorded, tmp_path):
+        v1, v2 = tmp_path / "t.v1.jsonl", tmp_path / "t.v2.jsonl"
+        save_trace(recorded, v1)
+        save_trace_v2(recorded, v2)
+        a, b = load_trace(v1), load_trace(v2)
+        assert events_doc(a) == events_doc(b) == events_doc(recorded)
+        assert a.num_pes == b.num_pes == recorded.num_pes
+        assert list(a.phases) == list(b.phases) == list(recorded.phases)
+        assert len(a.groups) == len(recorded.groups)
+        for gid in range(len(recorded.groups)):
+            assert b.groups.members(gid) == recorded.groups.members(gid)
+
+    def test_v2_preserves_sanitizer_ranges(self, recorded, tmp_path):
+        path = tmp_path / "t.v2.jsonl"
+        save_trace_v2(recorded, path)
+        reloaded = load_trace(path)
+        annotated = [ev for ev in recorded.all_events()
+                     if ev.is_annotated()]
+        assert annotated, "fixture should carry sanitizer annotations"
+        by_seq = {ev.seq: ev for ev in reloaded.all_events()}
+        for ev in annotated:
+            assert by_seq[ev.seq].raddr == ev.raddr
+            assert by_seq[ev.seq].laddr == ev.laddr
+
+    def test_v2_is_one_line(self, recorded, tmp_path):
+        path = tmp_path / "t.v2.jsonl"
+        save_trace_v2(recorded, path)
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestColumnsFastPath:
+    def test_columns_match_buffer_decode(self, recorded, tmp_path):
+        v1, v2 = tmp_path / "t.v1.jsonl", tmp_path / "t.v2.jsonl"
+        save_trace(recorded, v1)
+        save_trace_v2(recorded, v2)
+        direct = load_trace_columns(v2)
+        via_v1 = load_trace_columns(v1)
+        recorded.coalesce_compute()
+        in_memory = columns_from_buffer(recorded)
+        assert_columns_equal(direct, via_v1)
+        assert_columns_equal(direct, in_memory)
+
+    def test_uncoalesced_columns(self, recorded, tmp_path):
+        path = tmp_path / "t.v2.jsonl"
+        save_trace_v2(recorded, path)
+        raw = load_trace_columns(path, coalesce=False)
+        assert len(raw.kind) == recorded.total_events
+
+
+class TestNpzSidecar:
+    def test_sidecar_matches_v2_columns(self, recorded, tmp_path):
+        v2, npz = tmp_path / "t.v2.jsonl", tmp_path / "columns.npz"
+        save_trace_v2(recorded, v2)
+        save_columns_npz(recorded, npz)
+        assert_columns_equal(load_columns_npz(npz),
+                             load_trace_columns(v2))
+
+
+class TestSniffing:
+    def test_empty_file_rejected(self):
+        with pytest.raises(SimulationError):
+            load_trace(io.StringIO(""))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SimulationError):
+            load_trace(io.StringIO('{"format": "ap1000-trace-v9"}\n'))
