@@ -18,6 +18,8 @@ from repro.machine.machine import Machine
 NAME = "flag_deadlock"
 CELLS = 2
 EXPECT = {"FLAG-DEADLOCK"}
+#: The static analyzer predicts the same hang at every machine size.
+EXPECT_STATIC = {"COMM-UNMATCHED-FLAG"}
 
 
 def program(ctx):

@@ -19,6 +19,9 @@ from repro.machine.machine import Machine
 NAME = "mismatched_barrier"
 CELLS = 4
 EXPECT = {"BARRIER-MISMATCH", "SPMD004"}
+#: Cell 0's collective sequence diverges from the rest of the world
+#: group at every machine size.
+EXPECT_STATIC = {"COMM-DIVERGENCE"}
 
 
 def program(ctx):

@@ -19,6 +19,9 @@ from repro.machine.machine import Machine
 NAME = "missing_movewait"
 CELLS = 4
 EXPECT = {"RACE-PUT-PUT", "SPMD001"}
+#: The predicted footprints of the concurrent acked PUTs overlap on the
+#: owner's block at every machine size.
+EXPECT_STATIC = {"COMM-OVERLAP"}
 
 N = 32  # global extent; cell 0 owns the first N // CELLS elements
 

@@ -18,6 +18,9 @@ from repro.machine.machine import Machine
 NAME = "variable_stride"
 CELLS = 4
 EXPECT = {"SPMD005", "SPMD002"}
+#: The symbolic execution observes two distinct element skips at the
+#: same put_stride call site — no name heuristics involved.
+EXPECT_STATIC = {"COMM-STRIDE"}
 
 
 def program(ctx):

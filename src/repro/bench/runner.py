@@ -89,6 +89,9 @@ class BenchOutcome:
     replays: dict[str, dict[str, MLSimResult]] = field(default_factory=dict)
     #: Per-app ``repro.check`` reports (``check=True`` runs only).
     check_reports: dict[str, Any] = field(default_factory=dict)
+    #: Per-app static communication-graph reports (``check=True`` runs
+    #: only; apps the analyzer covers).
+    static_reports: dict[str, Any] = field(default_factory=dict)
 
     @property
     def all_verified(self) -> bool:
@@ -98,7 +101,8 @@ class BenchOutcome:
     def all_check_clean(self) -> bool:
         """True when the check stage ran and found nothing (vacuously
         true when it did not run)."""
-        return all(r.clean for r in self.check_reports.values())
+        return (all(r.clean for r in self.check_reports.values())
+                and all(r.clean for r in self.static_reports.values()))
 
     @property
     def comparisons(self) -> dict[str, ModelComparison]:
@@ -342,12 +346,17 @@ def _assemble(
     stages: dict[str, _AppStage],
     run_info: dict[str, Any],
     check_reports: dict[str, Any] | None = None,
+    static_reports: dict[str, Any] | None = None,
 ) -> BenchArtifact:
     apps: dict[str, AppResult] = {}
     timings: dict[str, AppTimings] = {}
     for spec in specs:
         stage = stages[spec.app]
         report = (check_reports or {}).get(spec.app)
+        static = (static_reports or {}).get(spec.app)
+        check_dict = report.to_dict() if report is not None else None
+        if check_dict is not None and static is not None:
+            check_dict["static"] = static.to_dict()
         apps[spec.app] = AppResult(
             app=spec.app,
             config=jsonify(spec.config()),
@@ -360,7 +369,7 @@ def _assemble(
                 for p in preset_names
             },
             speedups_vs_ap1000=_speedups(stage.replays),
-            check=report.to_dict() if report is not None else None,
+            check=check_dict,
             metrics={
                 "machine": stage.machine_metrics,
                 "replay": {
@@ -442,10 +451,12 @@ def run_bench(
         if spool is not None:
             spool.cleanup()
     check_reports: dict[str, Any] = {}
+    static_reports: dict[str, Any] = {}
     check_wall = 0.0
     if check:
         # Deferred import: repro.check.runner imports repro.bench.cache,
         # so a top-level import here would cycle during package init.
+        from repro.check.comm import STATIC_APPS, analyze_app
         from repro.check.runner import check_trace
 
         check_start = time.perf_counter()
@@ -457,6 +468,19 @@ def run_bench(
                 + ("clean" if report.clean
                    else f"{len(report.diagnostics)} diagnostic(s)")
             )
+            if spec.app in STATIC_APPS:
+                # Scale-generic structural analysis at this row's cell
+                # count (the analyzer's own problem sizes — findings are
+                # about communication structure, not volume).
+                static, _graph, _runs = analyze_app(
+                    spec.app, scales=(spec.num_cells,),
+                    build_graph=False)
+                static_reports[spec.app] = static
+                log(
+                    f"check {spec.app} static: "
+                    + ("clean" if static.clean
+                       else f"{len(static.diagnostics)} diagnostic(s)")
+                )
         check_wall = time.perf_counter() - check_start
     wall_s = time.perf_counter() - start
     stage_wall_s = {
@@ -481,10 +505,11 @@ def run_bench(
         "argv": list(sys.argv),
     }
     artifact = _assemble(specs, preset_names, grid_name, stages, run_info,
-                         check_reports)
+                         check_reports, static_reports)
     return BenchOutcome(
         artifact=artifact,
         runs={app: stage.run for app, stage in stages.items()},
         replays={app: dict(stage.replays) for app, stage in stages.items()},
         check_reports=check_reports,
+        static_reports=static_reports,
     )

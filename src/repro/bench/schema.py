@@ -29,6 +29,36 @@ from repro.mlsim.breakdown import MLSimResult
 SCHEMA_NAME = "repro-bench-v1"
 
 
+def _validate_check_schema(app: str, check: dict[str, Any] | None) -> None:
+    """Refuse embedded check reports from an unknown (future) format.
+
+    A ``results[].check`` block whose ``schema`` this code base does not
+    recognize must fail loudly — silently comparing reports whose fields
+    may have changed meaning would let regressions through.  Blocks with
+    no ``schema`` at all predate versioning and are accepted as legacy.
+    """
+    if check is None:
+        return
+    # Deferred import: repro.check imports repro.bench at package init.
+    from repro.check.diagnostics import KNOWN_CHECK_SCHEMAS
+
+    blocks = [("check", check)]
+    static = check.get("static")
+    if isinstance(static, dict):
+        blocks.append(("check.static", static))
+    for label, block in blocks:
+        version = block.get("schema")
+        if version is None:
+            continue
+        if version not in KNOWN_CHECK_SCHEMAS:
+            raise ConfigurationError(
+                f"results[{app!r}].{label} carries unknown schema "
+                f"{version!r}; this code understands "
+                f"{sorted(KNOWN_CHECK_SCHEMAS)} — refusing to guess at "
+                f"its field semantics"
+            )
+
+
 @dataclass(frozen=True)
 class PresetMetrics:
     """Simulated metrics of one (application, preset) replay."""
@@ -137,6 +167,7 @@ class BenchArtifact:
         results = data["results"]
         apps = {}
         for name, a in results["apps"].items():
+            _validate_check_schema(name, a.get("check"))
             apps[name] = AppResult(
                 app=a["app"],
                 config=a["config"],

@@ -10,12 +10,34 @@ Two cooperating analyses over the same diagnostic vocabulary:
   plus synchronization defects (deadlocked waits, mismatched
   collectives);
 * the **static lint** (:mod:`repro.check.lint`) walks application
-  source for SPMD API misuse that may only misbehave at other scales.
+  source for SPMD API misuse that may only misbehave at other scales;
+* the **static communication-graph analyzer** (:mod:`repro.check.comm`,
+  :mod:`repro.check.symbolic`) concolically executes cell programs at
+  several machine sizes, extracts the PUT/GET communication graph with
+  closed-form message counts in P, and reports scale-generic deadlock,
+  race, and stride findings — plus a **trace-conformance** mode
+  (:mod:`repro.check.conform`) that checks recorded traces are
+  linearizations of the predicted graph.
 
-Drive both through :mod:`repro.check.runner` or ``repro check``.
+Drive them through :mod:`repro.check.runner` or ``repro check``.
 """
 
+from repro.check.comm import (
+    STATIC_APPS,
+    CommGraph,
+    CommRun,
+    analyze_app,
+    analyze_program,
+    check_program,
+)
+from repro.check.conform import (
+    CONFORM_APPS,
+    conform_app,
+    conform_trace,
+)
 from repro.check.diagnostics import (
+    CHECK_SCHEMA,
+    KNOWN_CHECK_SCHEMAS,
     SEVERITY_ERROR,
     SEVERITY_WARNING,
     CheckReport,
@@ -36,30 +58,55 @@ from repro.check.runner import (
     check_app,
     check_apps,
     check_buggy,
+    check_conform,
+    check_static_apps,
+    check_static_buggy,
     check_trace,
     default_lint_paths,
     lint_report,
     trace_is_annotated,
 )
+from repro.check.symbolic import (
+    ClosedForm,
+    fit_closed_form,
+    infer_partner_pattern,
+)
 
 __all__ = [
+    "CHECK_SCHEMA",
+    "CONFORM_APPS",
+    "KNOWN_CHECK_SCHEMAS",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
+    "STATIC_APPS",
     "Access",
     "CheckReport",
+    "ClosedForm",
+    "CommGraph",
+    "CommRun",
     "Diagnostic",
     "EventRef",
     "Footprint",
     "HBResult",
+    "analyze_app",
+    "analyze_program",
     "build_happens_before",
     "check_app",
     "check_apps",
     "check_buggy",
+    "check_conform",
+    "check_program",
+    "check_static_apps",
+    "check_static_buggy",
     "check_trace",
+    "conform_app",
+    "conform_trace",
     "default_lint_paths",
     "extract_accesses",
     "find_races",
+    "fit_closed_form",
     "hb_report",
+    "infer_partner_pattern",
     "lint_file",
     "lint_paths",
     "lint_report",

@@ -21,6 +21,24 @@ Static codes (SPMD lint)
     ``SPMD003`` in-place RECEIVE packet used after further blocking calls
     ``SPMD004`` ungrouped collective under a cell-dependent branch
     ``SPMD005`` stride built from a loop variable (non-constant stride)
+
+Static codes (communication-graph analyzer, :mod:`repro.check.comm`)
+    ``COMM-DIVERGENCE``     group members issue diverging collective
+                            sequences at some machine size
+    ``COMM-UNMATCHED-FLAG`` a flag wait whose target the predicted
+                            increments never reach
+    ``COMM-OVERLAP``        predicted one-sided footprints overlap with
+                            no ordering (a race at *some* P)
+    ``COMM-STRIDE``         one call site issues stride transfers with
+                            multiple element skips
+    ``COMM-NONCONFORM``     a recorded trace is not a linearization of
+                            the static graph, or its message counts or
+                            bytes disagree with the predicted closed
+                            forms (:mod:`repro.check.conform`)
+
+Reports serialize with an explicit ``schema`` version
+(:data:`CHECK_SCHEMA`); consumers must reject versions they do not
+know rather than guessing at field semantics.
 """
 
 from __future__ import annotations
@@ -31,6 +49,15 @@ from typing import Any
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
+
+#: Version of the serialized report format.  Stamped into every
+#: ``CheckReport.to_dict()`` (and therefore into ``repro check --json``
+#: and the ``results[].check`` blocks of ``BENCH_*.json``).  Bump when a
+#: field changes meaning; consumers reject unknown versions.
+CHECK_SCHEMA = "repro-check-v1"
+
+#: Every serialized-report version this code base can interpret.
+KNOWN_CHECK_SCHEMAS = frozenset({CHECK_SCHEMA})
 
 
 @dataclass(frozen=True)
@@ -140,6 +167,7 @@ class CheckReport:
 
     def to_dict(self) -> dict[str, Any]:
         return {
+            "schema": CHECK_SCHEMA,
             "subject": self.subject,
             "clean": self.clean,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
@@ -159,7 +187,7 @@ class CheckReport:
 def report_json(reports: list[CheckReport]) -> str:
     """Canonical JSON for a set of reports (stable across runs)."""
     payload = {
-        "schema": "repro-check-v1",
+        "schema": CHECK_SCHEMA,
         "reports": [r.to_dict() for r in reports],
         "clean": all(r.clean for r in reports),
     }

@@ -4,7 +4,10 @@ The dynamic checker sees one execution; these AST rules catch API misuse
 patterns that may only misbehave at other scales or timings.  All rules
 are heuristics over names (``ctx``/``rt`` receivers are not resolved),
 so every finding can be suppressed with a ``# spmd: ignore`` or
-``# spmd: ignore[CODE]`` comment on the flagged line.
+``# spmd: ignore[CODE]`` comment on the flagged line, or file-wide with
+``# spmd: ignore-file`` / ``# spmd: ignore-file[CODE]`` anywhere in the
+file (file-level suppression applies first; per-line comments then
+cover whatever codes it left active).
 
 Rules:
 
@@ -64,7 +67,10 @@ MOVE_DEST_ARG = {
     "overlap_fix_mixed": 0,
 }
 
-_IGNORE_RE = re.compile(r"#\s*spmd:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+_IGNORE_RE = re.compile(
+    r"#\s*spmd:\s*ignore(?!-file)(?:\[([A-Z0-9, ]+)\])?")
+_IGNORE_FILE_RE = re.compile(
+    r"#\s*spmd:\s*ignore-file(?:\[([A-Z0-9, ]+)\])?")
 
 
 def _suppressions(source: str) -> dict[int, set[str] | None]:
@@ -78,6 +84,24 @@ def _suppressions(source: str) -> dict[int, set[str] | None]:
                 {c.strip() for c in codes.split(",")} if codes else None
             )
     return out
+
+
+def _file_suppressions(source: str) -> tuple[bool, set[str] | None]:
+    """File-wide suppressions from ``# spmd: ignore-file`` comments.
+
+    Returns ``(active, codes)``: ``codes`` is None when every code is
+    suppressed (a bare ``ignore-file``), else the union of the codes
+    named by all ``ignore-file[...]`` comments in the file.
+    """
+    codes: set[str] = set()
+    active = False
+    for m in _IGNORE_FILE_RE.finditer(source):
+        active = True
+        named = m.group(1)
+        if named is None:
+            return True, None
+        codes.update(c.strip() for c in named.split(","))
+    return active, codes if active else None
 
 
 def _attr_name(func: ast.expr) -> str | None:
@@ -168,6 +192,24 @@ class _FunctionLinter:
             for node in ast.walk(func)
             if isinstance(node, (ast.YieldFrom, ast.Await))
         }
+        # A blocking generator bound to a name and driven (or returned —
+        # handing the caller responsibility) later is not dropped:
+        #     gen = ctx.barrier()
+        #     ...
+        #     yield from gen
+        driven_names = {
+            node.value.id
+            for node in ast.walk(func)
+            if isinstance(node, (ast.YieldFrom, ast.Await, ast.Return))
+            and isinstance(node.value, ast.Name)
+        }
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id in driven_names
+                    and isinstance(node.value, ast.Call)):
+                self.driven.add(id(node.value))
 
     def emit(self, code: str, line: int, message: str,
              severity: str = "error") -> None:
@@ -421,12 +463,18 @@ def lint_source(source: str, filename: str) -> list[Diagnostic]:
             line=exc.lineno or 1,
         )]
     suppress = _suppressions(source)
+    file_active, file_codes = _file_suppressions(source)
     diagnostics: list[Diagnostic] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.FunctionDef):
             diagnostics.extend(_FunctionLinter(node, filename).run())
     kept = []
     for diag in diagnostics:
+        # File-level suppression applies first; per-line comments then
+        # cover whatever codes the file-level one left unsuppressed.
+        if file_active and (file_codes is None
+                            or diag.code in file_codes):
+            continue
         codes = suppress.get(diag.line or 0, "missing")
         if codes == "missing":
             kept.append(diag)

@@ -21,6 +21,17 @@ from typing import Any
 import repro
 from repro.bench.cache import DEFAULT_CACHE_DIR, TraceCache
 from repro.bench.grid import BenchSpec, workload_specs
+from repro.check.comm import (
+    DEFAULT_SCALES,
+    STATIC_APPS,
+    analyze_app,
+    check_program,
+)
+from repro.check.conform import (
+    CONFORM_APPS,
+    DEFAULT_CONFORM_SCALES,
+    conform_app,
+)
 from repro.check.diagnostics import CheckReport, Diagnostic
 from repro.check.hb import hb_report
 from repro.check.lint import lint_file, lint_paths
@@ -154,6 +165,44 @@ def lint_report(root: Path | None = None) -> CheckReport:
 
 
 # ----------------------------------------------------------------------
+# Static analysis drivers
+# ----------------------------------------------------------------------
+
+def check_static_apps(
+    names: tuple[str, ...] | None = None,
+    *,
+    scales: tuple[int, ...] = DEFAULT_SCALES,
+    log: Callable[[str], None] | None = None,
+) -> list[CheckReport]:
+    """Statically analyze the shipped apps (default: all of them) at
+    several machine sizes; one report per app."""
+    selected = STATIC_APPS if not names else names
+    reports = []
+    for name in selected:
+        if log is not None:
+            log(f"static {name} (P = {', '.join(map(str, scales))})")
+        report, _graph, _runs = analyze_app(name, scales=scales)
+        reports.append(report)
+    return reports
+
+
+def check_conform(
+    names: tuple[str, ...] | None = None,
+    *,
+    scales: tuple[int, ...] = DEFAULT_CONFORM_SCALES,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+    log: Callable[[str], None] | None = None,
+) -> list[CheckReport]:
+    """Record (or reuse cached) traces and check each against the static
+    communication graph; one report per app."""
+    selected = CONFORM_APPS if not names else names
+    return [conform_app(name, scales=scales, cache_dir=cache_dir,
+                        use_cache=use_cache, log=log)
+            for name in selected]
+
+
+# ----------------------------------------------------------------------
 # Buggy-fixture gate
 # ----------------------------------------------------------------------
 
@@ -209,6 +258,47 @@ def check_buggy(
         else:
             report.notes.append(
                 f"caught all expected diagnostics: {sorted(expect)}"
+            )
+        reports.append(report)
+    return reports, all_caught
+
+
+def check_static_buggy(
+    root: Path | None = None,
+) -> tuple[list[CheckReport], bool]:
+    """Run the static analyzer over every seeded-bug fixture.
+
+    Fixtures declare ``EXPECT_STATIC`` — the scale-generic codes their
+    bug must trip when the program is concolically executed (at
+    ``STATIC_SCALES`` if declared, else the analyzer's default machine
+    sizes).  Unlike the dynamic gate, no trace is recorded: the analyzer
+    must predict the bug from the program alone."""
+    root = repo_root() if root is None else Path(root)
+    reports: list[CheckReport] = []
+    all_caught = True
+    for path in sorted(buggy_dir(root).glob("*.py")):
+        if path.name.startswith("_"):
+            continue
+        module = _load_fixture(path)
+        expect = set(getattr(module, "EXPECT_STATIC", set()))
+        if not expect:
+            continue
+        scales = tuple(getattr(module, "STATIC_SCALES", DEFAULT_SCALES))
+        report = check_program(module.program, scales,
+                               subject=f"static/buggy/{path.stem}")
+        found = report.codes()
+        missing = expect - found
+        report.stats["expected"] = len(expect)
+        report.stats["caught"] = len(expect - missing)
+        if missing:
+            all_caught = False
+            report.notes.append(
+                f"MISSED expected static diagnostics: {sorted(missing)}"
+            )
+        else:
+            report.notes.append(
+                f"caught all expected static diagnostics: "
+                f"{sorted(expect)}"
             )
         reports.append(report)
     return reports, all_caught

@@ -1,0 +1,220 @@
+"""Symbolic generalization for the static communication analyzer.
+
+The analyzer (:mod:`repro.check.comm`) is *concolic*: it executes an
+SPMD program concretely at a handful of machine sizes and generalizes
+the observations into closed forms in ``P`` (the cell count) and
+``cellid``.  This module holds the generalization half:
+
+* :func:`fit_closed_form` — fit per-P scalar observations (message
+  counts, byte totals) against a small dictionary of bases —
+  polynomials in P, ``P·log2(P)``, and inverse powers ``1/P``,
+  ``1/P²`` (byte totals of halo exchanges and spread moves shrink with
+  P) — accepting only exact fits, with the surplus sample points acting
+  as a holdout;
+* :func:`infer_partner_pattern` — recognize the partner expressions
+  compiler-generated SPMD code actually produces (``cellid ± c``, ring
+  neighbours mod P, reflections) from concrete (pe, partner)
+  observations at several P.
+
+Nothing here imports the machine; the functions are pure and
+property-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = [
+    "ClosedForm",
+    "fit_closed_form",
+    "infer_partner_pattern",
+]
+
+#: Default machine sizes the concolic interpreter samples.  Five points
+#: cover every basis (largest has four dimensions), leaving at least one
+#: surplus sample as an implicit holdout.
+DEFAULT_SAMPLES = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ClosedForm:
+    """A fitted function of P: ``sum(coeff * basis(P))``.
+
+    ``terms`` pairs human-readable basis names with exact rational
+    coefficients; ``expression`` is the rendered formula.  ``exact`` is
+    False when no candidate basis reproduced every sample, in which case
+    ``expression`` says so and :meth:`predict` interpolates nothing.
+    """
+
+    terms: tuple[tuple[str, Fraction], ...]
+    expression: str
+    exact: bool
+    samples: tuple[tuple[int, Fraction], ...]
+
+    def predict(self, p: int) -> Fraction | None:
+        """Value at machine size ``p``, or None if the fit failed."""
+        if not self.exact:
+            for sp, value in self.samples:
+                if sp == p:
+                    return value
+            return None
+        total = Fraction(0)
+        for name, coeff in self.terms:
+            total += coeff * _eval_basis(name, p)
+        return total
+
+
+_BASIS_SETS: tuple[tuple[str, ...], ...] = (
+    ("1",),
+    ("1", "P"),
+    ("1", "P", "P^2"),
+    ("1", "P", "P*log2(P)"),
+    ("1", "1/P"),
+    ("1", "P", "1/P"),
+    ("1", "P", "1/P", "1/P^2"),
+)
+
+
+def _eval_basis(name: str, p: int) -> Fraction:
+    if name == "1":
+        return Fraction(1)
+    if name == "P":
+        return Fraction(p)
+    if name == "P^2":
+        return Fraction(p * p)
+    if name == "P*log2(P)":
+        log = math.log2(p)
+        if log != int(log):
+            # Only power-of-two sample points keep this basis exact.
+            raise ValueError("P*log2(P) basis needs power-of-two P")
+        return Fraction(p * int(log))
+    if name == "1/P":
+        return Fraction(1, p)
+    if name == "1/P^2":
+        return Fraction(1, p * p)
+    raise ValueError(f"unknown basis {name!r}")
+
+
+def _solve_exact(basis: tuple[str, ...],
+                 samples: list[tuple[int, Fraction]],
+                 ) -> tuple[Fraction, ...] | None:
+    """Solve for coefficients fitting the first ``len(basis)`` samples
+    exactly (Gaussian elimination over rationals), then validate against
+    the remaining samples — the holdout that rejects coincidental fits.
+    """
+    dims = len(basis)
+    if len(samples) < dims + 1:
+        return None
+    try:
+        rows = [[_eval_basis(b, p) for b in basis] + [v]
+                for p, v in samples[:dims]]
+    except ValueError:
+        return None
+    # Forward elimination with partial pivoting (exact arithmetic).
+    for col in range(dims):
+        pivot = next((r for r in range(col, dims) if rows[r][col] != 0),
+                     None)
+        if pivot is None:
+            return None
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        for r in range(col + 1, dims):
+            factor = rows[r][col] / rows[col][col]
+            for c in range(col, dims + 1):
+                rows[r][c] -= factor * rows[col][c]
+    coeffs = [Fraction(0)] * dims
+    for r in range(dims - 1, -1, -1):
+        acc = rows[r][dims]
+        for c in range(r + 1, dims):
+            acc -= rows[r][c] * coeffs[c]
+        coeffs[r] = acc / rows[r][r]
+    for p, value in samples[dims:]:
+        try:
+            predicted = sum((coeffs[i] * _eval_basis(basis[i], p)
+                             for i in range(dims)), Fraction(0))
+        except ValueError:
+            return None
+        if predicted != value:
+            return None
+    return tuple(coeffs)
+
+
+def _render(terms: tuple[tuple[str, Fraction], ...]) -> str:
+    parts: list[str] = []
+    for name, coeff in reversed(terms):
+        if coeff == 0:
+            continue
+        mag = abs(coeff)
+        if name == "1":
+            body = str(mag)
+        elif mag == 1:
+            body = name
+        else:
+            body = f"{mag}*{name}"
+        if not parts:
+            parts.append(body if coeff > 0 else f"-{body}")
+        else:
+            parts.append(f"+ {body}" if coeff > 0 else f"- {body}")
+    return " ".join(parts) if parts else "0"
+
+
+def fit_closed_form(samples: dict[int, int | float | Fraction]
+                    ) -> ClosedForm:
+    """Fit scalar observations at several P to an exact closed form.
+
+    Candidate bases are tried smallest first, so a constant sequence fits
+    as a constant rather than a degenerate quadratic.  Acceptance demands
+    exact agreement at *every* sample — with 5 sample points and at most
+    4 basis dimensions there is always at least one holdout point.
+    """
+    ordered = sorted(samples.items())
+    rational = [(p, Fraction(v).limit_denominator(10**9))
+                for p, v in ordered]
+    sample_tuple = tuple(rational)
+    for basis in _BASIS_SETS:
+        coeffs = _solve_exact(basis, rational)
+        if coeffs is None:
+            continue
+        terms = tuple(zip(basis, coeffs))
+        return ClosedForm(terms=terms, expression=_render(terms),
+                          exact=True, samples=sample_tuple)
+    return ClosedForm(terms=(), expression="(no closed form)",
+                      exact=False, samples=sample_tuple)
+
+
+def infer_partner_pattern(
+        observations: dict[int, list[tuple[int, int]]]) -> str:
+    """Describe (pe, partner) pairs observed at several P symbolically.
+
+    ``observations`` maps P to the (pe, partner) pairs seen at that
+    machine size.  Recognized shapes, checked most-specific first:
+    constant partner, ``cellid ± c``, ring neighbours
+    ``(cellid ± c) mod P``, and the reflection ``P-1-cellid``.  Anything
+    else is reported as data-dependent.
+    """
+    pairs = [(p, pe, partner)
+             for p, obs in sorted(observations.items())
+             for pe, partner in obs]
+    if not pairs:
+        return "none"
+    constants = {partner for _, _, partner in pairs}
+    if len(constants) == 1:
+        return f"cell {constants.pop()}"
+    deltas = {partner - pe for _, pe, partner in pairs}
+    if len(deltas) == 1:
+        delta = deltas.pop()
+        return f"cellid{delta:+d}"
+    for delta in sorted({(partner - pe) % p for p, pe, partner in pairs}):
+        if all((pe + delta) % p == partner for p, pe, partner in pairs):
+            if delta * 2 > max(p for p, _, _ in pairs):
+                continue
+            return f"(cellid+{delta}) mod P"
+    for delta in sorted({(pe - partner) % p for p, pe, partner in pairs}):
+        if all((pe - delta) % p == partner for p, pe, partner in pairs):
+            if delta * 2 > max(p for p, _, _ in pairs):
+                continue
+            return f"(cellid-{delta}) mod P"
+    if all(partner == p - 1 - pe for p, pe, partner in pairs):
+        return "P-1-cellid"
+    return "data-dependent"

@@ -14,7 +14,9 @@ Usage::
     python -m repro.cli params ap1000
     python -m repro.cli report [--paper-scale] [--apps EP MatMul ...]
     python -m repro.cli check --all [--json]
-    python -m repro.cli check --buggy
+    python -m repro.cli check --buggy [--static]
+    python -m repro.cli check --static [APP ...]
+    python -m repro.cli check --conform [APP ...]
     python -m repro.cli bench run [--smoke] [--jobs 4] [--check]
     python -m repro.cli bench compare BENCH_x.json --baseline base.json
     python -m repro.cli list
@@ -38,7 +40,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.analysis.report import run_experiments
-from repro.apps.workloads import ORDER, workload
+from repro.apps.workloads import ORDER, WORKLOADS, workload
 from repro.core.errors import ReproError
 from repro.mlsim.params import PRESETS, format_params, parse_params, preset
 from repro.mlsim.simulator import simulate, simulate_models
@@ -242,7 +244,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.bench.cache import DEFAULT_CACHE_DIR
     from repro.check import check_buggy, check_trace, report_json
-    from repro.check.runner import check_apps, lint_report
+    from repro.check.runner import (
+        check_apps,
+        check_conform,
+        check_static_apps,
+        check_static_buggy,
+        lint_report,
+    )
 
     reports = []
     ok = True
@@ -250,7 +258,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         trace = load_trace(args.trace)
         reports.append(check_trace(trace, args.trace))
     elif args.buggy:
-        reports, ok = check_buggy()
+        if args.static:
+            reports, ok = check_static_buggy()
+        else:
+            reports, ok = check_buggy()
         # The buggy gate *passes* when the seeded diagnostics are found:
         # report cleanliness is inverted relative to every other mode.
         for report in reports:
@@ -268,6 +279,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
               + ("all seeded bugs caught" if ok
                  else "SOME SEEDED BUGS MISSED"))
         return 0 if ok else 1
+    elif args.static:
+        names = tuple(args.apps) if args.apps else None
+        reports.extend(check_static_apps(
+            names, log=None if args.json else print))
+    elif args.conform:
+        names = tuple(args.apps) if args.apps else None
+        reports.extend(check_conform(
+            names,
+            cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+            use_cache=not args.no_cache,
+            log=None if args.json else print,
+        ))
     else:
         if not args.lint_only:
             names = tuple(args.apps) if args.apps else None
@@ -559,16 +582,27 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="race detector, synchronization sanitizer, and SPMD lint")
     p_check.add_argument("apps", nargs="*", metavar="APP",
-                         choices=list(ORDER) + [[]],
+                         choices=list(WORKLOADS) + [[]],
                          help="applications to check (default: all)")
     p_check.add_argument("--all", action="store_true", dest="check_all",
                          help="check every shipped application "
                               "(the default when no apps are named)")
     p_check.add_argument("--buggy", action="store_true",
                          help="verify the checker against the seeded "
-                              "bugs in examples/buggy/")
+                              "bugs in examples/buggy/ (with --static: "
+                              "the static analyzer's own gate)")
     p_check.add_argument("--lint-only", action="store_true",
                          help="run only the static SPMD lint")
+    p_check.add_argument("--static", action="store_true",
+                         help="static communication-graph analysis: "
+                              "concolically execute the apps at "
+                              "P = 4, 16, 64 and report scale-generic "
+                              "findings (no traces recorded)")
+    p_check.add_argument("--conform", action="store_true",
+                         help="check recorded traces are "
+                              "linearizations of the static graph and "
+                              "match its predicted message counts at "
+                              "P = 4, 16, 64")
     p_check.add_argument("--trace", metavar="FILE",
                          help="check one recorded trace file instead")
     p_check.add_argument("--json", action="store_true",

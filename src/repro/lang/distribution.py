@@ -16,6 +16,41 @@ from repro.core.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
+class IndexFootprint:
+    """The set of global indices one part owns, as an arithmetic range.
+
+    ``count`` indices starting at ``start``, ``step`` apart — the
+    closed-form footprint a compiler derives from a distribution, used by
+    the static communication analyzer (:mod:`repro.check.comm`) to reason
+    about per-cell byte ranges without enumerating indices.  ``symbolic``
+    renders the same range as an expression in ``cellid`` and ``P`` so
+    reports stay readable at any scale.
+    """
+
+    start: int
+    count: int
+    step: int
+    symbolic: str
+
+    def indices(self) -> range:
+        """The concrete indices, smallest first."""
+        return range(self.start, self.start + self.count * self.step,
+                     self.step) if self.count else range(0)
+
+    @property
+    def last(self) -> int:
+        """Largest owned index; ``start - step`` when the part is empty."""
+        return self.start + (self.count - 1) * self.step
+
+    def __contains__(self, global_index: int) -> bool:
+        if self.count == 0:
+            return False
+        offset = global_index - self.start
+        return (0 <= offset <= (self.count - 1) * self.step
+                and offset % self.step == 0)
+
+
+@dataclass(frozen=True)
 class BlockDistribution:
     """Contiguous blocks, as even as possible: the first ``n % parts``
     processors get one extra element (numpy ``array_split`` convention)."""
@@ -66,6 +101,20 @@ class BlockDistribution:
                 f"{self.local_size(part)} elements")
         return self.start(part) + local_index
 
+    def footprint(self, part: int) -> IndexFootprint:
+        """Closed-form index range of ``part``: a contiguous run of
+        ``q + (part < r)`` indices starting at ``part*q + min(part, r)``
+        where ``q, r = divmod(n, parts)``."""
+        start, end = self.part_range(part)
+        q, r = divmod(self.n, self.parts)
+        if r:
+            sym = (f"cellid*{q} + min(cellid, {r}) .. "
+                   f"+{q}+(cellid<{r}) step 1")
+        else:
+            sym = f"cellid*{q} .. +{q} step 1"
+        return IndexFootprint(start=start, count=end - start, step=1,
+                              symbolic=sym)
+
     def _check_part(self, part: int) -> None:
         if not 0 <= part < self.parts:
             raise ConfigurationError(
@@ -109,6 +158,13 @@ class CyclicDistribution:
                 f"local index {local_index} outside part {part}'s "
                 f"{self.local_size(part)} elements")
         return local_index * self.parts + part
+
+    def footprint(self, part: int) -> IndexFootprint:
+        """Closed-form index range of ``part``: ``local_size(part)``
+        indices starting at ``part`` with stride ``parts``."""
+        return IndexFootprint(
+            start=part, count=self.local_size(part), step=self.parts,
+            symbolic="cellid .. n step P")
 
     def _check_part(self, part: int) -> None:
         if not 0 <= part < self.parts:

@@ -1,0 +1,82 @@
+"""Versioning of embedded check reports: ``results[].check`` blocks are
+stamped with a schema id, and unknown future versions fail loudly on
+load instead of being silently compared."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import BenchArtifact
+from repro.check.diagnostics import (
+    CHECK_SCHEMA,
+    CheckReport,
+    report_json,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestSchemaStamp:
+    def test_report_dict_carries_schema(self):
+        report = CheckReport(subject="t")
+        assert report.to_dict()["schema"] == CHECK_SCHEMA
+
+    def test_check_json_carries_schema(self):
+        payload = json.loads(report_json([CheckReport(subject="t")]))
+        assert payload["schema"] == CHECK_SCHEMA
+        assert payload["reports"][0]["schema"] == CHECK_SCHEMA
+
+
+class TestArtifactValidation:
+    def with_check(self, tiny_artifact, check):
+        data = tiny_artifact.to_dict()
+        app = data["results"]["app_order"][0]
+        data["results"]["apps"][app]["check"] = check
+        return data
+
+    def test_current_schema_accepted(self, tiny_artifact):
+        data = self.with_check(
+            tiny_artifact, CheckReport(subject="t").to_dict())
+        BenchArtifact.from_dict(data)
+
+    def test_legacy_unversioned_accepted(self, tiny_artifact):
+        check = CheckReport(subject="t").to_dict()
+        del check["schema"]
+        BenchArtifact.from_dict(self.with_check(tiny_artifact, check))
+
+    def test_unknown_version_fails_loudly(self, tiny_artifact):
+        check = CheckReport(subject="t").to_dict()
+        check["schema"] = "repro-check-v99"
+        with pytest.raises(ConfigurationError, match="repro-check-v99"):
+            BenchArtifact.from_dict(self.with_check(tiny_artifact, check))
+
+    def test_unknown_static_version_fails_loudly(self, tiny_artifact):
+        check = CheckReport(subject="t").to_dict()
+        static = CheckReport(subject="static/t").to_dict()
+        static["schema"] = "repro-check-v99"
+        check["static"] = static
+        with pytest.raises(ConfigurationError, match="check.static"):
+            BenchArtifact.from_dict(self.with_check(tiny_artifact, check))
+
+
+class TestBenchCheckStage:
+    def test_static_results_embedded(self):
+        from repro.bench.grid import BenchSpec
+        from repro.bench.runner import run_bench
+
+        outcome = run_bench(
+            [BenchSpec(app="EP", num_cells=4,
+                       params={"log2_pairs": 8})],
+            ("ap1000",),
+            jobs=1,
+            use_cache=False,
+            grid_name="tiny-check",
+            check=True,
+        )
+        assert outcome.all_check_clean
+        check = outcome.artifact.apps["EP"].check
+        assert check["schema"] == CHECK_SCHEMA
+        assert check["static"]["schema"] == CHECK_SCHEMA
+        assert check["static"]["clean"] is True
+        # The artifact round-trips through its own validation.
+        BenchArtifact.from_dict(
+            json.loads(json.dumps(outcome.artifact.to_dict())))

@@ -1,0 +1,172 @@
+"""The static communication-graph analyzer: concolic execution,
+scale-generic findings, closed-form extraction, and the fixture gate."""
+
+import pytest
+
+from repro.check.comm import (
+    CommGraph,
+    analyze_app,
+    analyze_program,
+    check_program,
+    run_findings,
+)
+from repro.check.runner import check_static_apps, check_static_buggy
+from repro.core.stride import ElementStride
+
+MEM = 1 << 20
+
+
+def findings(program, p, params=None):
+    run = analyze_program(program, p, params, memory_per_cell=MEM)
+    return run, run_findings(run, "test")
+
+
+def ring_program(ctx):
+    dest = ctx.alloc(8)
+    src = ctx.alloc(8)
+    src.data[:] = float(ctx.pe)
+    flag = ctx.alloc_flag()
+    yield from ctx.barrier()
+    right = (ctx.pe + 1) % ctx.num_cells
+    ctx.put(right, dest, src, recv_flag=flag)
+    yield from ctx.flag_wait(flag, 1)
+    yield from ctx.barrier()
+
+
+class TestSymbolicExecution:
+    def test_clean_ring_has_no_findings(self):
+        run, found = findings(ring_program, 8)
+        assert found == []
+        assert not run.deadlocked
+        assert run.results  # every cell ran to completion
+
+    def test_ring_data_actually_moves(self):
+        # One 8-double message per cell (alloc counts elements).
+        run, _ = findings(ring_program, 4)
+        totals = run.kind_totals()
+        assert totals["PUT"] == (4, 4 * 64)
+
+    def test_deadlock_is_recorded_not_raised(self):
+        def stuck(ctx):
+            flag = ctx.alloc_flag()
+            yield from ctx.flag_wait(flag, 1)
+
+        run, found = findings(stuck, 4)
+        assert run.deadlocked
+        assert {d.code for d in found} == {"COMM-UNMATCHED-FLAG"}
+
+    def test_plain_function_program(self):
+        # EP-style programs are plain functions, not generators.
+        def local_only(ctx):
+            buf = ctx.alloc(8)
+            buf.data[:] = 1.0
+            return float(buf.data.sum())
+
+        run, found = findings(local_only, 4)
+        assert found == []
+        assert run.results == {pe: 8.0 for pe in range(4)}
+
+
+class TestScaleGenericFindings:
+    def test_divergent_collectives(self):
+        def program(ctx):
+            yield from ctx.barrier()
+            if ctx.pe != 0:
+                yield from ctx.barrier()
+
+        _, found = findings(program, 4)
+        assert {d.code for d in found} == {"COMM-DIVERGENCE"}
+
+    def test_overlapping_puts(self):
+        def program(ctx):
+            victim = ctx.alloc(8)
+            src = ctx.alloc(8)
+            src.data[:] = float(ctx.pe)
+            flag = ctx.alloc_flag()
+            yield from ctx.barrier()
+            if ctx.pe:
+                ctx.put(0, victim, src, recv_flag=flag)
+            yield from ctx.barrier()
+
+        _, found = findings(program, 4)
+        assert "COMM-OVERLAP" in {d.code for d in found}
+
+    def test_variable_stride_site(self):
+        def program(ctx):
+            dest = ctx.alloc(16)
+            src = ctx.alloc(16)
+            flag = ctx.alloc_flag()
+            yield from ctx.barrier()
+            right = (ctx.pe + 1) % ctx.num_cells
+            for skip in (2, 3):
+                stride = ElementStride(1, 4, skip)
+                ctx.put_stride(right, dest, src, stride, stride,
+                               recv_flag=flag)
+            yield from ctx.flag_wait(flag, 2)
+            yield from ctx.barrier()
+
+        _, found = findings(program, 4)
+        assert {d.code for d in found} >= {"COMM-STRIDE"}
+
+    def test_scale_dependent_bug_found_only_at_scale(self):
+        def program(ctx):
+            yield from ctx.barrier()
+            if ctx.pe < 4:
+                yield from ctx.gop(1.0)
+            yield from ctx.barrier()
+
+        _, at_4 = findings(program, 4)
+        _, at_16 = findings(program, 16)
+        assert at_4 == []
+        assert "COMM-DIVERGENCE" in {d.code for d in at_16}
+
+        report = check_program(program, (4, 16, 64),
+                               memory_per_cell=MEM)
+        [diag] = [d for d in report.diagnostics
+                  if d.code == "COMM-DIVERGENCE"]
+        assert "(at P=16, 64)" in diag.message
+
+
+class TestCommGraph:
+    def test_ring_closed_forms(self):
+        graph = CommGraph("ring")
+        for p in (4, 8, 16, 32, 64):
+            graph.add_run(analyze_program(ring_program, p,
+                                          memory_per_cell=MEM))
+        count_form, bytes_form = graph.total_forms("PUT")
+        assert count_form.exact and count_form.expression == "P"
+        assert bytes_form.exact and bytes_form.expression == "64*P"
+
+    def test_matmul_app_graph(self):
+        report, graph, runs = analyze_app("MatMul")
+        assert report.clean, report.render()
+        count_form, bytes_form = graph.total_forms("PUT")
+        # Every cell sends its A-panel to its right neighbour P-1 times:
+        # P(P-1) messages moving (P-1) * n^2 doubles in total.
+        assert count_form.expression == "P^2 - P"
+        assert bytes_form.expression == "131072*P - 131072"
+        summary = "\n".join(graph.summary())
+        assert "partner (cellid+1) mod P" in summary
+        assert 4 in runs and 64 in runs
+
+
+class TestDrivers:
+    def test_static_apps_driver_subset(self):
+        [report] = check_static_apps(("PingPong",))
+        assert report.subject == "static/PingPong"
+        assert report.clean, report.render()
+        assert report.stats["static_scales"] == 3
+
+    def test_unknown_app_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            analyze_app("SUMMA")
+
+    def test_buggy_fixture_gate(self):
+        reports, all_caught = check_static_buggy()
+        assert all_caught, "\n".join(r.render() for r in reports)
+        # Every fixture carrying EXPECT_STATIC is in the gate.
+        subjects = {r.subject for r in reports}
+        assert "static/buggy/scale_dependent_barrier" in subjects
+        assert len(subjects) >= 6

@@ -70,6 +70,34 @@ def kernel(ctx):
 """
         assert codes(src) == ["SPMD002"]
 
+    def test_bound_generator_driven_later_is_fine(self):
+        src = """
+def kernel(ctx):
+    gen = ctx.barrier()
+    prepare(ctx)
+    yield from gen
+"""
+        assert codes(src) == []
+
+    def test_bound_generator_returned_is_fine(self):
+        # Returning the generator hands the caller responsibility for
+        # driving it (a common wrapper-helper shape).
+        src = """
+def make_wait(ctx, flag):
+    gen = ctx.flag_wait(flag, 1)
+    return gen
+"""
+        assert codes(src) == []
+
+    def test_bound_generator_dropped_is_still_flagged(self):
+        src = """
+def kernel(ctx):
+    gen = ctx.barrier()
+    other = ctx.gop(1.0)
+    yield from gen
+"""
+        assert codes(src) == ["SPMD002"]
+
 
 class TestSPMD003:
     def test_in_place_packet_used_after_blocking_call(self):
@@ -195,6 +223,37 @@ def kernel(ctx):
     ctx.barrier()  # spmd: ignore[SPMD001]
 """
         assert codes(src) == ["SPMD002"]
+
+    def test_ignore_file_suppresses_everywhere(self):
+        src = """# spmd: ignore-file
+def kernel(ctx):
+    ctx.barrier()
+
+def other(ctx):
+    ctx.gop(1.0)
+"""
+        assert codes(src) == []
+
+    def test_code_scoped_ignore_file(self):
+        src = """# spmd: ignore-file[SPMD002]
+def kernel(ctx, rt, g, buf):
+    ctx.barrier()
+    rt.spread_move_block(buf, g, 0, 8)
+    total = buf.data.sum()
+    yield from rt.movewait()
+"""
+        # SPMD002 is gone file-wide; SPMD001 still reports.
+        assert codes(src) == ["SPMD001"]
+
+    def test_per_line_ignore_covers_what_file_level_leaves(self):
+        src = """# spmd: ignore-file[SPMD002]
+def kernel(ctx, rt, g, buf):
+    ctx.barrier()
+    rt.spread_move_block(buf, g, 0, 8)
+    total = buf.data.sum()  # spmd: ignore[SPMD001]
+    yield from rt.movewait()
+"""
+        assert codes(src) == []
 
 
 class TestSyntaxError:

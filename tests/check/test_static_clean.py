@@ -1,0 +1,16 @@
+"""Acceptance gate: every shipped workload is static-clean at
+P in {4, 16, 64} — the analyzer predicts no divergence, unmatched
+flags, footprint overlaps, or illegal strides at any of those scales."""
+
+import pytest
+
+from repro.check.comm import STATIC_APPS, analyze_app
+
+
+@pytest.mark.parametrize("name", STATIC_APPS)
+def test_workload_is_static_clean(name):
+    report, _graph, runs = analyze_app(name, scales=(4, 16, 64),
+                                       build_graph=False)
+    assert report.clean, report.render()
+    assert report.stats["static_deadlocks"] == 0
+    assert all(not run.deadlocked for run in runs.values())

@@ -1,0 +1,103 @@
+"""Unit tests for the symbolic generalization layer: exact closed-form
+fitting over rationals and partner-pattern recognition."""
+
+from fractions import Fraction
+
+from repro.check.symbolic import (
+    DEFAULT_SAMPLES,
+    fit_closed_form,
+    infer_partner_pattern,
+)
+
+
+def fit(fn):
+    return fit_closed_form({p: fn(p) for p in DEFAULT_SAMPLES})
+
+
+class TestFitClosedForm:
+    def test_constant(self):
+        form = fit(lambda p: 7)
+        assert form.exact
+        assert form.expression == "7"
+        assert form.predict(128) == 7
+
+    def test_linear(self):
+        form = fit(lambda p: 3 * p - 2)
+        assert form.exact
+        assert form.expression == "3*P - 2"
+        assert form.predict(100) == 298
+
+    def test_quadratic(self):
+        form = fit(lambda p: p * p - p)
+        assert form.exact
+        assert form.expression == "P^2 - P"
+        assert form.predict(64) == 64 * 63
+
+    def test_p_log_p(self):
+        import math
+
+        form = fit(lambda p: p * int(math.log2(p)))
+        assert form.exact
+        assert form.predict(128) == 128 * 7
+
+    def test_inverse_p(self):
+        # Total bytes of an even spread: n/P per cell times P cells is
+        # constant, but per-cell volumes carry 1/P terms.
+        form = fit(lambda p: Fraction(4096, p))
+        assert form.exact
+        assert form.predict(64) == 64
+
+    def test_smallest_basis_wins(self):
+        # A constant sequence must not be fitted as a degenerate
+        # higher-degree polynomial.
+        form = fit(lambda p: 5)
+        assert [name for name, _ in form.terms] == ["1"]
+
+    def test_no_fit_is_reported(self):
+        form = fit_closed_form({4: 1, 8: 100, 16: 3, 32: 77, 64: 2})
+        assert not form.exact
+        assert form.expression == "(no closed form)"
+        # Inexact forms fall back to raw samples, nothing else.
+        assert form.predict(8) == 100
+        assert form.predict(128) is None
+
+    def test_holdout_rejects_coincidence(self):
+        # Four points fit any cubic-dimension basis; the fifth sample
+        # must reject the coincidence.
+        samples = {4: 1, 8: 2, 16: 3, 32: 4, 64: 999}
+        form = fit_closed_form(samples)
+        assert not form.exact
+
+
+class TestPartnerPattern:
+    def obs(self, fn, ps=(4, 16, 64)):
+        return {p: [(pe, fn(pe, p)) for pe in range(p)] for p in ps}
+
+    def test_ring_right(self):
+        pat = infer_partner_pattern(self.obs(lambda pe, p: (pe + 1) % p))
+        assert pat == "(cellid+1) mod P"
+
+    def test_ring_left(self):
+        pat = infer_partner_pattern(self.obs(lambda pe, p: (pe - 1) % p))
+        assert pat == "(cellid-1) mod P"
+
+    def test_constant_partner(self):
+        pat = infer_partner_pattern({4: [(1, 0), (2, 0)],
+                                     16: [(5, 0)]})
+        assert pat == "cell 0"
+
+    def test_fixed_offset(self):
+        pat = infer_partner_pattern({16: [(0, 2), (4, 6), (8, 10)]})
+        assert pat == "cellid+2"
+
+    def test_reflection(self):
+        pat = infer_partner_pattern(self.obs(lambda pe, p: p - 1 - pe))
+        assert pat == "P-1-cellid"
+
+    def test_data_dependent(self):
+        pat = infer_partner_pattern({4: [(0, 1), (1, 3), (2, 0)],
+                                     8: [(0, 5), (1, 2)]})
+        assert pat == "data-dependent"
+
+    def test_empty(self):
+        assert infer_partner_pattern({}) == "none"

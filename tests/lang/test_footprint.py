@@ -1,0 +1,82 @@
+"""Property tests: footprint closed-forms agree with enumeration.
+
+A distribution's :meth:`footprint` is the closed-form index range the
+static analyzer reasons with; these properties pin it to the ground
+truth of the ``owner``-based enumeration for random extents and part
+counts."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.distribution import (
+    BlockDistribution,
+    CyclicDistribution,
+    IndexFootprint,
+)
+
+extents = st.integers(min_value=0, max_value=300)
+parts = st.integers(min_value=1, max_value=65)
+
+
+def owned(dist, part):
+    return [g for g in range(dist.n) if dist.owner(g) == part]
+
+
+@given(n=extents, p=parts)
+def test_block_footprint_matches_enumeration(n, p):
+    dist = BlockDistribution(n=n, parts=p)
+    for part in range(p):
+        fp = dist.footprint(part)
+        assert list(fp.indices()) == owned(dist, part)
+        assert fp.count == dist.local_size(part)
+        assert fp.step == 1
+
+
+@given(n=extents, p=parts)
+def test_cyclic_footprint_matches_enumeration(n, p):
+    dist = CyclicDistribution(n=n, parts=p)
+    for part in range(p):
+        fp = dist.footprint(part)
+        assert list(fp.indices()) == owned(dist, part)
+        assert fp.count == dist.local_size(part)
+        assert fp.step == p
+
+
+@given(n=extents, p=parts, data=st.data())
+def test_footprints_partition_the_extent(n, p, data):
+    cls = data.draw(st.sampled_from(
+        [BlockDistribution, CyclicDistribution]))
+    dist = cls(n=n, parts=p)
+    seen: list[int] = []
+    for part in range(p):
+        seen.extend(dist.footprint(part).indices())
+    assert sorted(seen) == list(range(n))
+
+
+@given(n=st.integers(1, 300), p=parts, data=st.data())
+def test_contains_agrees_with_ownership(n, p, data):
+    cls = data.draw(st.sampled_from(
+        [BlockDistribution, CyclicDistribution]))
+    dist = cls(n=n, parts=p)
+    g = data.draw(st.integers(0, n - 1))
+    part = data.draw(st.integers(0, p - 1))
+    assert (g in dist.footprint(part)) == (dist.owner(g) == part)
+
+
+def test_empty_footprint():
+    fp = BlockDistribution(n=2, parts=4).footprint(3)
+    assert fp.count == 0
+    assert list(fp.indices()) == []
+    assert 0 not in fp
+    assert fp.last == fp.start - fp.step
+
+
+def test_symbolic_rendering():
+    # Uneven block split: first r parts get one extra element.
+    fp = BlockDistribution(n=10, parts=4).footprint(0)
+    assert fp.symbolic == "cellid*2 + min(cellid, 2) .. +2+(cellid<2) step 1"
+    even = BlockDistribution(n=8, parts=4).footprint(1)
+    assert even.symbolic == "cellid*2 .. +2 step 1"
+    cyc = CyclicDistribution(n=10, parts=4).footprint(2)
+    assert cyc.symbolic == "cellid .. n step P"
+    assert isinstance(fp, IndexFootprint)
