@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import Any
 
+from repro.ckpt import policy as _ckpt_policy
 from repro.core.errors import ConfigurationError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
@@ -58,15 +59,42 @@ def execute(name: str, program: Callable, num_cells: int,
     ``verify`` receives the per-cell results and the machine and returns a
     dict of named checks; every value must be truthy for the run to count
     as verified.
+
+    When the ambient checkpoint policy names a ``resume_from`` snapshot,
+    the machine is restored from it instead of built fresh (the snapshot
+    must have been captured by the same application with the same cell
+    count and parameters), and the run completes from the captured gate.
     """
     if num_cells < 1:
         raise ConfigurationError("application needs at least one cell")
-    kwargs: dict[str, Any] = {"num_cells": num_cells}
-    if memory_per_cell is not None:
-        kwargs["memory_per_cell"] = memory_per_cell
-    if trace_capacity is not None:
-        kwargs["trace_capacity"] = trace_capacity
-    machine = Machine(MachineConfig(**kwargs))
+    policy = _ckpt_policy.active_policy()
+    if policy is not None and policy.resume_from is not None:
+        from repro.ckpt.snapshot import load_snapshot, restore_machine
+
+        snapshot = load_snapshot(policy.resume_from)
+        meta = snapshot.header.get("app")
+        if meta is None:
+            raise ConfigurationError(
+                f"snapshot {policy.resume_from} carries no application "
+                "identity; resume it via repro.ckpt.restore_machine and "
+                "Machine.run directly")
+        if (meta["workload"] != name or meta["num_cells"] != num_cells
+                or meta["params"] != params):
+            raise ConfigurationError(
+                f"snapshot {policy.resume_from} was captured by "
+                f"{meta['workload']}(num_cells={meta['num_cells']}, "
+                f"**{meta['params']}); refusing to resume it as "
+                f"{name}(num_cells={num_cells}, **{params})")
+        machine = restore_machine(snapshot)
+    else:
+        kwargs: dict[str, Any] = {"num_cells": num_cells}
+        if memory_per_cell is not None:
+            kwargs["memory_per_cell"] = memory_per_cell
+        if trace_capacity is not None:
+            kwargs["trace_capacity"] = trace_capacity
+        machine = Machine(MachineConfig(**kwargs))
+    machine.ckpt_meta = {"workload": name, "num_cells": num_cells,
+                         "params": dict(params)}
     results = machine.run(program, **params)
     checks = verify(results, machine)
     return AppRun(

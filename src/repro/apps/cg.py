@@ -78,10 +78,11 @@ def program(ctx, *, n: int = DEFAULT_N, outer: int = DEFAULT_OUTER,
     a_rows = make_matrix(n)[lo:hi]
     nnz_local = int(np.count_nonzero(a_rows))
 
-    x = np.ones(nl)
-    zeta = 0.0
-    yield from ctx.barrier()
-    for _ in range(outer):
+    st = ctx.ckpt_state(it=0, x=np.ones(nl), zeta=0.0, res_sq=0.0)
+    if st.fresh:
+        yield from ctx.barrier()
+    for _it in range(st.it, outer):
+        x = st.x
         # --- 25 CG steps solving A z = x -----------------------------
         z = np.zeros(nl)
         r = x.copy()
@@ -113,11 +114,13 @@ def program(ctx, *, n: int = DEFAULT_N, outer: int = DEFAULT_OUTER,
         # --- eigenvalue estimate and normalized restart ----------------
         xz = yield from rt.gop(float(x @ z))
         zz = yield from rt.gop(float(z @ z))
-        zeta = SHIFT + 1.0 / xz
-        x = z / np.sqrt(zz)
+        st.zeta = SHIFT + 1.0 / xz
+        st.x = z / np.sqrt(zz)
+        st.res_sq = res_sq
+        st.it = _it + 1
         ctx.compute_flops(4.0 * nl)
-        yield from ctx.barrier()
-    return zeta, float(np.sqrt(res_sq))
+        yield from ctx.checkpoint(barrier=True)
+    return st.zeta, float(np.sqrt(st.res_sq))
 
 
 def reference(*, n: int = DEFAULT_N, outer: int = DEFAULT_OUTER,

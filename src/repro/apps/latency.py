@@ -64,18 +64,21 @@ def ring_shift_program(ctx, *, hops: int = DEFAULT_ITERS):
     token = ctx.alloc(1)
     out = ctx.alloc(1)
     flag = ctx.alloc_flag()
-    yield from ctx.barrier()
+    st = ctx.ckpt_state(h=0, waits=0)
+    if st.fresh:
+        yield from ctx.barrier()
     nxt = (ctx.pe - 1) % n
-    waits = 0
-    for h in range(hops):
+    for h in range(st.h, hops):
         if h % n == (n - ctx.pe) % n:  # the token is here on hop h
             if h > 0:
-                waits += 1
-                yield from ctx.flag_wait(flag, waits)
+                st.waits += 1
+                yield from ctx.flag_wait(flag, st.waits)
             out.data[0] = float(h)
             ctx.put(nxt, token, out, recv_flag=flag)
+        st.h = h + 1
+        yield from ctx.checkpoint()
     yield from ctx.barrier()
-    return waits
+    return st.waits
 
 
 def run_ping_pong(num_cells: int = DEFAULT_PES, *,

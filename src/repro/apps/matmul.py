@@ -50,14 +50,19 @@ def program(ctx, *, n: int = DEFAULT_N):
     # Double buffers for the travelling B block.
     b_buf = [ctx.alloc((max_rows, n)), ctx.alloc((max_rows, n))]
     recv_flag = ctx.alloc_flag()
+    st = ctx.ckpt_state(step=0)
 
-    a_local.data[:rows] = a_full[lo:hi]
-    b_buf[0].data[:rows] = b_full[lo:hi]
-    c_local.data[:] = 0.0
-    yield from ctx.barrier()
+    if st.fresh:
+        # On a restored run the matrices (and partial C) come back with
+        # the cell memories; only a fresh run initializes and traces the
+        # initial barrier.
+        a_local.data[:rows] = a_full[lo:hi]
+        b_buf[0].data[:rows] = b_full[lo:hi]
+        c_local.data[:] = 0.0
+        yield from ctx.barrier()
 
     right = (ctx.pe + 1) % p
-    for step in range(p):
+    for step in range(st.step, p):
         # The block in the current buffer originated `step` hops upstream.
         owner = (ctx.pe - step) % p
         cur, nxt = b_buf[step % 2], b_buf[(step + 1) % 2]
@@ -73,7 +78,8 @@ def program(ctx, *, n: int = DEFAULT_N):
             ctx.compute_flops(2.0 * rows * orows * n)
         if step + 1 < p:
             yield from ctx.flag_wait(recv_flag, step + 1)
-        yield from ctx.barrier()
+        st.step = step + 1
+        yield from ctx.checkpoint(barrier=True)
     return c_local.data[:rows].copy()
 
 

@@ -13,17 +13,31 @@ Table 3 statistics) plus ``<root>/<key>/trace.jsonl`` (the recorded
 trace, written in the columnar ``repro.trace.io`` v2 format so the
 replay stage can decode it straight into numpy columns; v1 entries from
 older caches still load via format sniffing).
+
+Crash safety: entries are staged in a temporary directory inside the
+cache root and published with one ``os.replace``, so a run killed
+mid-write never leaves a half-entry behind a valid key.  ``get``
+additionally validates what it is about to serve (non-empty trace
+ending in a newline, readable sidecar archive, parseable meta) and
+moves anything corrupt — e.g. written by a pre-atomic cache and then
+killed — into ``<root>/.quarantine/<key>`` instead of serving it, so
+the sweep falls back to a fresh functional run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
+import tempfile
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from functools import lru_cache
 from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 import repro
 from repro.obs.observer import machine_metrics
@@ -40,6 +54,9 @@ from repro.trace.stats import AppStatistics
 
 META_NAME = "meta.json"
 TRACE_NAME = "trace.jsonl"
+#: Corrupt entries are moved here (under their original key) rather
+#: than deleted, so a damaged cache can still be inspected post-mortem.
+QUARANTINE_NAME = ".quarantine"
 #: Binary replay-columns sidecar written next to the trace; a decode
 #: accelerator only (the jsonl stays the source of truth).
 COLUMNS_NAME = "columns.npz"
@@ -148,7 +165,11 @@ class TraceCache:
 
     def get(self, app: str, config: dict[str, Any]) -> CachedRun | None:
         """The cached run for ``(app, config)`` at the current code
-        version, or None."""
+        version, or None.
+
+        A present-but-corrupt entry (truncated trace, unreadable
+        sidecar, damaged meta) is quarantined and treated as a miss.
+        """
         entry = self.entry_dir(app, config)
         meta_path = entry / META_NAME
         trace_path = entry / TRACE_NAME
@@ -156,20 +177,57 @@ class TraceCache:
             return None
         try:
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            self._validate_entry(entry)
+            return CachedRun(
+                name=meta["app"],
+                config=meta["config"],
+                verified=meta["verified"],
+                checks=meta["checks"],
+                statistics=AppStatistics(**meta["statistics"]),
+                total_events=meta["total_events"],
+                functional_wall_s=meta["functional_wall_s"],
+                cache_hit=True,
+                trace_path=trace_path,
+                machine_metrics=meta.get("machine_metrics", {}),
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.quarantine(entry, reason=f"{type(exc).__name__}: {exc}")
             return None
-        return CachedRun(
-            name=meta["app"],
-            config=meta["config"],
-            verified=meta["verified"],
-            checks=meta["checks"],
-            statistics=AppStatistics(**meta["statistics"]),
-            total_events=meta["total_events"],
-            functional_wall_s=meta["functional_wall_s"],
-            cache_hit=True,
-            trace_path=trace_path,
-            machine_metrics=meta.get("machine_metrics", {}),
-        )
+
+    def _validate_entry(self, entry: Path) -> None:
+        """Refuse to serve a torn entry.
+
+        The trace must be non-empty and end in a record terminator (a
+        process killed mid-``write`` leaves a partial last line), and
+        the binary sidecar, when present, must at least be a readable
+        archive.  Raises ``ValueError``/``OSError`` on damage.
+        """
+        trace_path = entry / TRACE_NAME
+        if trace_path.stat().st_size == 0:
+            raise ValueError(f"{trace_path.name} is empty")
+        with trace_path.open("rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                raise ValueError(
+                    f"{trace_path.name} is truncated "
+                    "(missing trailing newline)")
+        sidecar = entry / COLUMNS_NAME
+        if sidecar.exists():
+            with np.load(sidecar) as archive:
+                _ = archive.files  # reads the zip directory
+
+    def quarantine(self, entry: Path, *, reason: str) -> Path:
+        """Move a corrupt entry under ``.quarantine/`` for post-mortem
+        inspection; returns the new location."""
+        qdir = self.root / QUARANTINE_NAME
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / entry.name
+        if target.exists():
+            shutil.rmtree(target)
+        os.replace(entry, target)
+        (target / "QUARANTINED.txt").write_text(
+            reason + "\n", encoding="utf-8")
+        return target
 
     def put(
         self,
@@ -179,12 +237,15 @@ class TraceCache:
         functional_wall_s: float,
     ) -> CachedRun:
         """Store a completed functional run (an ``AppRun``); returns the
-        cache-backed record."""
+        cache-backed record.
+
+        The entry is staged in a temp directory inside the cache root
+        and published with a single ``os.replace``: a crash mid-write
+        leaves an inert ``.staging-*`` directory, never a torn entry.
+        """
         entry = self.entry_dir(app, config)
-        entry.mkdir(parents=True, exist_ok=True)
-        trace_path = entry / TRACE_NAME
-        save_trace_v2(run.trace, trace_path)
-        save_columns_npz(run.trace, entry / COLUMNS_NAME)
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(dir=self.root, prefix=".staging-"))
         stats = run.statistics
         machine = getattr(run, "machine", None)
         telemetry = (
@@ -202,10 +263,20 @@ class TraceCache:
             "functional_wall_s": functional_wall_s,
             "machine_metrics": telemetry,
         }
-        (entry / META_NAME).write_text(
-            json.dumps(meta, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        try:
+            save_trace_v2(run.trace, staging / TRACE_NAME)
+            save_columns_npz(run.trace, staging / COLUMNS_NAME)
+            (staging / META_NAME).write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            if entry.exists():
+                shutil.rmtree(entry)
+            os.replace(staging, entry)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        trace_path = entry / TRACE_NAME
         return CachedRun(
             name=app,
             config=meta["config"],

@@ -20,17 +20,28 @@ With ``jobs=1`` everything runs in-process (no worker pool, and no
 trace spooling unless the cache is enabled).  Both paths assemble
 results in grid order, so they produce byte-identical artifact
 ``results`` sections (see :func:`repro.bench.schema.results_bytes`).
+
+**Crash tolerance** — when a ``journal_path`` is given, every finished
+application row (its deterministic artifact entry plus wall timings) is
+appended to a ``repro-bench-journal-v1`` file, rewritten atomically
+after each row.  A campaign killed mid-sweep restarted with
+``resume=True`` validates the journal (grid, presets, code version —
+any drift fails loudly) and re-simulates only the missing rows; the
+journaled rows are spliced back verbatim, so the final ``results``
+section is byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
 import platform
 import sys
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from collections.abc import Callable
 from typing import Any
@@ -49,6 +60,7 @@ from repro.bench.schema import (
     AppTimings,
     BenchArtifact,
     PresetMetrics,
+    app_result_from_dict,
 )
 from repro.core.errors import ConfigurationError
 from repro.mlsim.breakdown import MLSimResult
@@ -59,6 +71,10 @@ from repro.trace import sanitize as trace_sanitize
 from repro.trace.io import load_trace
 
 BASELINE_PRESET = "ap1000"
+JOURNAL_SCHEMA = "repro-bench-journal-v1"
+#: Test hook: simulate a crash after this many rows have been
+#: journaled (raises KeyboardInterrupt, the same path a Ctrl-C takes).
+ABORT_AFTER_ENV = "REPRO_BENCH_ABORT_AFTER"
 
 
 @dataclass
@@ -187,6 +203,176 @@ def _replay_app_task(
     return app, results, walls
 
 
+def _app_result(spec: BenchSpec, stage: _AppStage,
+                preset_names: tuple[str, ...]) -> AppResult:
+    """Assemble one application's deterministic artifact row (without
+    the check report — the check stage attaches that later)."""
+    return AppResult(
+        app=spec.app,
+        config=jsonify(spec.config()),
+        verified=bool(stage.run.verified),
+        checks=jsonify(stage.run.checks),
+        statistics=jsonify(asdict(stage.run.statistics)),
+        total_events=stage.total_events,
+        presets={
+            p: PresetMetrics.from_result(stage.replays[p])
+            for p in preset_names
+        },
+        speedups_vs_ap1000=_speedups(stage.replays),
+        metrics={
+            "machine": stage.machine_metrics,
+            "replay": {
+                p: jsonify(stage.replays[p].metrics or {})
+                for p in preset_names
+            },
+        },
+    )
+
+
+def _app_timings(stage: _AppStage) -> AppTimings:
+    return AppTimings(
+        functional_s=stage.functional_s,
+        cache_hit=stage.cache_hit,
+        replay_s=dict(stage.replay_s),
+    )
+
+
+class BenchJournal:
+    """Crash-tolerant record of a campaign's completed rows.
+
+    Every time an application finishes its replays, its assembled
+    artifact row and timings are added and the whole journal rewritten
+    atomically (temp file + ``os.replace``), so a kill at any point
+    leaves either the previous journal or the new one — never a torn
+    file.  Serialized rows round-trip through JSON exactly (floats use
+    shortest-repr encoding), so a resumed campaign's ``results``
+    section is byte-identical to an uninterrupted one.
+    """
+
+    def __init__(self, path: Path, *, grid: str, version: str,
+                 preset_names: tuple[str, ...],
+                 specs: list[BenchSpec]) -> None:
+        self.path = Path(path)
+        self.grid = grid
+        self.version = version
+        self.preset_names = list(preset_names)
+        self.app_order = [s.app for s in specs]
+        self.apps: dict[str, dict[str, Any]] = {}
+        abort_after = os.environ.get(ABORT_AFTER_ENV)
+        self._abort_after = int(abort_after) if abort_after else None
+
+    def seed(self, completed: dict[str, tuple[AppResult, AppTimings]],
+             ) -> None:
+        """Carry rows journaled by the killed run into this one."""
+        for app, (result, timings) in completed.items():
+            self.apps[app] = {"result": asdict(result),
+                              "timings": asdict(timings)}
+
+    def record(self, spec: BenchSpec, result: AppResult,
+               timings: AppTimings) -> None:
+        self.apps[spec.app] = {"result": asdict(result),
+                               "timings": asdict(timings)}
+        self._write()
+        if (self._abort_after is not None
+                and len(self.apps) >= self._abort_after):
+            raise KeyboardInterrupt(
+                f"{ABORT_AFTER_ENV}={self._abort_after}: simulated crash "
+                f"after journaling {len(self.apps)}/{len(self.app_order)} "
+                "rows")
+
+    def _write(self) -> None:
+        doc = {
+            "schema": JOURNAL_SCHEMA,
+            "grid": self.grid,
+            "code_version": self.version,
+            "preset_names": self.preset_names,
+            "app_order": self.app_order,
+            "apps": self.apps,
+        }
+        payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=f".{self.path.name}.")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+
+def load_journal(
+    path: str | Path, *, grid: str, version: str,
+    preset_names: tuple[str, ...], specs: list[BenchSpec],
+) -> dict[str, tuple[AppResult, AppTimings]]:
+    """The completed rows of a killed campaign, validated against the
+    campaign being resumed.
+
+    Any drift — schema, grid name, preset set, app order, code version,
+    or a journaled row whose config no longer matches its spec — raises
+    :class:`ConfigurationError` instead of silently splicing stale
+    results into a fresh artifact.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"cannot resume: journal {path} is unreadable ({exc})"
+        ) from exc
+    if data.get("schema") != JOURNAL_SCHEMA:
+        raise ConfigurationError(
+            f"cannot resume: journal {path} has schema "
+            f"{data.get('schema')!r} (expected {JOURNAL_SCHEMA!r})")
+    expected = {
+        "grid": grid,
+        "code_version": version,
+        "preset_names": list(preset_names),
+        "app_order": [s.app for s in specs],
+    }
+    for key, want in expected.items():
+        got = data.get(key)
+        if got != want:
+            raise ConfigurationError(
+                f"cannot resume: journal {path} was written for "
+                f"{key}={got!r} but this campaign has {key}={want!r}; "
+                "rerun without --resume to start over")
+    spec_by_app = {s.app: s for s in specs}
+    completed: dict[str, tuple[AppResult, AppTimings]] = {}
+    for app, entry in data.get("apps", {}).items():
+        spec = spec_by_app.get(app)
+        if spec is None:
+            raise ConfigurationError(
+                f"cannot resume: journal {path} carries unknown "
+                f"application {app!r}")
+        result = app_result_from_dict(app, entry["result"])
+        if result.config != jsonify(spec.config()):
+            raise ConfigurationError(
+                f"cannot resume: journaled {app} row was produced with "
+                f"config {result.config!r}, but this campaign would run "
+                f"it with {jsonify(spec.config())!r}")
+        completed[app] = (result, AppTimings(**entry["timings"]))
+    return completed
+
+
+def _trace_for_check(spec: BenchSpec, stages: dict[str, _AppStage],
+                     cache_root: Path, version: str):
+    """The trace to check for one row: the in-memory stage when the row
+    ran this session, else its cache entry (resumed rows)."""
+    stage = stages.get(spec.app)
+    if stage is not None:
+        return stage.run.trace
+    record = TraceCache(cache_root, version).get(spec.app, spec.config())
+    if record is None:
+        raise ConfigurationError(
+            f"--check on a resumed campaign needs {spec.app}'s cached "
+            "trace, but the cache holds no entry at this code version; "
+            "rerun without --resume")
+    return record.trace
+
+
 def _environment() -> dict[str, Any]:
     return {
         "python": platform.python_version(),
@@ -213,6 +399,7 @@ def _run_serial(
     preset_names: tuple[str, ...],
     cache: TraceCache | None,
     log: Callable[[str], None],
+    journal: BenchJournal | None = None,
 ) -> dict[str, _AppStage]:
     stages: dict[str, _AppStage] = {}
     for i, spec in enumerate(specs, start=1):
@@ -274,6 +461,9 @@ def _run_serial(
                 stage.replays[preset_name] = result
                 stage.replay_s[preset_name] = time.perf_counter() - start
         stages[spec.app] = stage
+        if journal is not None:
+            journal.record(spec, _app_result(spec, stage, preset_names),
+                           _app_timings(stage))
     return stages
 
 
@@ -285,8 +475,10 @@ def _run_parallel(
     version: str,
     reuse_cache: bool,
     log: Callable[[str], None],
+    journal: BenchJournal | None = None,
 ) -> dict[str, _AppStage]:
     stages: dict[str, _AppStage] = {}
+    replaying: dict[Any, BenchSpec] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         functional = {
             pool.submit(
@@ -324,18 +516,26 @@ def _run_parallel(
                         f"functional {state} "
                         f"({record.total_events} events)"
                     )
-                    pending.add(
-                        pool.submit(
-                            _replay_app_task,
-                            spec.app,
-                            str(record.trace_path),
-                            preset_names,
-                        )
+                    replay_fut = pool.submit(
+                        _replay_app_task,
+                        spec.app,
+                        str(record.trace_path),
+                        preset_names,
                     )
+                    replaying[replay_fut] = spec
+                    pending.add(replay_fut)
                 else:
                     app, results, walls = fut.result()
                     stages[app].replays.update(results)
                     stages[app].replay_s.update(walls)
+                    if journal is not None:
+                        done_spec = replaying.pop(fut)
+                        journal.record(
+                            done_spec,
+                            _app_result(done_spec, stages[app],
+                                        preset_names),
+                            _app_timings(stages[app]),
+                        )
     return stages
 
 
@@ -347,42 +547,32 @@ def _assemble(
     run_info: dict[str, Any],
     check_reports: dict[str, Any] | None = None,
     static_reports: dict[str, Any] | None = None,
+    completed: dict[str, tuple[AppResult, AppTimings]] | None = None,
 ) -> BenchArtifact:
     apps: dict[str, AppResult] = {}
     timings: dict[str, AppTimings] = {}
     for spec in specs:
-        stage = stages[spec.app]
         report = (check_reports or {}).get(spec.app)
         static = (static_reports or {}).get(spec.app)
         check_dict = report.to_dict() if report is not None else None
         if check_dict is not None and static is not None:
             check_dict["static"] = static.to_dict()
-        apps[spec.app] = AppResult(
-            app=spec.app,
-            config=jsonify(spec.config()),
-            verified=bool(stage.run.verified),
-            checks=jsonify(stage.run.checks),
-            statistics=jsonify(asdict(stage.run.statistics)),
-            total_events=stage.total_events,
-            presets={
-                p: PresetMetrics.from_result(stage.replays[p])
-                for p in preset_names
-            },
-            speedups_vs_ap1000=_speedups(stage.replays),
-            check=check_dict,
-            metrics={
-                "machine": stage.machine_metrics,
-                "replay": {
-                    p: jsonify(stage.replays[p].metrics or {})
-                    for p in preset_names
-                },
-            },
-        )
-        timings[spec.app] = AppTimings(
-            functional_s=stage.functional_s,
-            cache_hit=stage.cache_hit,
-            replay_s=dict(stage.replay_s),
-        )
+        if completed and spec.app in completed:
+            # A row journaled by the killed run: splice it back
+            # verbatim (the check report, when the check stage ran, was
+            # recomputed this session — it is deterministic).
+            result, row_timings = completed[spec.app]
+            if check_dict is not None:
+                result = replace(result, check=check_dict)
+            apps[spec.app] = result
+            timings[spec.app] = row_timings
+            continue
+        stage = stages[spec.app]
+        result = _app_result(spec, stage, preset_names)
+        if check_dict is not None:
+            result = replace(result, check=check_dict)
+        apps[spec.app] = result
+        timings[spec.app] = _app_timings(stage)
     return BenchArtifact(
         grid=grid_name,
         preset_names=list(preset_names),
@@ -404,6 +594,8 @@ def run_bench(
     grid_name: str = "custom",
     log: Callable[[str], None] | None = None,
     check: bool = False,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> BenchOutcome:
     """Run the (``specs`` x ``preset_names``) grid; return the outcome.
 
@@ -415,6 +607,12 @@ def run_bench(
     race/synchronization checker over every recorded trace (reports
     land in each row's ``check`` field; they are deterministic, so
     serial and parallel runs still produce identical results sections).
+
+    ``journal_path`` makes the campaign crash-tolerant: each completed
+    row is journaled atomically, and ``resume=True`` skips rows the
+    journal already holds (validating grid/presets/code version first).
+    The resumed artifact's ``results`` section is byte-identical to an
+    uninterrupted run's.
     """
     if jobs < 1:
         raise ConfigurationError("--jobs must be at least 1")
@@ -423,24 +621,45 @@ def run_bench(
     log = log or (lambda message: None)
     cache_root = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
     version = code_version()
+    if resume and journal_path is None:
+        raise ConfigurationError(
+            "resume=True needs the journal_path of the killed campaign")
+    completed: dict[str, tuple[AppResult, AppTimings]] = {}
+    if resume and Path(journal_path).exists():
+        completed = load_journal(
+            journal_path, grid=grid_name, version=version,
+            preset_names=preset_names, specs=specs)
+        log(f"resume: {len(completed)}/{len(specs)} rows already "
+            f"journaled in {journal_path}; re-simulating the rest")
+    elif resume:
+        log(f"resume: no journal at {journal_path}; running the full "
+            "grid")
+    journal: BenchJournal | None = None
+    if journal_path is not None:
+        journal = BenchJournal(
+            Path(journal_path), grid=grid_name, version=version,
+            preset_names=preset_names, specs=specs)
+        journal.seed(completed)
+    todo = [s for s in specs if s.app not in completed]
     start = time.perf_counter()
     spool: tempfile.TemporaryDirectory | None = None
     try:
         if jobs == 1:
             cache = TraceCache(cache_root, version) if use_cache else None
-            stages = _run_serial(specs, preset_names, cache, log)
+            stages = _run_serial(todo, preset_names, cache, log, journal)
         else:
             if not use_cache:
                 spool = tempfile.TemporaryDirectory(prefix="repro-bench-")
                 cache_root = Path(spool.name)
             stages = _run_parallel(
-                specs,
+                todo,
                 preset_names,
                 jobs,
                 cache_root,
                 version,
                 use_cache,
                 log,
+                journal,
             )
             if spool is not None:
                 # The spool dir dies with this call, so pull every
@@ -461,7 +680,9 @@ def run_bench(
 
         check_start = time.perf_counter()
         for spec in specs:
-            report = check_trace(stages[spec.app].run.trace, spec.app)
+            report = check_trace(
+                _trace_for_check(spec, stages, cache_root, version),
+                spec.app)
             check_reports[spec.app] = report
             log(
                 f"check {spec.app}: "
@@ -484,11 +705,17 @@ def run_bench(
         check_wall = time.perf_counter() - check_start
     wall_s = time.perf_counter() - start
     stage_wall_s = {
-        "functional": sum(s.functional_s for s in stages.values()),
+        "functional": sum(s.functional_s for s in stages.values())
+        + sum(t.functional_s for _, t in completed.values()),
         "replay": sum(
             wall
             for stage in stages.values()
             for wall in stage.replay_s.values()
+        )
+        + sum(
+            wall
+            for _, t in completed.values()
+            for wall in t.replay_s.values()
         ),
     }
     if check:
@@ -504,8 +731,13 @@ def run_bench(
         },
         "argv": list(sys.argv),
     }
+    if journal_path is not None:
+        run_info["journal"] = {
+            "path": str(journal_path),
+            "resumed_rows": sorted(completed),
+        }
     artifact = _assemble(specs, preset_names, grid_name, stages, run_info,
-                         check_reports, static_reports)
+                         check_reports, static_reports, completed)
     return BenchOutcome(
         artifact=artifact,
         runs={app: stage.run for app, stage in stages.items()},

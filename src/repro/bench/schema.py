@@ -17,7 +17,10 @@ The artifact splits into a deterministic half and a measured half:
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -107,6 +110,26 @@ class AppResult:
     metrics: dict[str, Any] | None = None
 
 
+def app_result_from_dict(name: str, a: dict[str, Any]) -> AppResult:
+    """Rehydrate one serialized :class:`AppResult` (artifact ``results``
+    row or bench-journal entry), validating any embedded check block."""
+    _validate_check_schema(name, a.get("check"))
+    return AppResult(
+        app=a["app"],
+        config=a["config"],
+        verified=a["verified"],
+        checks=a["checks"],
+        statistics=a["statistics"],
+        total_events=a["total_events"],
+        presets={
+            p: PresetMetrics(**m) for p, m in a["presets"].items()
+        },
+        speedups_vs_ap1000=a.get("speedups_vs_ap1000", {}),
+        check=a.get("check"),
+        metrics=a.get("metrics"),
+    )
+
+
 @dataclass(frozen=True)
 class AppTimings:
     """Real wall-clock cost of one application row."""
@@ -165,23 +188,10 @@ class BenchArtifact:
                 f"{data.get('schema')!r} (expected {SCHEMA_NAME!r})"
             )
         results = data["results"]
-        apps = {}
-        for name, a in results["apps"].items():
-            _validate_check_schema(name, a.get("check"))
-            apps[name] = AppResult(
-                app=a["app"],
-                config=a["config"],
-                verified=a["verified"],
-                checks=a["checks"],
-                statistics=a["statistics"],
-                total_events=a["total_events"],
-                presets={
-                    p: PresetMetrics(**m) for p, m in a["presets"].items()
-                },
-                speedups_vs_ap1000=a.get("speedups_vs_ap1000", {}),
-                check=a.get("check"),
-                metrics=a.get("metrics"),
-            )
+        apps = {
+            name: app_result_from_dict(name, a)
+            for name, a in results["apps"].items()
+        }
         timings = {
             name: AppTimings(**t)
             for name, t in data.get("timings", {}).items()
@@ -198,12 +208,22 @@ class BenchArtifact:
         )
 
     def save(self, path: str | Path) -> Path:
+        """Write the artifact atomically (temp file + ``os.replace``) so
+        a run killed mid-save never leaves a torn ``BENCH_*.json``."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        payload = json.dumps(
+            self.to_dict(), indent=2, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
         return path
 
     @classmethod

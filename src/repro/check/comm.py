@@ -61,7 +61,7 @@ from repro.core.stride import ElementStride
 from repro.hardware.memory import WORD_BYTES
 from repro.machine.config import SPARC_US_PER_FLOP
 from repro.machine.machine import _combine_values
-from repro.machine.program import Group, LocalArray
+from repro.machine.program import CkptState, Group, LocalArray
 from repro.network.packet import StrideSpec
 from repro.trace.buffer import TraceBuffer
 from repro.trace.events import EventKind, TraceEvent
@@ -804,6 +804,20 @@ class SymbolicContext:
         machine.blocked.pop(self.pe, None)
         machine.note_progress()
         return machine._registers[self.pe].pop(index)
+
+    # -- checkpoint sites ----------------------------------------------
+
+    def ckpt_state(self, **defaults: Any) -> CkptState:
+        """The static model always runs fresh (no snapshots to resume)."""
+        return CkptState(fresh=True, fields=dict(defaults))
+
+    def checkpoint(self, *, barrier: bool = False,
+                   group: Group | None = None) -> Iterator[None]:
+        """Checkpoint sites are trace-invisible when disarmed, and the
+        static model never arms a gate — only the subsumed barrier (if
+        any) is executed and traced, exactly as on the real machine."""
+        if barrier:
+            yield from self.barrier(group)
 
     # -- unsupported ---------------------------------------------------
 

@@ -29,6 +29,10 @@ Rules:
     every cell takes the branch, the collective's membership is wrong
     and the program deadlocks (collectives passed an explicit group are
     exempt — conditioning a group collective on membership is correct).
+    ``ctx.ckpt_state(...)`` bags are treated as uniform: the checkpoint
+    gate is a whole-machine barrier, so their control fields (``fresh``,
+    loop counters) agree across cells even when the data defaults that
+    seeded them were cell-local.
 ``SPMD005``
     An ``ElementStride`` built from an enclosing loop variable: the
     stride changes per iteration, defeating the single 1-D hardware
@@ -52,6 +56,7 @@ from repro.check.diagnostics import (
 BLOCKING_CALLS = frozenset({
     "barrier", "gop", "vgop", "flag_wait", "movewait", "finish_puts",
     "recv", "recv_array", "creg_load", "wt_bind", "wt_refresh",
+    "checkpoint",
 })
 
 #: Collective calls whose membership must agree across cells.
@@ -394,6 +399,12 @@ class _FunctionLinter:
                 tainted.update(_assigned_names(stmt.target))
 
     def _launders_taint(self, value: ast.expr) -> bool:
+        if isinstance(value, ast.Call) \
+                and _attr_name(value.func) == "ckpt_state":
+            # A checkpoint state bag: the gate it feeds is a
+            # whole-machine barrier, so its control fields are uniform
+            # across cells even when its defaults were cell-local.
+            return True
         if not isinstance(value, ast.YieldFrom):
             return False
         call = value.value

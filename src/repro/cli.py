@@ -17,7 +17,11 @@ Usage::
     python -m repro.cli check --buggy [--static]
     python -m repro.cli check --static [APP ...]
     python -m repro.cli check --conform [APP ...]
+    python -m repro.cli run CG --checkpoint-dir ckpts --checkpoint-every 2
+    python -m repro.cli run CG --resume-from ckpts
+    python -m repro.cli chaos --recover --smoke
     python -m repro.cli bench run [--smoke] [--jobs 4] [--check]
+    python -m repro.cli bench run --smoke --resume
     python -m repro.cli bench compare BENCH_x.json --baseline base.json
     python -m repro.cli list
 
@@ -34,18 +38,65 @@ ASCII utilization dashboard over a trace or bench artifact.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from pathlib import Path
 
 from repro.analysis.report import run_experiments
 from repro.apps.workloads import ORDER, WORKLOADS, workload
-from repro.core.errors import ReproError
+from repro.core.errors import CheckpointInterrupt, ReproError
 from repro.mlsim.params import PRESETS, format_params, parse_params, preset
 from repro.mlsim.simulator import simulate, simulate_models
 from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import format_table3_row
+
+#: Exit status of a run interrupted but resumable from a checkpoint or
+#: journal (EX_TEMPFAIL: "try again later").
+EXIT_RESUMABLE = 75
+#: Exit status of a chaos sweep whose runs completed but diverged from
+#: the golden digests (distinct from 1 = crashed case, 2 = usage/error).
+EXIT_DIVERGED = 3
+
+
+@contextlib.contextmanager
+def _graceful_interrupt(enabled: bool) -> Iterator[None]:
+    """Convert the first SIGINT/SIGTERM into a checkpoint request.
+
+    The machine parks at its next safe point, saves one final snapshot,
+    and the run exits with :data:`EXIT_RESUMABLE` and a resume command.
+    A second signal falls through to the previous handlers (normally: a
+    KeyboardInterrupt / process kill).
+    """
+    if not enabled:
+        yield
+        return
+    from repro.ckpt import policy as ckpt_policy
+
+    previous: dict[int, object] = {}
+
+    def _handler(signum, frame):
+        ckpt_policy.request_interrupt()
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        print("interrupt: saving a checkpoint at the next safe point "
+              "(signal again to kill immediately)", file=sys.stderr)
+
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _handler)
+    except ValueError:  # not the main thread: run unguarded
+        yield
+        return
+    try:
+        yield
+    finally:
+        ckpt_policy.clear_interrupt()
+        for sig, old in previous.items():
+            with contextlib.suppress(ValueError, TypeError):
+                signal.signal(sig, old)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -62,10 +113,28 @@ def _print_json(doc: dict) -> None:
     print(json.dumps(doc, indent=2, sort_keys=True))
 
 
+def _run_resume_command(args: argparse.Namespace, snapshot: str) -> str:
+    """The exact command that resumes an interrupted ``repro run``."""
+    parts = ["repro run", args.app]
+    if args.cells is not None:
+        parts.append(f"--cells {args.cells}")
+    if args.paper_scale:
+        parts.append("--paper-scale")
+    if args.trace_capacity is not None:
+        parts.append(f"--trace-capacity {args.trace_capacity}")
+    if args.checkpoint_dir:
+        parts.append(f"--checkpoint-dir {args.checkpoint_dir}")
+    if args.checkpoint_every is not None:
+        parts.append(f"--checkpoint-every {args.checkpoint_every}")
+    parts.append(f"--resume-from {snapshot}")
+    return " ".join(parts)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from dataclasses import asdict
 
     from repro.bench.cache import jsonify
+    from repro.ckpt import policy as ckpt_policy
     from repro.obs import observer as obs
     from repro.trace import sanitize
 
@@ -73,9 +142,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     overrides = {}
     if args.trace_capacity is not None:
         overrides["trace_capacity"] = args.trace_capacity
-    with sanitize.enabled(args.sanitize), obs.enabled(args.observe):
-        run = w.run(paper_scale=args.paper_scale, num_cells=args.cells,
-                    **overrides)
+    if (args.checkpoint_dir or args.checkpoint_every
+            or args.resume_from):
+        policy_ctx = ckpt_policy.applied(ckpt_policy.CheckpointPolicy(
+            every=args.checkpoint_every,
+            directory=args.checkpoint_dir,
+            resume_from=args.resume_from,
+        ))
+    else:
+        policy_ctx = contextlib.nullcontext()
+    try:
+        with _graceful_interrupt(bool(args.checkpoint_dir)), policy_ctx, \
+                sanitize.enabled(args.sanitize), obs.enabled(args.observe):
+            run = w.run(paper_scale=args.paper_scale,
+                        num_cells=args.cells, **overrides)
+    except CheckpointInterrupt as exc:
+        print(f"{args.app}: interrupted; snapshot saved to "
+              f"{exc.snapshot_path}")
+        print("resume with: "
+              + _run_resume_command(args, str(exc.snapshot_path)))
+        return EXIT_RESUMABLE
     # Statistics and the trace file must be taken before any replay:
     # replays coalesce (mutate) the trace buffer.
     statistics = run.statistics
@@ -319,7 +405,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.chaos import SMOKE_APPS, chaos_sweep
+    from repro.faults.chaos import SMOKE_APPS, chaos_sweep, recover_sweep
     from repro.faults.plan import FaultPlan, full_plans, smoke_plans
 
     if args.plan:
@@ -328,22 +414,63 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         plans = smoke_plans(args.seed)
     else:
         plans = full_plans(args.seed)
-    if args.apps:
-        apps = tuple(args.apps)
-    elif args.smoke:
-        apps = SMOKE_APPS
+    if args.recover:
+        # Kill-and-resume sweep over the checkpoint-enabled apps.
+        report = recover_sweep(
+            tuple(args.apps) if args.apps else None, plans,
+            seed=args.seed, cells=args.cells, smoke=args.smoke,
+            snapshot_root=args.snapshot_dir,
+            log=None if args.json else print)
     else:
-        apps = None
-    report = chaos_sweep(apps, plans, cells=args.cells,
-                         check=not args.no_check,
-                         log=None if args.json else print)
+        if args.apps:
+            apps = tuple(args.apps)
+        elif args.smoke:
+            apps = SMOKE_APPS
+        else:
+            apps = None
+        report = chaos_sweep(apps, plans, cells=args.cells,
+                             check=not args.no_check,
+                             log=None if args.json else print)
     if args.json:
-        import json
-
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.summary())
-    return 0 if report.ok else 1
+        if not report.ok:
+            # Structured summary for tooling even in text mode, so a CI
+            # log always carries the machine-readable failure detail.
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    if report.ok:
+        return 0
+    return EXIT_DIVERGED if report.diverged else 1
+
+
+def _bench_resume_command(args: argparse.Namespace) -> str:
+    """The exact command that resumes an interrupted bench campaign."""
+    parts = ["repro bench run"]
+    if args.micro:
+        parts.append("--micro")
+    if args.smoke:
+        parts.append("--smoke")
+    if args.apps:
+        parts.append("--apps " + " ".join(args.apps))
+    if args.presets:
+        parts.append("--presets " + " ".join(args.presets))
+    if args.jobs != 1:
+        parts.append(f"--jobs {args.jobs}")
+    if args.cache_dir:
+        parts.append(f"--cache-dir {args.cache_dir}")
+    if args.no_cache:
+        parts.append("--no-cache")
+    if args.check:
+        parts.append("--check")
+    if args.output:
+        parts.append(f"--output {args.output}")
+    if args.output_dir != ".":
+        parts.append(f"--output-dir {args.output_dir}")
+    if args.journal:
+        parts.append(f"--journal {args.journal}")
+    parts.append("--resume")
+    return " ".join(parts)
 
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
@@ -356,6 +483,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         run_bench,
         smoke_specs,
     )
+    from repro.bench.cache import DEFAULT_CACHE_DIR
 
     if args.smoke and args.micro:
         print("choose one of --smoke / --micro", file=sys.stderr)
@@ -372,16 +500,46 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         specs = bench_specs(tuple(args.apps) if args.apps else None)
         preset_names = tuple(args.presets or ALL_PRESETS)
         grid_name = "bench"
-    outcome = run_bench(
-        specs,
-        preset_names,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        grid_name=grid_name,
-        log=print,
-        check=args.check,
-    )
+    journal_path = Path(args.journal) if args.journal else None
+    if journal_path is None and not args.no_cache:
+        cache_root = (Path(args.cache_dir) if args.cache_dir
+                      else DEFAULT_CACHE_DIR)
+        journal_path = cache_root / f"journal-{grid_name}.json"
+    # A SIGTERM (CI timeout, scheduler preemption) takes the same clean
+    # path as Ctrl-C: the journal already holds every completed row.
+    def _term_handler(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = None
+    with contextlib.suppress(ValueError):
+        previous_term = signal.signal(signal.SIGTERM, _term_handler)
+    try:
+        outcome = run_bench(
+            specs,
+            preset_names,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            grid_name=grid_name,
+            log=print,
+            check=args.check,
+            journal_path=journal_path,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        print()
+        if journal_path is not None:
+            print(f"interrupted: completed rows journaled in "
+                  f"{journal_path}")
+            print("resume with: " + _bench_resume_command(args))
+            return EXIT_RESUMABLE
+        print("interrupted (no journal: rerun without --no-cache, or "
+              "pass --journal, to make campaigns resumable)")
+        return 130
+    finally:
+        if previous_term is not None:
+            with contextlib.suppress(ValueError, TypeError):
+                signal.signal(signal.SIGTERM, previous_term)
     artifact = outcome.artifact
     for app in artifact.app_order:
         result = artifact.apps[app]
@@ -499,6 +657,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--observe", action="store_true",
                        help="attach the repro.obs machine observer "
                             "(per-link traffic, queue occupancy)")
+    p_run.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="save machine snapshots here; also makes "
+                            "SIGINT/SIGTERM park at the next safe "
+                            "point, save a final snapshot, and exit "
+                            f"{EXIT_RESUMABLE} with a resume command "
+                            "(docs/checkpoint.md)")
+    p_run.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="checkpoint every N safe points per cell")
+    p_run.add_argument("--resume-from", metavar="SNAPSHOT", default=None,
+                       help="resume from a snapshot directory (or a "
+                            "--checkpoint-dir, which picks its latest "
+                            "snapshot) instead of starting fresh")
     p_run.add_argument("--json", action="store_true",
                        help="machine-readable repro-run-v1 output")
     p_run.set_defaults(func=_cmd_run)
@@ -640,6 +811,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "faulted trace")
     p_chaos.add_argument("--json", action="store_true",
                          help="machine-readable sweep report")
+    p_chaos.add_argument("--recover", action="store_true",
+                         help="kill-and-resume sweep instead: "
+                              "checkpoint, die after the capture, "
+                              "resume, and demand byte-identical "
+                              "completion (exit "
+                              f"{EXIT_DIVERGED} on digest divergence)")
+    p_chaos.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                         help="keep --recover snapshots here instead "
+                              "of temp dirs (CI artifact upload)")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_bench = sub.add_parser(
@@ -674,6 +854,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_run.add_argument("--check", action="store_true",
                              help="run the race/synchronization checker "
                                   "over every recorded trace")
+    p_bench_run.add_argument("--journal", metavar="FILE", default=None,
+                             help="campaign journal path (default: "
+                                  "<cache-dir>/journal-<grid>.json; "
+                                  "every completed row is recorded "
+                                  "atomically)")
+    p_bench_run.add_argument("--resume", action="store_true",
+                             help="resume a killed campaign from its "
+                                  "journal, re-simulating only the "
+                                  "missing rows (byte-identical "
+                                  "results section)")
     p_bench_run.set_defaults(func=_cmd_bench_run)
 
     p_bench_perf = bench_sub.add_parser(

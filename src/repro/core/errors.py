@@ -56,6 +56,20 @@ class DeadlockError(ReproError):
     """All runnable cells are blocked and no condition can make progress."""
 
 
+class CheckpointInterrupt(ReproError):
+    """A run stopped deliberately right after capturing a snapshot.
+
+    Raised by the functional machine when its checkpoint policy asked to
+    stop after the next capture (SIGTERM-triggered final checkpoints,
+    ``repro chaos --recover`` kill points).  Carries the snapshot path
+    so the caller can print the exact resume command."""
+
+    def __init__(self, message: str, *, snapshot_path: str | None = None
+                 ) -> None:
+        super().__init__(message)
+        self.snapshot_path = snapshot_path
+
+
 class TraceBufferOverflowError(ReproError):
     """The bounded trace buffer filled up, as on the real AP1000 probes."""
 

@@ -21,8 +21,11 @@ this module is reachable from the CLI while :mod:`repro.machine` imports
 from __future__ import annotations
 
 import hashlib
+import tempfile
 from collections.abc import Callable, Iterable
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -37,6 +40,15 @@ from repro.trace.buffer import TraceBuffer
 #: flag-synchronized PUTs, one C app with GET traffic — small but they
 #: cover both one-sided directions).
 SMOKE_APPS = ("EP", "MatMul")
+
+#: Scaled-down problem sizes for ``repro chaos --recover --smoke``:
+#: same communication patterns, CI-sized runs (each recover case runs
+#: its app three times — golden, killed, resumed).
+SMOKE_RECOVER_PARAMS: dict[str, dict[str, Any]] = {
+    "MatMul": {"num_cells": 4, "n": 16},
+    "CG": {"num_cells": 4, "n": 32, "outer": 3, "inner": 3},
+    "RingShift": {"num_cells": 4, "hops": 9},
+}
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +184,14 @@ class ChaosReport:
     def ok(self) -> bool:
         return bool(self.cases) and all(case.ok for case in self.cases)
 
+    @property
+    def diverged(self) -> bool:
+        """True when some run *completed* but its digests differ from
+        the golden run's — the serious failure mode (an error case is a
+        crash, a divergence is silent corruption)."""
+        return any(not case.ok and case.error is None
+                   for case in self.cases)
+
     def summary(self) -> str:
         failed = sum(1 for case in self.cases if not case.ok)
         verdict = "all survived" if failed == 0 else f"{failed} FAILED"
@@ -179,7 +199,8 @@ class ChaosReport:
                 f"{len({c.app for c in self.cases})} app(s): {verdict}")
 
     def to_dict(self) -> dict[str, Any]:
-        return {"ok": self.ok, "summary": self.summary(),
+        return {"ok": self.ok, "diverged": self.diverged,
+                "summary": self.summary(),
                 "cases": [case.to_dict() for case in self.cases]}
 
 
@@ -248,3 +269,192 @@ def smoke_sweep(*, seed: int = 1994, cells: int | None = None,
     """The CI-sized sweep behind ``repro chaos --smoke``."""
     return chaos_sweep(SMOKE_APPS, smoke_plans(seed), cells=cells,
                        log=log)
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume sweep (repro chaos --recover)
+# ----------------------------------------------------------------------
+
+@dataclass
+class RecoverCase:
+    """One (application, fault plan) kill-and-resume round trip."""
+
+    app: str
+    plan: str  # plan name, or "none" for the fault-free machine
+    seed: int
+    site: int  # checkpoint site the kill happens at
+    ok: bool
+    captures: int = 0
+    results_match: bool = False
+    memory_match: bool = False
+    trace_match: bool = False
+    verified: bool = False
+    snapshot: str | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app, "plan": self.plan, "seed": self.seed,
+            "site": self.site, "ok": self.ok, "captures": self.captures,
+            "results_match": self.results_match,
+            "memory_match": self.memory_match,
+            "trace_match": self.trace_match, "verified": self.verified,
+            "snapshot": self.snapshot, "error": self.error,
+        }
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"ok   {self.app:<9} {self.plan:<8} killed at "
+                    f"site {self.site}, resumed byte-identical")
+        if self.error is not None:
+            return f"FAIL {self.app:<9} {self.plan:<8} {self.error}"
+        what = [
+            name for name, good in (
+                ("trace", self.trace_match),
+                ("results", self.results_match),
+                ("memory", self.memory_match),
+                ("verify", self.verified),
+            ) if not good
+        ]
+        return (f"FAIL {self.app:<9} {self.plan:<8} resumed run "
+                f"diverged: {', '.join(what)}")
+
+
+@dataclass
+class RecoverReport:
+    """Every case of one kill-and-resume sweep."""
+
+    cases: list[RecoverCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cases) and all(case.ok for case in self.cases)
+
+    @property
+    def diverged(self) -> bool:
+        """A resumed run completed but did not reproduce the golden
+        digests (versus an error case, where something crashed)."""
+        return any(not case.ok and case.error is None
+                   for case in self.cases)
+
+    def summary(self) -> str:
+        failed = sum(1 for case in self.cases if not case.ok)
+        verdict = ("all resumed byte-identical" if failed == 0
+                   else f"{failed} FAILED")
+        return (f"recover: {len(self.cases)} kill-and-resume runs over "
+                f"{len({c.app for c in self.cases})} app(s): {verdict}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"ok": self.ok, "diverged": self.diverged,
+                "summary": self.summary(),
+                "cases": [case.to_dict() for case in self.cases]}
+
+
+def recover_sweep(apps: Iterable[str] | None = None,
+                  plans: Iterable[FaultPlan] | None = None, *,
+                  seed: int = 1994, cells: int | None = None,
+                  smoke: bool = False,
+                  snapshot_root: str | Path | None = None,
+                  log: Callable[[str], None] | None = None,
+                  ) -> RecoverReport:
+    """Kill-and-resume every (app, plan) pair and demand byte equality.
+
+    Each case runs its application three times: a golden run with the
+    checkpoint gate armed at a seed-chosen site; a crash run that dies
+    (``stop_after_capture``) right after saving that site's snapshot;
+    and a resumed run completing from the snapshot.  The resumed run
+    must be byte-identical to the golden one — trace, per-cell results,
+    and memory image — including under every fault plan.
+
+    ``smoke`` shrinks the problem sizes for CI.  ``snapshot_root``
+    keeps each case's snapshot on disk (for artifact upload on
+    failure); by default they live in temp directories.
+    """
+    from repro.ckpt.snapshot import CKPT_APPS  # lazy: cycles via machine
+
+    app_names = tuple(apps) if apps else CKPT_APPS
+    if plans is None:
+        plan_iter = smoke_plans(seed) if smoke else full_plans(seed)
+    else:
+        plan_iter = tuple(plans)
+    report = RecoverReport()
+    for app in app_names:
+        for plan in (None, *plan_iter):
+            case = _recover_case(app, plan, seed, cells=cells,
+                                 smoke=smoke,
+                                 snapshot_root=snapshot_root)
+            if log is not None:
+                log(case.describe())
+            report.cases.append(case)
+    return report
+
+
+def _recover_case(app: str, plan: FaultPlan | None, base_seed: int, *,
+                  cells: int | None, smoke: bool,
+                  snapshot_root: str | Path | None) -> RecoverCase:
+    from repro.apps.workloads import workload  # lazy: cycles via machine
+    from repro.ckpt import policy as ckpt_policy
+    from repro.ckpt.snapshot import resume_workload
+    from repro.core.errors import CheckpointInterrupt
+
+    plan_seed = plan.seed if plan is not None else base_seed
+    plan_name = plan.name if plan is not None else "none"
+    site = 1 + plan_seed % 3
+    case = RecoverCase(app=app, plan=plan_name, seed=plan_seed,
+                       site=site, ok=False)
+    params = dict(SMOKE_RECOVER_PARAMS.get(app, {})) if smoke else {}
+    run_cells = params.pop("num_cells", None)
+    if cells is not None:
+        run_cells = cells
+
+    def _run():
+        return workload(app).run(num_cells=run_cells, **params)
+
+    try:
+        with applied(plan), ckpt_policy.applied(
+                ckpt_policy.CheckpointPolicy(at_site=site)):
+            golden = _run()
+        captures = golden.machine.ckpt_seq
+        if captures == 0:
+            case.error = (f"checkpoint site {site} never reached; the "
+                          "golden run captured nothing")
+            return case
+        want_trace = trace_digest(golden.machine.trace)
+        want_results = results_digest(golden.results)
+        want_memory = memory_digest(golden.machine)
+        if snapshot_root is not None:
+            snap_dir = Path(snapshot_root) / f"{app}-{plan_name}"
+            snap_dir.mkdir(parents=True, exist_ok=True)
+            holder = nullcontext(str(snap_dir))
+        else:
+            holder = tempfile.TemporaryDirectory(prefix="repro-recover-")
+        with holder as snap:
+            try:
+                with applied(plan), ckpt_policy.applied(
+                        ckpt_policy.CheckpointPolicy(
+                            at_site=site, directory=str(snap),
+                            stop_after_capture=True)):
+                    _run()
+            except CheckpointInterrupt as exc:
+                snapshot_path = exc.snapshot_path
+            else:
+                case.error = (f"crash run finished uninterrupted; no "
+                              f"capture happened at site {site}")
+                return case
+            if snapshot_root is not None:
+                case.snapshot = str(snapshot_path)
+            # The snapshot's config carries the fault plan (and the
+            # scheduler it forces), so resume needs no ambient state.
+            resumed = resume_workload(snapshot_path)
+        case.captures = resumed.machine.ckpt_seq
+        case.trace_match = (
+            trace_digest(resumed.machine.trace) == want_trace)
+        case.results_match = results_digest(resumed.results) == want_results
+        case.memory_match = memory_digest(resumed.machine) == want_memory
+        case.verified = bool(resumed.verified)
+        case.ok = (case.trace_match and case.results_match
+                   and case.memory_match and case.verified
+                   and case.captures == captures)
+    except ReproError as exc:
+        case.error = f"{type(exc).__name__}: {exc}".splitlines()[0]
+    return case

@@ -237,6 +237,44 @@ class ReliableTransport:
         self.tnet.transmit(control)
 
     # ------------------------------------------------------------------
+    # Checkpoint round-trip (repro.ckpt)
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable link-layer state for a machine snapshot.
+
+        Captures both sides of every flow — sequence counters, the
+        retransmit buffers with their per-frame retry counts, the tick
+        countdown, and the receiver's resequencing window — so a restore
+        mid-retry-storm resumes the exact storm.
+        """
+        return {
+            "next_seq": dict(self._next_seq),
+            "unacked": {flow: dict(frames)
+                        for flow, frames in self._unacked.items()},
+            "retry_count": dict(self._retry_count),
+            "ticks": self._ticks,
+            "expected": dict(self._expected),
+            "reorder": {flow: dict(frames)
+                        for flow, frames in self._reorder.items()},
+            "gap_nacked": dict(self._gap_nacked),
+        }
+
+    def load_state(self, saved: dict) -> None:
+        """Restore the link layer from :meth:`state`'s dict."""
+        self._next_seq = dict(saved["next_seq"])
+        self._unacked = {tuple(flow): dict(frames)
+                         for flow, frames in saved["unacked"].items()}
+        self._retry_count = {(tuple(flow), seq): count
+                             for (flow, seq), count
+                             in saved["retry_count"].items()}
+        self._ticks = saved["ticks"]
+        self._expected = dict(saved["expected"])
+        self._reorder = {tuple(flow): dict(frames)
+                         for flow, frames in saved["reorder"].items()}
+        self._gap_nacked = dict(saved["gap_nacked"])
+
+    # ------------------------------------------------------------------
     # Cell death
     # ------------------------------------------------------------------
 

@@ -69,6 +69,14 @@ class MachineConfig:
     #: perfect machine.  Also switchable ambiently via
     #: :func:`repro.faults.applied`.
     fault_plan: "FaultPlan | None" = None
+    #: Arm a periodic checkpoint gate: every cell parks at its N-th
+    #: arrival at a ``ctx.checkpoint()`` site and a snapshot is captured
+    #: once all are parked (:mod:`repro.ckpt`).  Also switchable
+    #: ambiently via :func:`repro.ckpt.policy.applied`.
+    checkpoint_every: int | None = None
+    #: Directory snapshots are written to; None keeps captures in
+    #: memory only (``machine.last_snapshot``).
+    checkpoint_dir: str | None = None
     #: SPMD scheduler: ``"batched"`` parks blocked cells and resumes only
     #: those a progress bump may have woken; ``"reference"`` is the
     #: original resume-everyone-every-pass loop.  Both produce identical
@@ -90,6 +98,10 @@ class MachineConfig:
                 "or 'reference'")
         if self.num_cells < 1:
             raise ConfigurationError("a machine needs at least one cell")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1 site, got "
+                f"{self.checkpoint_every}")
         if self.memory_per_cell < 1024:
             raise ConfigurationError("cell memory unrealistically small")
         if not self.allow_nonstandard:

@@ -14,6 +14,7 @@ the scheduler can distinguish "still working" from deadlock.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import heapq
 import inspect
@@ -23,8 +24,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.ckpt import policy as _ckpt_policy
 from repro.core.completion import AckPolicy
 from repro.core.errors import (
+    CheckpointInterrupt,
     CommTimeoutError,
     CommunicationError,
     ConfigurationError,
@@ -175,6 +178,46 @@ class Machine:
                         queue.spill_buffer_words = plan.spill_buffer_words
                     if plan.max_spill_buffers is not None:
                         queue.max_spill_buffers = plan.max_spill_buffers
+        #: Checkpoint gate (repro.ckpt): explicit config wins, else the
+        #: ambient policy.  ``_ckpt_threshold`` is the site count each
+        #: cell parks at; None means the gate is disarmed.
+        ckpt = _ckpt_policy.active_policy()
+        every = config.checkpoint_every
+        ckpt_dir = config.checkpoint_dir
+        at_site = None
+        stop_after = False
+        if ckpt is not None:
+            if every is None:
+                every = ckpt.every
+            if ckpt_dir is None:
+                ckpt_dir = ckpt.directory
+            at_site = ckpt.at_site
+            stop_after = ckpt.stop_after_capture
+        self.checkpoint_dir = ckpt_dir
+        self._ckpt_every = every
+        self._ckpt_threshold = at_site if at_site is not None else every
+        self._ckpt_stop_after = stop_after
+        self._ckpt_counts = [0] * n
+        #: One-shot gate armed by a SIGTERM/SIGINT interrupt request:
+        #: every cell parks at its very next checkpoint site.
+        self._ckpt_oneshot = False
+        self._gate_parked: set[int] = set()
+        self._finished_cells: set[int] = set()
+        #: Monotonic capture counter; names snapshot directories.
+        self.ckpt_seq = 0
+        #: Most recent in-memory capture (a MachineSnapshot), kept even
+        #: when no checkpoint directory is configured.
+        self.last_snapshot: Any = None
+        #: Workload identity recorded into snapshot headers so
+        #: ``repro run --resume-from`` knows what to re-launch.
+        self.ckpt_meta: dict[str, Any] | None = None
+        self._active_contexts: list[CellContext] | None = None
+        #: Restore payloads staged by repro.ckpt.restore_machine and
+        #: consumed by the next run(): per-cell app loop state, context
+        #: counters, and the killed set whose generators must be closed.
+        self._restore_states: dict[int, dict[str, Any]] | None = None
+        self._restore_ctx: dict[int, dict[str, Any]] | None = None
+        self._restore_killed: set[int] | None = None
 
     # ------------------------------------------------------------------
     # Memory allocation
@@ -495,6 +538,14 @@ class Machine:
         n = self.config.num_cells
         plan = self.fault_plan
         contexts = [CellContext(self, pe) for pe in range(n)]
+        self._active_contexts = contexts
+        if self._restore_ctx is not None:
+            for pe, saved in self._restore_ctx.items():
+                ctx = contexts[pe]
+                ctx.acks._puts_per_dest = dict(saved["puts_per_dest"])
+                ctx.acks._acks_issued = saved["acks_issued"]
+                ctx._wt_fetches = saved["wt_fetches"]
+            self._restore_ctx = None
         results: list[Any] = [None] * n
         generators: dict[int, Any] = {}
         for pe in range(n):
@@ -503,6 +554,15 @@ class Machine:
                 generators[pe] = outcome
             else:
                 results[pe] = outcome
+        if self._restore_killed:
+            # Cells that were already dead at capture never run again;
+            # their kill side effects were restored with the snapshot.
+            for pe in sorted(self._restore_killed):
+                gen = generators.pop(pe, None)
+                if gen is not None:
+                    gen.close()
+            self._restore_killed = None
+        self._finished_cells = set()
         self._active_generators = generators
         try:
             if plan is None and self.config.scheduler == "batched":
@@ -511,6 +571,8 @@ class Machine:
                 self._run_reference(generators, results)
         finally:
             self._active_generators = None
+            self._active_contexts = None
+            self._restore_states = None
         self.pump()
         return results
 
@@ -550,6 +612,7 @@ class Machine:
                     except StopIteration as stop:
                         results[pe] = stop.value
                         del generators[pe]
+                        self._finished_cells.add(pe)
                         self.progress += 1
                     if wake:
                         for w in wake:
@@ -567,11 +630,24 @@ class Machine:
                 done.clear()
                 nxt.clear()
                 if not heap:
-                    # Every unfinished cell is parked and nothing woke
-                    # anyone: no re-check can ever pass again.  This is
-                    # the hang the reference loop's watchdog needs three
-                    # stalled passes to call.
-                    self._raise_hang(generators)
+                    if self._ckpt_gate_ready():
+                        # Every cell is parked at the checkpoint gate,
+                        # not hung: capture and release.
+                        self._capture_checkpoint()
+                    elif self._gate_parked:
+                        # Some cells parked but the gate can never fill
+                        # (a cell finished mid-epoch): give up on
+                        # checkpointing and release them.
+                        self._abort_checkpoint()
+                    else:
+                        # Every unfinished cell is parked and nothing
+                        # woke anyone: no re-check can ever pass again.
+                        # This is the hang the reference loop's watchdog
+                        # needs three stalled passes to call.
+                        self._raise_hang(generators)
+                    pending = set(generators)
+                    heap = sorted(pending)
+                    wake.clear()
         finally:
             self._wake = None
 
@@ -599,17 +675,121 @@ class Machine:
                 except StopIteration as stop:
                     results[pe] = stop.value
                     del generators[pe]
+                    self._finished_cells.add(pe)
                     self.progress += 1
+            if self._ckpt_gate_ready():
+                self._capture_checkpoint()
+                stalled_passes = 0
+                continue
             if self.progress == before and not saw_stall:
                 stalled_passes += 1
                 if stalled_passes >= watchdog:
-                    self._raise_hang(generators)
+                    if self._gate_parked:
+                        # Parked cells and a dead epoch: the gate can
+                        # never fill (a killed cohort, a finished cell).
+                        # Release the parked cells instead of calling it
+                        # a hang.
+                        self._abort_checkpoint()
+                        stalled_passes = 0
+                    else:
+                        self._raise_hang(generators)
             else:
                 stalled_passes = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint gate (repro.ckpt)
+    # ------------------------------------------------------------------
+
+    def _ckpt_armed_for(self, pe: int) -> bool:
+        """True while ``pe`` must park at its current checkpoint site."""
+        if self._ckpt_oneshot:
+            return True
+        threshold = self._ckpt_threshold
+        return threshold is not None and self._ckpt_counts[pe] >= threshold
+
+    def _ckpt_enabled(self) -> bool:
+        return self._ckpt_threshold is not None or self._ckpt_oneshot
+
+    def _ckpt_poll_interrupt(self) -> None:
+        """Honour a pending SIGTERM/SIGINT checkpoint request.
+
+        Polled only at checkpoint sites, and only when snapshots have
+        somewhere to land; arms a one-shot gate so every cell parks at
+        its very next site, then the capture stops the run with
+        :class:`~repro.core.errors.CheckpointInterrupt`.
+        """
+        if self.checkpoint_dir is None:
+            return
+        if _ckpt_policy.interrupt_requested():
+            _ckpt_policy.clear_interrupt()
+            self._ckpt_oneshot = True
+            self._ckpt_stop_after = True
+
+    def _ckpt_gate_ready(self) -> bool:
+        """Every live cell is parked at the gate and none finished."""
+        generators = self._active_generators
+        if not self._gate_parked or not generators or self._finished_cells:
+            return False
+        return all(pe in self._gate_parked for pe in generators)
+
+    def _capture_checkpoint(self) -> None:
+        """All live cells are parked: capture, persist, release.
+
+        The snapshot records the *post*-capture threshold, so a resumed
+        run arms the next epoch rather than re-parking at this one.
+        """
+        from repro.ckpt.snapshot import capture_snapshot, save_snapshot
+
+        self.pump()
+        self.ckpt_seq += 1
+        if self._ckpt_every is not None:
+            self._ckpt_threshold = ((self._ckpt_threshold or 0)
+                                    + self._ckpt_every)
+        else:
+            self._ckpt_threshold = None
+        self._ckpt_oneshot = False
+        snapshot = capture_snapshot(self)
+        self.last_snapshot = snapshot
+        path = None
+        if self.checkpoint_dir is not None:
+            path = save_snapshot(snapshot, self.checkpoint_dir)
+        self._gate_parked.clear()
+        self.progress += 1
+        self.wake_all()
+        if self._ckpt_stop_after:
+            raise CheckpointInterrupt(
+                f"run stopped after capturing checkpoint {self.ckpt_seq} "
+                "as requested",
+                snapshot_path=str(path) if path is not None else None)
+
+    def _abort_checkpoint(self) -> None:
+        """The gate can never fill: disarm it and release parked cells.
+
+        Happens when a cell finished (its return value cannot survive a
+        restore) or a killed cohort left the remaining cells unable to
+        reach the site count.  The run continues un-checkpointed.
+        """
+        self._ckpt_threshold = None
+        self._ckpt_oneshot = False
+        self._gate_parked.clear()
+        self.progress += 1
+        self.wake_all()
 
     def _raise_hang(self, generators: dict[int, Any]) -> None:
         """Watchdog expiry: name the hang for what it is."""
         report = self._deadlock_report(generators)
+        if self.checkpoint_dir is not None:
+            with contextlib.suppress(Exception):
+                from repro.ckpt.snapshot import (
+                    capture_snapshot,
+                    save_snapshot,
+                )
+
+                self.ckpt_seq += 1
+                dump = capture_snapshot(self, resumable=False)
+                path = save_snapshot(dump, self.checkpoint_dir)
+                report += ("\n  machine state dumped for inspection "
+                           f"(non-resumable) to {path}")
         if self.fault_plan is not None and (
                 self.killed
                 or (self.transport is not None
@@ -657,6 +837,8 @@ class Machine:
         if isinstance(self.tnet, FaultyTNet):
             self.tnet.killed.add(pe)
         self._flag_waits.pop(pe, None)
+        self._gate_parked.discard(pe)
+        self._finished_cells.discard(pe)
         self._dirty.discard(pe)
         if self.transport is not None:
             self.transport.on_kill(pe)

@@ -152,6 +152,31 @@ class WriteThroughArray:
         table.note_write_through()
 
 
+class CkptState:
+    """A cell program's checkpointable loop state (a picklable bag).
+
+    Cell programs are generators, and generator frames cannot be
+    serialized — so a checkpointable program keeps everything that must
+    survive a restart in one of these instead of in locals.  Obtained
+    from :meth:`CellContext.ckpt_state`: on a fresh run the bag carries
+    the caller's defaults and ``fresh`` is True; on a restored run it
+    carries the captured values and ``fresh`` is False, so the program
+    can skip its prologue's *traced* work (allocations still happen —
+    they must, to rebuild the address map — but initialization traffic
+    and initial barriers are guarded by ``if st.fresh:``).
+    """
+
+    def __init__(self, fresh: bool, fields: dict) -> None:
+        self.fresh = fresh
+        self.__dict__.update(fields)
+
+    def capture(self) -> dict:
+        """The picklable field dict (``fresh`` excluded)."""
+        state = dict(self.__dict__)
+        state.pop("fresh", None)
+        return state
+
+
 class CellContext:
     """The programming interface one cell's program sees."""
 
@@ -171,6 +196,9 @@ class CellContext:
         self._wt_flag: Flag = self.alloc_flag()
         self._wt_table = None
         self._wt_fetches = 0
+        #: Checkpointable loop state registered via :meth:`ckpt_state`;
+        #: None marks the program as not checkpointable.
+        self._ckpt_st: CkptState | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -678,3 +706,61 @@ class CellContext:
         yield from self.flag_wait(self._wt_flag, self._wt_fetches)
         if not initial:
             self._wt_table.note_refresh()
+
+    # ------------------------------------------------------------------
+    # Checkpoint sites (repro.ckpt)
+    # ------------------------------------------------------------------
+
+    def ckpt_state(self, **defaults) -> CkptState:
+        """Declare this program's checkpointable loop state.
+
+        Call once, before the main loop, naming every variable that must
+        survive a restart with its fresh-run initial value.  On a fresh
+        run the returned bag holds exactly those defaults and ``fresh``
+        is True; on a run restored from a snapshot it holds the captured
+        values (plus defaults for any field added since the capture) and
+        ``fresh`` is False.
+        """
+        saved = None
+        restore = self.machine._restore_states
+        if restore is not None:
+            saved = restore.get(self.pe)
+        fields = dict(defaults)
+        if saved is not None:
+            fields.update(saved)
+        st = CkptState(fresh=saved is None, fields=fields)
+        self._ckpt_st = st
+        return st
+
+    def checkpoint(self, *, barrier: bool = False,
+                   group: Group | None = None) -> Iterator[None]:
+        """A cooperative checkpoint site (the gate of :mod:`repro.ckpt`).
+
+        Place at the *end* of each main-loop iteration, after the bag
+        from :meth:`ckpt_state` has been advanced past the work just
+        done — a snapshot captured here then resumes at the next
+        iteration without repeating (or losing) any traced work.  With
+        ``barrier=True`` the site subsumes the loop's trailing barrier,
+        so cell programs pay nothing extra for being checkpointable.
+
+        While the machine's gate is disarmed (no ``checkpoint_every``,
+        no ambient policy) the site costs one counter test and is
+        trace-invisible; armed, each cell parks at its threshold-th site
+        until every live cell has arrived and the machine captures.
+        """
+        if barrier:
+            yield from self.barrier(group)
+        m = self.machine
+        m._ckpt_poll_interrupt()
+        if not m._ckpt_enabled():
+            return
+        m._ckpt_counts[self.pe] += 1
+        if not m._ckpt_armed_for(self.pe):
+            return
+        m._gate_parked.add(self.pe)
+        try:
+            while m._ckpt_armed_for(self.pe):
+                yield
+        finally:
+            m._gate_parked.discard(self.pe)
+        m.note_progress()

@@ -79,3 +79,54 @@ class TestStore:
         meta = cache.entry_dir("MatMul", CONFIG) / "meta.json"
         meta.write_text("{not json", encoding="utf-8")
         assert cache.get("MatMul", CONFIG) is None
+
+
+class TestCrashSafety:
+    """Entries left by a killed writer are quarantined, never served
+    and never fatal; publishes are atomic."""
+
+    def _populate(self, tmp_path):
+        cache = TraceCache(tmp_path, "v1")
+        cache.put("MatMul", CONFIG, _matmul_run(), 0.0)
+        return cache, cache.entry_dir("MatMul", CONFIG)
+
+    def test_truncated_trace_is_quarantined(self, tmp_path):
+        cache, entry = self._populate(tmp_path)
+        trace = entry / "trace.jsonl"
+        trace.write_bytes(trace.read_bytes()[:-3])  # torn last record
+        assert cache.get("MatMul", CONFIG) is None
+        assert not entry.exists()
+        moved = tmp_path / ".quarantine" / entry.name
+        assert moved.is_dir()
+        reason = (moved / "QUARANTINED.txt").read_text(encoding="utf-8")
+        assert "truncated" in reason
+
+    def test_empty_trace_is_quarantined(self, tmp_path):
+        cache, entry = self._populate(tmp_path)
+        (entry / "trace.jsonl").write_bytes(b"")
+        assert cache.get("MatMul", CONFIG) is None
+        assert (tmp_path / ".quarantine" / entry.name).is_dir()
+
+    def test_unreadable_sidecar_is_quarantined(self, tmp_path):
+        cache, entry = self._populate(tmp_path)
+        (entry / "columns.npz").write_bytes(b"\x00" * 16)
+        assert cache.get("MatMul", CONFIG) is None
+        assert (tmp_path / ".quarantine" / entry.name).is_dir()
+
+    def test_quarantined_key_can_be_repopulated(self, tmp_path):
+        cache, entry = self._populate(tmp_path)
+        (entry / "trace.jsonl").write_bytes(b"")
+        assert cache.get("MatMul", CONFIG) is None
+        cache.put("MatMul", CONFIG, _matmul_run(), 0.0)
+        hit = cache.get("MatMul", CONFIG)
+        assert hit is not None and hit.verified
+        # The post-mortem copy is still there for inspection.
+        assert (tmp_path / ".quarantine" / entry.name).is_dir()
+
+    def test_put_leaves_no_staging_debris(self, tmp_path):
+        cache, entry = self._populate(tmp_path)
+        cache.put("MatMul", CONFIG, _matmul_run(), 0.0)  # overwrite
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith(".staging-")]
+        assert leftovers == []
+        assert cache.get("MatMul", CONFIG) is not None

@@ -1,0 +1,117 @@
+"""The checkpoint gate: periodic captures, one-shot sites, interrupt
+parking, and the watchdog's snapshot-on-deadlock dump."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckpt import CheckpointPolicy, applied, load_snapshot
+from repro.ckpt import policy as ckpt_policy
+from repro.ckpt import restore_machine, resume_workload
+from repro.core.errors import (
+    CheckpointInterrupt,
+    ConfigurationError,
+    DeadlockError,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+from .conftest import run_small
+
+
+def stepper(ctx):
+    """Three gate crossings, loop state in a checkpoint bag."""
+    st = ctx.ckpt_state(it=0)
+    for it in range(st.it, 3):
+        yield from ctx.barrier()
+        st.it = it + 1
+        yield from ctx.checkpoint()
+    return st.it
+
+
+def wedge(ctx):
+    """Cell 0 waits on a flag nobody ever raises."""
+    flag = ctx.alloc_flag()
+    yield from ctx.barrier()
+    if ctx.pe == 0:
+        yield from ctx.flag_wait(flag, 1)
+    yield from ctx.barrier()
+
+
+def make(tmp_path=None, **kw):
+    kw.setdefault("num_cells", 4)
+    kw.setdefault("memory_per_cell", 1 << 21)
+    if tmp_path is not None:
+        kw.setdefault("checkpoint_dir", str(tmp_path))
+    return Machine(MachineConfig(**kw))
+
+
+class TestGate:
+    def test_disarmed_gate_is_a_no_op(self):
+        m = make()
+        assert m.run(stepper) == [3, 3, 3, 3]
+        assert m.ckpt_seq == 0
+        assert m.last_snapshot is None
+
+    def test_periodic_policy_captures_every_site(self, tmp_path):
+        m = make(tmp_path, checkpoint_every=1)
+        assert m.run(stepper) == [3, 3, 3, 3]
+        assert m.ckpt_seq == 3
+        names = sorted(p.name for p in tmp_path.iterdir()
+                       if p.name.startswith("ckpt_"))
+        assert names == ["ckpt_000001", "ckpt_000002", "ckpt_000003"]
+        assert m.last_snapshot is not None
+
+    def test_at_site_captures_exactly_once(self):
+        with applied(CheckpointPolicy(at_site=2)):
+            m = make()
+            assert m.run(stepper) == [3, 3, 3, 3]
+        assert m.ckpt_seq == 1
+        assert m.last_snapshot.state["ckpt"]["seq"] == 1
+
+    def test_stop_after_capture_raises_with_snapshot_path(self, tmp_path):
+        with applied(CheckpointPolicy(at_site=1, directory=str(tmp_path),
+                                      stop_after_capture=True)):
+            m = make()
+            with pytest.raises(CheckpointInterrupt) as excinfo:
+                m.run(stepper)
+        assert excinfo.value.snapshot_path is not None
+        assert load_snapshot(excinfo.value.snapshot_path).resumable
+
+
+class TestInterruptRequest:
+    def test_interrupt_parks_at_next_gate_and_resume_completes(
+            self, tmp_path):
+        # The SIGTERM path minus the signal: the run dies at its *next*
+        # gate with a final snapshot, and the resumed run completes
+        # correctly.  (Its trace is not byte-golden — the extra gate
+        # crossing is observable — which is why the byte-equality suite
+        # in test_roundtrip.py crashes at scheduled sites instead.)
+        ckpt_policy.request_interrupt()
+        try:
+            with applied(CheckpointPolicy(directory=str(tmp_path))):
+                with pytest.raises(CheckpointInterrupt) as excinfo:
+                    run_small("CG")
+        finally:
+            ckpt_policy.clear_interrupt()
+        resumed = resume_workload(excinfo.value.snapshot_path)
+        assert resumed.verified
+
+
+class TestWatchdogDump:
+    def test_deadlock_dumps_inspectable_hang_snapshot(self, tmp_path):
+        m = make(tmp_path, num_cells=2)
+        with pytest.raises(DeadlockError):
+            m.run(wedge)
+        (dump,) = [p for p in tmp_path.iterdir()
+                   if p.name.startswith("hang_")]
+        snapshot = load_snapshot(dump)
+        assert not snapshot.resumable
+        with pytest.raises(ConfigurationError, match="deadlock dump"):
+            restore_machine(snapshot)
+
+    def test_no_dump_without_checkpoint_dir(self):
+        m = make(num_cells=2)
+        with pytest.raises(DeadlockError):
+            m.run(wedge)
+        assert m.last_snapshot is None

@@ -79,6 +79,197 @@ class TestChaos:
         assert "repro: error:" in capsys.readouterr().err
 
 
+class TestRunCheckpoint:
+    def test_checkpoint_run_and_cli_resume(self, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        assert main(["run", "MatMul", "--cells", "4", "--no-replay",
+                     "--checkpoint-dir", str(ckpts),
+                     "--checkpoint-every", "1"]) == 0
+        capsys.readouterr()
+        snaps = sorted(p.name for p in ckpts.iterdir()
+                       if p.name.startswith("ckpt_"))
+        assert snaps, "no gate snapshots were written"
+        # --resume-from a directory picks the newest snapshot; the
+        # resumed tail still verifies.
+        assert main(["run", "MatMul", "--cells", "4", "--no-replay",
+                     "--resume-from", str(ckpts)]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_resume_from_missing_dir_is_a_clean_error(
+            self, tmp_path, capsys):
+        assert main(["run", "MatMul", "--cells", "4", "--no-replay",
+                     "--resume-from", str(tmp_path / "nowhere")]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "Traceback" not in err
+
+    def test_sigterm_exits_resumable_with_snapshot(self, tmp_path):
+        # The real kill: a subprocess run is SIGTERMed mid-flight, must
+        # park at its next gate, save a final snapshot, exit 75, and
+        # print the resume command — which must then complete.
+        import os
+        import signal as signal_mod
+        import subprocess
+        import sys
+        import time
+
+        from repro.cli import EXIT_RESUMABLE
+
+        # Paper-scale CG crosses ~15 gates over a few seconds, leaving
+        # a wide window between the first snapshot and completion for
+        # the signal to land deterministically.
+        ckpts = tmp_path / "ckpts"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "run", "CG",
+             "--cells", "16", "--paper-scale", "--no-replay",
+             "--checkpoint-dir", str(ckpts), "--checkpoint-every", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=dict(os.environ))
+        try:
+            deadline = time.monotonic() + 120
+            while not (ckpts / "ckpt_000001").exists():
+                assert proc.poll() is None, (
+                    "run finished before its first snapshot: "
+                    + proc.communicate()[0])
+                assert time.monotonic() < deadline, "no snapshot in 120s"
+                time.sleep(0.05)
+            proc.send_signal(signal_mod.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == EXIT_RESUMABLE, out
+        assert "snapshot saved to" in out
+        assert "resume with: repro run CG" in out
+        assert "--resume-from" in out
+        # An interrupt snapshot resumes to a correct (verified) finish.
+        code = main(["run", "CG", "--cells", "16", "--paper-scale",
+                     "--no-replay", "--resume-from", str(ckpts)])
+        assert code == 0
+
+
+class TestChaosRecover:
+    def test_recover_sweep_single_app(self, tmp_path, capsys):
+        import json
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"name": "mini", "seed": 9, "drop_rate": 0.05}))
+        snaps = tmp_path / "snaps"
+        code = main(["chaos", "MatMul", "--recover", "--smoke",
+                     "--plan", str(plan), "--snapshot-dir", str(snaps)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "killed at site" in out
+        assert "all resumed byte-identical" in out
+        # --snapshot-dir retains the per-case snapshots for upload.
+        assert (snaps / "MatMul-none").is_dir()
+        assert (snaps / "MatMul-mini").is_dir()
+
+    def test_recover_divergence_exits_3_with_json(
+            self, monkeypatch, capsys):
+        import json
+
+        from repro.cli import EXIT_DIVERGED
+        from repro.faults import chaos as chaos_mod
+
+        def fake_sweep(*args, **kwargs):
+            report = chaos_mod.RecoverReport()
+            report.cases.append(chaos_mod.RecoverCase(
+                app="MatMul", plan="storm", seed=1, site=2, ok=False,
+                results_match=False))
+            return report
+
+        monkeypatch.setattr(chaos_mod, "recover_sweep", fake_sweep)
+        code = main(["chaos", "--recover", "--smoke"])
+        assert code == EXIT_DIVERGED
+        out = capsys.readouterr().out
+        # The machine-readable report rides the text output too.
+        payload = out[out.index("{"):]
+        doc = json.loads(payload)
+        assert doc["diverged"] is True
+
+    def test_chaos_divergence_exits_3_crash_exits_1(
+            self, monkeypatch, capsys):
+        from repro.cli import EXIT_DIVERGED
+        from repro.faults import chaos as chaos_mod
+
+        def report_with(case):
+            report = chaos_mod.ChaosReport()
+            report.cases.append(case)
+            return report
+
+        diverged = chaos_mod.ChaosCase(
+            app="MatMul", plan="storm", seed=1, ok=False,
+            results_match=False)
+        monkeypatch.setattr(chaos_mod, "chaos_sweep",
+                            lambda *a, **k: report_with(diverged))
+        assert main(["chaos", "--smoke"]) == EXIT_DIVERGED
+        capsys.readouterr()
+
+        crashed = chaos_mod.ChaosCase(
+            app="MatMul", plan="storm", seed=1, ok=False,
+            error="CommTimeoutError: gave up")
+        monkeypatch.setattr(chaos_mod, "chaos_sweep",
+                            lambda *a, **k: report_with(crashed))
+        assert main(["chaos", "--smoke"]) == 1
+        capsys.readouterr()
+
+
+class TestBenchResume:
+    def test_abort_exits_resumable_then_resume_completes(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.cli import EXIT_RESUMABLE
+
+        journal = tmp_path / "journal.json"
+        monkeypatch.setenv("REPRO_BENCH_ABORT_AFTER", "1")
+        code = main(["bench", "run", "--smoke", "--no-cache",
+                     "--journal", str(journal),
+                     "--output-dir", str(tmp_path)])
+        assert code == EXIT_RESUMABLE
+        out = capsys.readouterr().out
+        assert "completed rows journaled" in out
+        assert "resume with: repro bench run" in out
+        assert "--resume" in out
+
+        monkeypatch.delenv("REPRO_BENCH_ABORT_AFTER")
+        code = main(["bench", "run", "--smoke", "--no-cache",
+                     "--journal", str(journal), "--resume",
+                     "--output-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resume: 1/2 rows already journaled" in out
+        (artifact,) = tmp_path.glob("BENCH_*.json")
+        assert artifact.stat().st_size > 0
+
+    def test_default_journal_lands_in_cache_dir(
+            self, tmp_path, monkeypatch, capsys):
+        from pathlib import Path
+
+        from repro.cli import EXIT_RESUMABLE
+
+        seen = {}
+
+        def fake_run_bench(specs, presets, **kwargs):
+            seen.update(kwargs)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.bench.run_bench", fake_run_bench)
+        code = main(["bench", "run", "--smoke",
+                     "--cache-dir", str(tmp_path)])
+        assert code == EXIT_RESUMABLE
+        assert seen["journal_path"] == Path(tmp_path) / "journal-smoke.json"
+        capsys.readouterr()
+
+    def test_interrupt_without_journal_exits_130(
+            self, monkeypatch, capsys):
+        def fake_run_bench(specs, presets, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.bench.run_bench", fake_run_bench)
+        code = main(["bench", "run", "--smoke", "--no-cache"])
+        assert code == 130
+        assert "no journal" in capsys.readouterr().out
+
+
 class TestReplay:
     @pytest.fixture
     def trace_file(self, tmp_path, capsys):
