@@ -1,0 +1,233 @@
+"""Sharded multiprocess engine vs the serial batched scheduler.
+
+The sharded engine must be invisible in every output — traces
+(including sequence numbers, message serials, group and phase ids),
+per-cell results, statistics, and memory digests byte-identical to a
+serial run at every shard count — and must clean up every shared-
+memory segment on every exit path.  Fault plans and checkpoint
+restores fall back to the serial engines, again byte-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.apps.workloads import workload
+from repro.ckpt import CheckpointPolicy, applied
+from repro.ckpt.snapshot import resume_workload
+from repro.core.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+)
+from repro.faults.chaos import (
+    SMOKE_RECOVER_PARAMS,
+    memory_digest,
+    results_digest,
+    run_under_plan,
+    trace_digest,
+)
+from repro.faults.plan import FaultPlan
+from repro.machine import sharded
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.machine.shardmem import live_segment_names
+
+pytestmark = pytest.mark.skipif(
+    not sharded.sharded_supported(),
+    reason="platform lacks the fork start method")
+
+#: Apps of the determinism matrix.  Cell counts are >= 7 so every
+#: shard count below is valid, and the set covers pure compute (EP),
+#: PUT + flag + barrier traffic (MatMul), and the all-blocking token
+#: chain (RingShift).
+CASES = {
+    "EP": dict(num_cells=16, log2_pairs=10),
+    "MatMul": dict(num_cells=9, n=27),
+    "RingShift": dict(num_cells=16, hops=64),
+}
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def run_with(app, scheduler, shards, monkeypatch):
+    monkeypatch.setenv("REPRO_MACHINE_SCHEDULER", scheduler)
+    monkeypatch.setenv("REPRO_MACHINE_SHARDS", str(shards))
+    return workload(app).runner(**CASES[app])
+
+
+class TestDeterminismMatrix:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("app", sorted(CASES))
+    def test_byte_identical_at_every_shard_count(
+            self, app, shards, monkeypatch):
+        serial = run_with(app, "batched", 1, monkeypatch)
+        shard = run_with(app, "sharded", shards, monkeypatch)
+        assert serial.verified and shard.verified
+        # The sharded engine really ran (no silent fallback) ...
+        report = shard.machine.shard_report
+        assert report["shards"] == min(shards, CASES[app]["num_cells"])
+        # ... and was invisible in every output.
+        assert trace_digest(serial.trace) == trace_digest(shard.trace)
+        assert memory_digest(serial.machine) == \
+            memory_digest(shard.machine)
+        assert results_digest(serial.results) == \
+            results_digest(shard.results)
+        assert serial.statistics == shard.statistics
+
+    def test_strided_partitioner_same_bytes(self, monkeypatch):
+        serial = run_with("MatMul", "batched", 1, monkeypatch)
+        monkeypatch.setenv("REPRO_SHARD_PARTITIONER", "strided")
+        shard = run_with("MatMul", "sharded", 3, monkeypatch)
+        assert shard.machine.shard_report["partitioner"] == "strided"
+        assert trace_digest(serial.trace) == trace_digest(shard.trace)
+        assert serial.statistics == shard.statistics
+
+
+class TestFallbacks:
+    """Configurations the sharded engine refuses run serially — and
+    still produce the same bytes."""
+
+    STORM = FaultPlan(name="storm", seed=2718, drop_rate=0.05,
+                      dup_rate=0.05, corrupt_rate=0.05, delay_rate=0.1)
+
+    def test_fault_plan_falls_back_byte_identically(self, monkeypatch):
+        serial = run_under_plan("MatMul", self.STORM, cells=4)
+        monkeypatch.setenv("REPRO_MACHINE_SCHEDULER", "sharded")
+        monkeypatch.setenv("REPRO_MACHINE_SHARDS", "2")
+        shard = run_under_plan("MatMul", self.STORM, cells=4)
+        assert not hasattr(shard.machine, "shard_report")
+        assert trace_digest(serial.trace) == trace_digest(shard.trace)
+        assert memory_digest(serial.machine) == \
+            memory_digest(shard.machine)
+
+    def test_checkpoint_resume_falls_back_byte_identically(
+            self, tmp_path, monkeypatch):
+        params = dict(SMOKE_RECOVER_PARAMS["MatMul"])
+        cells = params.pop("num_cells")
+        with applied(CheckpointPolicy(every=1, directory=str(tmp_path))):
+            first = workload("MatMul").run(num_cells=cells, **params)
+        assert first.machine.ckpt_seq > 1
+        snapshot = sorted(tmp_path.iterdir())[0]
+
+        serial = resume_workload(snapshot)
+        monkeypatch.setenv("REPRO_MACHINE_SCHEDULER", "sharded")
+        monkeypatch.setenv("REPRO_MACHINE_SHARDS", "2")
+        shard = resume_workload(snapshot)
+        assert serial.verified and shard.verified
+        assert not hasattr(shard.machine, "shard_report")
+        assert memory_digest(serial.machine) == \
+            memory_digest(shard.machine)
+        assert results_digest(serial.results) == \
+            results_digest(shard.results)
+
+
+def wildcard_recv(ctx):
+    if ctx.pe == 1:
+        ctx.send(0, 3.14)
+    elif ctx.pe == 0:
+        yield from ctx.recv()  # no src: timing-dependent across shards
+    yield from ctx.barrier()
+
+
+def wedge(ctx):
+    flag = ctx.alloc_flag()
+    yield from ctx.barrier()
+    if ctx.pe == 0:
+        yield from ctx.flag_wait(flag, 1)
+    yield from ctx.barrier()
+
+
+def make(shards, **kw):
+    kw.setdefault("num_cells", 4)
+    kw.setdefault("memory_per_cell", 1 << 21)
+    return Machine(MachineConfig(scheduler="sharded", shards=shards,
+                                 **kw))
+
+
+class TestRefusalsAndDeadlock:
+    def test_wildcard_recv_raises(self):
+        with pytest.raises(CommunicationError, match="src"):
+            make(2).run(wildcard_recv)
+
+    def test_cross_shard_deadlock_detected(self):
+        with pytest.raises(DeadlockError, match="quiescent"):
+            make(2).run(wedge)
+
+    def test_segments_unlinked_after_deadlock(self):
+        assert live_segment_names() == []
+
+
+class TestPartitioners:
+    def test_contiguous_balanced_blocks(self):
+        plan = sharded.partition(10, 3, name="contiguous")
+        assert plan == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_strided_round_robin(self):
+        plan = sharded.partition(7, 3, name="strided")
+        assert plan == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            sharded.partition(8, 2, name="zigzag")
+
+    def test_invalid_custom_plan_rejected(self, monkeypatch):
+        monkeypatch.setitem(sharded.PARTITIONERS, "broken",
+                            lambda n, s: [list(range(n)), []])
+        with pytest.raises(ConfigurationError, match="invalid plan"):
+            sharded.partition(8, 2, name="broken")
+
+    def test_register_partitioner(self, monkeypatch):
+        monkeypatch.setitem(sharded.PARTITIONERS, "placeholder", None)
+        sharded.register_partitioner(
+            "placeholder", lambda n, s: sharded._partition_strided(n, s))
+        assert sharded.partition(6, 2, name="placeholder") == \
+            [[0, 2, 4], [1, 3, 5]]
+
+
+_KILL_CHILD = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.apps.latency import run_ring_shift
+print("READY", flush=True)
+run_ring_shift(16, hops=200000)
+"""
+
+
+class TestTermCleanup:
+    """SIGTERM mid-run must not leak /dev/shm segments (the chained
+    handler unlinks before the process dies)."""
+
+    def test_sigterm_mid_run_leaves_no_segments(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        before = set(os.listdir("/dev/shm"))
+        env = dict(os.environ,
+                   REPRO_MACHINE_SCHEDULER="sharded",
+                   REPRO_MACHINE_SHARDS="2")
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             _KILL_CHILD.format(src=os.path.abspath(src))],
+            stdout=subprocess.PIPE, env=env, text=True)
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            time.sleep(1.0)  # well inside the multi-second run
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode != 0  # it died mid-run, not normally
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            leaked = set(os.listdir("/dev/shm")) - before
+            if not leaked:
+                break
+            time.sleep(0.2)  # workers may still be exiting
+        assert leaked == set(), f"segments leaked: {sorted(leaked)}"

@@ -1,0 +1,98 @@
+"""SegmentPool lifecycle and the SPSC ShmRing protocol."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.machine import shardmem
+from repro.machine.shardmem import (
+    SegmentPool,
+    ShmRing,
+    live_segment_names,
+)
+
+
+def make_ring(capacity: int) -> ShmRing:
+    buf = memoryview(bytearray(16 + capacity))
+    return ShmRing(buf, capacity)
+
+
+class TestShmRing:
+    def test_fifo_roundtrip(self):
+        ring = make_ring(256)
+        for i in range(5):
+            assert ring.try_push(b"rec%d" % i)
+        assert [ring.pop() for _ in range(5)] == \
+            [b"rec%d" % i for i in range(5)]
+        assert ring.pop() is None
+
+    def test_len_counts_bytes_in_flight(self):
+        ring = make_ring(64)
+        assert len(ring) == 0
+        ring.try_push(b"abcd")
+        assert len(ring) == 4 + 4  # length prefix + record
+        ring.pop()
+        assert len(ring) == 0
+
+    def test_wraparound_preserves_records(self):
+        # Capacity chosen so records straddle the wrap point often.
+        ring = make_ring(37)
+        for i in range(200):
+            record = bytes([i % 251]) * (i % 11 + 1)
+            assert ring.try_push(record)
+            assert ring.pop() == record
+
+    def test_full_ring_rejects_push(self):
+        ring = make_ring(32)
+        assert ring.try_push(b"x" * 28)  # 4 + 28 == capacity
+        assert not ring.try_push(b"y")
+        ring.pop()
+        assert ring.try_push(b"y")
+
+    def test_oversized_record_raises(self):
+        ring = make_ring(16)
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.try_push(b"z" * 16)
+
+    def test_window_too_small_raises(self):
+        with pytest.raises(ValueError, match="smaller than header"):
+            ShmRing(memoryview(bytearray(16)), 8)
+
+    def test_counters_are_monotonic_not_wrapped(self):
+        ring = make_ring(24)
+        for _ in range(50):  # total bytes pushed far exceed capacity
+            assert ring.try_push(b"0123")
+            assert ring.pop() == b"0123"
+        assert ring._head == ring._tail == 50 * 8
+
+
+class TestSegmentPool:
+    def test_create_registers_and_release_unlinks(self):
+        with SegmentPool() as pool:
+            seg = pool.create(4096)
+            assert seg.name.lstrip("/") in {
+                n.lstrip("/") for n in live_segment_names()}
+            assert os.path.exists(f"/dev/shm/{seg.name.lstrip('/')}")
+        assert live_segment_names() == []
+        assert not os.path.exists(f"/dev/shm/{seg.name.lstrip('/')}")
+
+    def test_release_is_idempotent(self):
+        pool = SegmentPool()
+        with pool:
+            pool.create(1024)
+        pool.release()  # second release: no raise
+        assert live_segment_names() == []
+
+    def test_mappings_stay_readable_after_release(self):
+        # The parent keeps numpy views into cell segments after the
+        # run; release() unlinks the name but keeps the mapping.
+        with SegmentPool() as pool:
+            seg = pool.create(1024)
+            seg.buf[0] = 42
+        assert seg.buf[0] == 42
+
+    def test_sweep_is_safe_with_nothing_live(self):
+        shardmem._sweep()
+        assert live_segment_names() == []
