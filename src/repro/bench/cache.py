@@ -42,7 +42,9 @@ import numpy as np
 import repro
 from repro.obs.observer import machine_metrics
 from repro.trace.buffer import TraceBuffer
+from repro.core.errors import ReproError
 from repro.trace.io import (
+    ensure_intact,
     load_columns_npz,
     load_trace,
     load_trace_columns,
@@ -190,27 +192,21 @@ class TraceCache:
                 trace_path=trace_path,
                 machine_metrics=meta.get("machine_metrics", {}),
             )
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (OSError, ValueError, KeyError, TypeError,
+                ReproError) as exc:
             self.quarantine(entry, reason=f"{type(exc).__name__}: {exc}")
             return None
 
     def _validate_entry(self, entry: Path) -> None:
         """Refuse to serve a torn entry.
 
-        The trace must be non-empty and end in a record terminator (a
-        process killed mid-``write`` leaves a partial last line), and
-        the binary sidecar, when present, must at least be a readable
-        archive.  Raises ``ValueError``/``OSError`` on damage.
+        The trace must pass :func:`repro.trace.io.ensure_intact` (the
+        shared torn-file detection ``repro top``/``replay`` use too: a
+        process killed mid-``write`` leaves an empty file or a partial
+        last line), and the binary sidecar, when present, must at least
+        be a readable archive.  Raises on damage.
         """
-        trace_path = entry / TRACE_NAME
-        if trace_path.stat().st_size == 0:
-            raise ValueError(f"{trace_path.name} is empty")
-        with trace_path.open("rb") as fh:
-            fh.seek(-1, os.SEEK_END)
-            if fh.read(1) != b"\n":
-                raise ValueError(
-                    f"{trace_path.name} is truncated "
-                    "(missing trailing newline)")
+        ensure_intact(entry / TRACE_NAME)
         sidecar = entry / COLUMNS_NAME
         if sidecar.exists():
             with np.load(sidecar) as archive:

@@ -62,6 +62,43 @@ def _validate_check_schema(app: str, check: dict[str, Any] | None) -> None:
             )
 
 
+def _validate_metrics_schema(
+        app: str, metrics: dict[str, Any] | None) -> None:
+    """Refuse embedded observability documents from an unknown format.
+
+    Mirrors :func:`_validate_check_schema` for the ``results[].metrics``
+    block: the ``machine`` telemetry harvest and each per-preset
+    ``replay`` document carry a ``schema`` stamp
+    (``repro-obs-machine-v1`` / ``repro-obs-replay-v1``); an
+    unrecognized stamp fails loudly at artifact load so ``repro bench
+    compare`` never diffs fields it cannot interpret.  Blocks without a
+    stamp predate versioning and pass as legacy.
+    """
+    if metrics is None:
+        return
+    from repro.obs.registry import KNOWN_OBS_SCHEMAS
+
+    blocks: list[tuple[str, Any]] = [
+        ("metrics.machine", metrics.get("machine"))]
+    replay = metrics.get("replay")
+    if isinstance(replay, dict):
+        blocks.extend((f"metrics.replay[{preset!r}]", doc)
+                      for preset, doc in replay.items())
+    for label, block in blocks:
+        if not isinstance(block, dict):
+            continue
+        version = block.get("schema")
+        if version is None:
+            continue
+        if version not in KNOWN_OBS_SCHEMAS:
+            raise ConfigurationError(
+                f"results[{app!r}].{label} carries unknown schema "
+                f"{version!r}; this code understands "
+                f"{sorted(KNOWN_OBS_SCHEMAS)} — refusing to guess at "
+                f"its field semantics"
+            )
+
+
 @dataclass(frozen=True)
 class PresetMetrics:
     """Simulated metrics of one (application, preset) replay."""
@@ -114,6 +151,7 @@ def app_result_from_dict(name: str, a: dict[str, Any]) -> AppResult:
     """Rehydrate one serialized :class:`AppResult` (artifact ``results``
     row or bench-journal entry), validating any embedded check block."""
     _validate_check_schema(name, a.get("check"))
+    _validate_metrics_schema(name, a.get("metrics"))
     return AppResult(
         app=a["app"],
         config=a["config"],

@@ -9,8 +9,12 @@ Usage::
     python -m repro.cli replay cg.jsonl --params my_model.params
     python -m repro.cli trace export --micro --format perfetto -o out.json
     python -m repro.cli trace export cg.jsonl --format chrome
+    python -m repro.cli trace export cg.jsonl --chunk-events 5000 -o out.json
     python -m repro.cli top cg.jsonl [--json]
     python -m repro.cli top BENCH_20260101T000000Z.json
+    python -m repro.cli run CG --stream cg.stream.jsonl
+    python -m repro.cli top cg.stream.jsonl --follow
+    python -m repro.cli ingest foreign.vef [--reader vef] [--json]
     python -m repro.cli params ap1000
     python -m repro.cli report [--paper-scale] [--apps EP MatMul ...]
     python -m repro.cli check --all [--json]
@@ -32,7 +36,10 @@ detector / synchronization sanitizer over recorded traces and the SPMD
 lint over application source (see ``docs/checker.md``).  ``trace
 export`` and ``top`` surface the observability layer (``repro.obs``,
 see ``docs/observability.md``): Perfetto/Chrome timeline exports and an
-ASCII utilization dashboard over a trace or bench artifact.
+ASCII utilization dashboard over a trace or bench artifact.  ``ingest``
+translates foreign traces (VEF text, MPI JSON-lines; see
+``docs/ingest.md``) into the native format, and ``run --stream`` / ``top
+--follow`` stream a live run into a tailable dashboard.
 """
 
 from __future__ import annotations
@@ -48,7 +55,11 @@ from pathlib import Path
 
 from repro.analysis.report import run_experiments
 from repro.apps.workloads import ORDER, WORKLOADS, workload
-from repro.core.errors import CheckpointInterrupt, ReproError
+from repro.core.errors import (
+    CheckpointInterrupt,
+    ConfigurationError,
+    ReproError,
+)
 from repro.mlsim.params import PRESETS, format_params, parse_params, preset
 from repro.mlsim.simulator import simulate, simulate_models
 from repro.trace.io import load_trace, save_trace
@@ -173,10 +184,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shard_ctx = _shard_env(args.shards)
     else:
         shard_ctx = contextlib.nullcontext()
+    stream_writer = None
+    if args.stream:
+        if args.shards is not None:
+            raise ConfigurationError(
+                "--stream tails the live trace buffer; the sharded "
+                "engine records per-worker and merges at the end, so "
+                "the combination would not stream anything live — "
+                "drop one of --stream/--shards")
+        from repro.trace.buffer import streaming_to
+        from repro.trace.io import StreamTraceWriter
+
+        stream_writer = StreamTraceWriter(args.stream)
+        stream_ctx = streaming_to(stream_writer)
+    else:
+        stream_ctx = contextlib.nullcontext()
     try:
         with _graceful_interrupt(bool(args.checkpoint_dir)), policy_ctx, \
                 sanitize.enabled(args.sanitize), obs.enabled(args.observe), \
-                shard_ctx:
+                shard_ctx, stream_ctx:
             run = w.run(paper_scale=args.paper_scale,
                         num_cells=args.cells, **overrides)
     except CheckpointInterrupt as exc:
@@ -185,6 +211,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("resume with: "
               + _run_resume_command(args, str(exc.snapshot_path)))
         return EXIT_RESUMABLE
+    finally:
+        # On success this lands the v2-compatible footer; on a crash or
+        # checkpoint interrupt it flushes what was recorded so the file
+        # stays tailable/loadable.
+        if stream_writer is not None:
+            stream_writer.close()
     # Statistics and the trace file must be taken before any replay:
     # replays coalesce (mutate) the trace buffer.
     statistics = run.statistics
@@ -228,6 +260,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table3_row(run.name, statistics))
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.stream:
+        print(f"stream trace written to {args.stream}")
     if speedups is not None:
         print(f"Table 2 speedups vs AP1000: AP1000+ "
               f"{speedups['ap1000+']:.2f}, "
@@ -293,12 +327,34 @@ def _source_trace(args: argparse.Namespace):
         "no trace source: name a trace file, or pass --micro or --app")
 
 
+def _chunk_path(output: Path, index: int) -> Path:
+    """``out.json`` -> ``out.chunk000.json`` (chunked trace export)."""
+    suffix = output.suffix or ".json"
+    return output.with_name(f"{output.stem}.chunk{index:03d}{suffix}")
+
+
 def _cmd_trace_export(args: argparse.Namespace) -> int:
-    from repro.obs.export import export_trace
+    from repro.obs.export import export_trace, export_trace_chunked
 
     trace = _source_trace(args)
     params = (parse_params(args.params, name=args.params) if args.params
               else preset(args.preset))
+    if args.chunk_events is not None:
+        if not args.output:
+            raise ConfigurationError(
+                "--chunk-events writes one file per chunk; name the "
+                "base path with -o/--output")
+        out = Path(args.output)
+        paths = []
+        for index, text in enumerate(export_trace_chunked(
+                trace, params, args.format,
+                chunk_events=args.chunk_events)):
+            path = _chunk_path(out, index)
+            path.write_text(text, encoding="utf-8")
+            paths.append(path)
+        print(f"{args.format} export written to {len(paths)} chunk(s): "
+              f"{paths[0]} .. {paths[-1]}")
+        return 0
     text = export_trace(trace, params, args.format)
     if args.output:
         Path(args.output).write_text(text, encoding="utf-8")
@@ -308,10 +364,69 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top_follow(args: argparse.Namespace) -> int:
+    """Live dashboard: tail a stream trace or a bench journal."""
+    import time
+
+    from repro.obs.follow import (
+        FollowState,
+        follow_document,
+        read_journal_snapshot,
+        render_follow,
+        render_journal_follow,
+    )
+
+    if not args.trace:
+        raise ConfigurationError(
+            "--follow needs a file to tail: a stream trace from "
+            "`repro run --stream` or a bench campaign journal")
+    path = Path(args.trace)
+    if not path.exists():
+        raise ConfigurationError(f"nothing to follow: {path} does not "
+                                 "exist (start the run first)")
+    frame = 0
+    if read_journal_snapshot(path) is not None:
+        # Journal mode: the file is rewritten atomically per row, so
+        # each tick re-reads the whole (small) document.
+        while True:
+            doc = read_journal_snapshot(path)
+            if doc is not None:
+                if args.json:
+                    _print_json(doc)
+                else:
+                    print(render_journal_follow(doc))
+            frame += 1
+            done = (doc is not None
+                    and set(doc.get("app_order", []))
+                    <= set(doc.get("apps", {})))
+            if done or (args.frames is not None
+                        and frame >= args.frames):
+                return 0
+            time.sleep(args.interval)
+    state = FollowState(path)
+    try:
+        while True:
+            state.poll()
+            if args.json:
+                _print_json(follow_document(state))
+            else:
+                print(render_follow(state))
+            frame += 1
+            if state.complete or (args.frames is not None
+                                  and frame >= args.frames):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.bench.schema import SCHEMA_NAME, BenchArtifact
     from repro.obs import top as obs_top
 
+    if args.follow:
+        return _cmd_top_follow(args)
     artifact_data = None
     if args.trace and not args.micro:
         try:
@@ -333,6 +448,57 @@ def _cmd_top(args: argparse.Namespace) -> int:
         _print_json(obs_top.top_document(result))
     else:
         print(obs_top.render_top(result))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Translate a foreign trace and land it in the bench trace cache."""
+    import time
+
+    from repro.ingest import ingest_file, land_in_cache
+
+    t0 = time.perf_counter()
+    result = ingest_file(args.source, reader=args.reader,
+                         cells=args.cells, time_unit=args.time_unit)
+    wall_s = time.perf_counter() - t0
+    trace_path: Path | None = None
+    cache_hit = False
+    if not args.no_cache:
+        cached = land_in_cache(result, args.source, reader=args.reader,
+                               cache_dir=args.cache_dir, wall_s=wall_s)
+        trace_path = cached.trace_path
+        cache_hit = cached.cache_hit
+    if args.output:
+        save_trace(result.trace, args.output)
+        trace_path = Path(args.output)
+    if args.json:
+        _print_json({
+            "schema": "repro-ingest-v1",
+            "source": str(args.source),
+            "reader": args.reader or "auto",
+            "num_ranks": result.num_ranks,
+            "num_cells": result.num_cells,
+            "source_events": result.source_events,
+            "synthesized_compute": result.synthesized_compute,
+            "total_events": result.trace.total_events,
+            "op_counts": dict(result.op_counts),
+            "trace_path": str(trace_path) if trace_path else None,
+            "cache_hit": cache_hit,
+        })
+        return 0
+    print(f"ingested {args.source}: {result.source_events} foreign "
+          f"records -> {result.trace.total_events} trace events on "
+          f"{result.num_cells} cells ({result.num_ranks} ranks)")
+    if result.synthesized_compute:
+        print(f"  synthesized {result.synthesized_compute} COMPUTE "
+              "events from timestamp gaps")
+    counts = "  ".join(f"{op}={n}"
+                       for op, n in sorted(result.op_counts.items()))
+    print(f"  foreign op mix: {counts}")
+    if trace_path is not None:
+        hit = " (cache hit)" if cache_hit else ""
+        print(f"  trace published at {trace_path}{hit}")
+        print(f"  next: repro replay {trace_path} --preset ap1000+")
     return 0
 
 
@@ -698,6 +864,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the paper's problem size")
     p_run.add_argument("--trace", metavar="FILE",
                        help="write the recorded trace as JSON lines")
+    p_run.add_argument("--stream", metavar="FILE",
+                       help="stream the trace to FILE incrementally "
+                            "while the run executes (bounded memory; "
+                            "tail it live with `repro top FILE "
+                            "--follow`)")
     p_run.add_argument("--no-replay", action="store_true",
                        help="skip the MLSim replay summary")
     p_run.add_argument("--sanitize", action="store_true",
@@ -771,6 +942,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="custom parameter file for the replay")
     p_trace_exp.add_argument("-o", "--output", metavar="FILE",
                              help="write here instead of stdout")
+    p_trace_exp.add_argument("--chunk-events", type=int, default=None,
+                             metavar="N",
+                             help="split the export into standalone "
+                                  "documents of <= N timeline events "
+                                  "each (requires -o; flow arrows stay "
+                                  "linked across chunks)")
     p_trace_exp.set_defaults(func=_cmd_trace_export)
 
     p_top = sub.add_parser(
@@ -785,9 +962,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--preset", default="ap1000+",
                        choices=sorted(PRESETS),
                        help="replay preset (default: ap1000+)")
+    p_top.add_argument("--follow", action="store_true",
+                       help="live mode: tail an in-progress stream "
+                            "trace (`repro run --stream`) or bench "
+                            "journal and redraw until it completes")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       metavar="SEC",
+                       help="--follow redraw interval (default: 1s)")
+    p_top.add_argument("--frames", type=int, default=None, metavar="N",
+                       help="--follow: stop after N frames instead of "
+                            "following to completion")
     p_top.add_argument("--json", action="store_true",
                        help="machine-readable repro-top-v1 output")
     p_top.set_defaults(func=_cmd_top)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="translate a foreign trace (VEF text, MPI JSON-lines) "
+             "into the native format and land it in the trace cache")
+    p_ingest.add_argument("source", metavar="FILE",
+                          help="foreign trace file (see docs/ingest.md)")
+    p_ingest.add_argument("--reader", default=None, metavar="NAME",
+                          help="trace reader plugin (default: sniff "
+                               "from the file; `repro list` readers: "
+                               "vef, mpijson)")
+    p_ingest.add_argument("--cells", type=int, default=None,
+                          help="machine size to map onto (default: the "
+                               "trace's rank count)")
+    p_ingest.add_argument("--time-unit", type=float, default=1.0,
+                          metavar="US",
+                          help="microseconds per foreign time unit "
+                               "(default: 1.0)")
+    p_ingest.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="trace cache root (default: "
+                               "benchmarks/.trace_cache)")
+    p_ingest.add_argument("--no-cache", action="store_true",
+                          help="skip the cache; use with -o to just "
+                               "convert the file")
+    p_ingest.add_argument("-o", "--output", metavar="FILE",
+                          help="also write the translated trace here")
+    p_ingest.add_argument("--json", action="store_true",
+                          help="machine-readable repro-ingest-v1 output")
+    p_ingest.set_defaults(func=_cmd_ingest)
 
     p_params = sub.add_parser("params",
                               help="print a parameter file (Figure 6)")

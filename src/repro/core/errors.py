@@ -74,5 +74,25 @@ class TraceBufferOverflowError(ReproError):
     """The bounded trace buffer filled up, as on the real AP1000 probes."""
 
 
+class IngestError(ReproError):
+    """A foreign trace could not be translated into the canonical event
+    stream (:mod:`repro.ingest`).
+
+    Structured: ``source`` names the offending file and ``line`` the
+    1-based record it was parsing (0 when the problem is global, e.g.
+    an unmatched receive discovered at end of stream), so ``repro
+    ingest`` can point at the exact foreign record without a traceback.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None,
+                 line: int = 0) -> None:
+        where = ""
+        if source is not None:
+            where = f"{source}:{line}: " if line else f"{source}: "
+        super().__init__(where + message)
+        self.source = source
+        self.line = line
+
+
 class SimulationError(ReproError):
     """MLSim reached an inconsistent state while replaying a trace."""

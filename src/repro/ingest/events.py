@@ -1,0 +1,103 @@
+"""Foreign-event vocabulary: the lingua franca between trace readers
+and the canonical-event mapper.
+
+Readers (:mod:`repro.ingest.readers`) parse an external trace file —
+VEF/TraceLIB-style text, MPI-ish JSON lines — into a stream of
+:class:`ForeignEvent` records; the mapper (:mod:`repro.ingest.mapper`)
+is the only component that knows how to turn those into
+:class:`repro.trace.events.TraceEvent` streams MLSim can replay.  The
+verb set follows the OpenSHMEM/PGAS surface (put/get/barrier/collect)
+plus the two-sided MPI pair, which between them cover what SPMD traces
+in the wild actually record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ForeignOp(enum.Enum):
+    """Verbs a foreign trace record may carry."""
+
+    SEND = "send"        # two-sided blocking send to ``peer``
+    RECV = "recv"        # two-sided receive from ``peer``
+    PUT = "put"          # one-sided write into ``peer``'s memory
+    GET = "get"          # one-sided (blocking) read from ``peer``
+    WAIT = "wait"        # wait for all puts targeting this rank so far
+    BARRIER = "barrier"  # world barrier
+    REDUCE = "reduce"    # global reduction over ``size`` payload bytes
+    COMPUTE = "compute"  # explicit computation interval (``work`` us)
+
+
+#: Verbs that name a communication partner.
+PARTNER_OPS = frozenset({
+    ForeignOp.SEND, ForeignOp.RECV, ForeignOp.PUT, ForeignOp.GET,
+})
+
+#: Spellings accepted for each verb (MPI-ish and OpenSHMEM-ish aliases,
+#: lower-cased before lookup).  Readers share this table so the two
+#: shipped dialects agree on vocabulary.
+OP_ALIASES: dict[str, ForeignOp] = {
+    "send": ForeignOp.SEND,
+    "isend": ForeignOp.SEND,
+    "mpi_send": ForeignOp.SEND,
+    "mpi_isend": ForeignOp.SEND,
+    "recv": ForeignOp.RECV,
+    "irecv": ForeignOp.RECV,
+    "mpi_recv": ForeignOp.RECV,
+    "mpi_irecv": ForeignOp.RECV,
+    "put": ForeignOp.PUT,
+    "rma_put": ForeignOp.PUT,
+    "shmem_put": ForeignOp.PUT,
+    "get": ForeignOp.GET,
+    "rma_get": ForeignOp.GET,
+    "shmem_get": ForeignOp.GET,
+    "wait": ForeignOp.WAIT,
+    "waitall": ForeignOp.WAIT,
+    "quiet": ForeignOp.WAIT,
+    "fence": ForeignOp.WAIT,
+    "barrier": ForeignOp.BARRIER,
+    "barrier_all": ForeignOp.BARRIER,
+    "mpi_barrier": ForeignOp.BARRIER,
+    "reduce": ForeignOp.REDUCE,
+    "allreduce": ForeignOp.REDUCE,
+    "mpi_allreduce": ForeignOp.REDUCE,
+    "gop": ForeignOp.REDUCE,
+    "compute": ForeignOp.COMPUTE,
+    "comp": ForeignOp.COMPUTE,
+    "work": ForeignOp.COMPUTE,
+}
+
+
+def parse_op(token: str, *, source: str, line: int) -> ForeignOp:
+    """Resolve a verb spelling; raises a structured error on unknowns."""
+    from repro.core.errors import IngestError
+
+    op = OP_ALIASES.get(token.lower())
+    if op is None:
+        raise IngestError(
+            f"unknown operation {token!r} (known: "
+            f"{sorted(set(OP_ALIASES))})", source=source, line=line)
+    return op
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignEvent:
+    """One record of a foreign trace, normalized but untranslated.
+
+    ``timestamp`` is in the source's own units (the mapper scales it);
+    ``peer`` is -1 for verbs without a partner; ``work`` carries the
+    duration of explicit COMPUTE records, again in source units.
+    ``line`` is the 1-based record number in the source file so every
+    validation failure can point back at the offending record.
+    """
+
+    op: ForeignOp
+    rank: int
+    timestamp: float
+    peer: int = -1
+    size: int = 0
+    tag: int = 0
+    work: float = 0.0
+    line: int = 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io
 import json
+from collections.abc import Iterable, Iterator
 
 from repro.core.errors import ConfigurationError
 from repro.mlsim.engine import MLSimEngine
@@ -60,46 +61,55 @@ def _metadata_events(num_pes: int, model: str) -> list[dict]:
     return events
 
 
-def _span_events(timeline) -> list[dict]:
-    events = []
+def _iter_span_events(timeline) -> Iterator[dict]:
     for pe in range(timeline.num_pes):
         for span in timeline.spans_for(pe):
-            events.append({
+            yield {
                 "ph": "X", "name": span.label, "cat": span.bucket,
                 "pid": 0, "tid": pe,
                 "ts": _ts(span.start), "dur": _ts(span.duration),
-            })
-    return events
+            }
+
+
+def _iter_flow_events(timeline) -> Iterator[dict]:
+    # The flow id is the *global* index into ``timeline.flows``, never a
+    # per-document counter, so a packet whose `s`/`f` halves land in
+    # different chunks of a chunked export still pairs up in Perfetto.
+    for i, flow in enumerate(timeline.flows):
+        name = f"{flow.kind} {flow.size}B"
+        yield {
+            "ph": "s", "id": i, "name": name, "cat": "packet",
+            "pid": 0, "tid": flow.src, "ts": _ts(flow.depart),
+        }
+        yield {
+            "ph": "f", "bp": "e", "id": i, "name": name, "cat": "packet",
+            "pid": 0, "tid": flow.dst, "ts": _ts(flow.arrival),
+        }
+
+
+def _iter_instant_events(timeline) -> Iterator[dict]:
+    for inst in timeline.instants:
+        yield {
+            "ph": "i", "s": "t", "name": inst.name, "cat": "robustness",
+            "pid": 0, "tid": inst.pe, "ts": _ts(inst.t),
+        }
+    for mark in timeline.phase_marks:
+        yield {
+            "ph": "i", "s": "t", "name": mark.label, "cat": "phase",
+            "pid": 0, "tid": mark.pe, "ts": _ts(mark.t),
+        }
+
+
+def _span_events(timeline) -> list[dict]:
+    return list(_iter_span_events(timeline))
 
 
 def _flow_events(timeline) -> list[dict]:
-    events = []
-    for i, flow in enumerate(timeline.flows):
-        name = f"{flow.kind} {flow.size}B"
-        events.append({
-            "ph": "s", "id": i, "name": name, "cat": "packet",
-            "pid": 0, "tid": flow.src, "ts": _ts(flow.depart),
-        })
-        events.append({
-            "ph": "f", "bp": "e", "id": i, "name": name, "cat": "packet",
-            "pid": 0, "tid": flow.dst, "ts": _ts(flow.arrival),
-        })
-    return events
+    return list(_iter_flow_events(timeline))
 
 
 def _instant_events(timeline) -> list[dict]:
-    events = []
-    for inst in timeline.instants:
-        events.append({
-            "ph": "i", "s": "t", "name": inst.name, "cat": "robustness",
-            "pid": 0, "tid": inst.pe, "ts": _ts(inst.t),
-        })
-    for mark in timeline.phase_marks:
-        events.append({
-            "ph": "i", "s": "t", "name": mark.label, "cat": "phase",
-            "pid": 0, "tid": mark.pe, "ts": _ts(mark.t),
-        })
-    return events
+    return list(_iter_instant_events(timeline))
 
 
 def chrome_document(engine: MLSimEngine, result) -> dict:
@@ -146,4 +156,100 @@ def export_trace(trace: TraceBuffer, params: MLSimParams,
     engine, result = replay_with_timeline(trace, params)
     doc = (chrome_document if fmt == "chrome"
            else perfetto_document)(engine, result)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _iter_payload_events(timeline, fmt: str) -> Iterator[dict]:
+    """Non-metadata events in the exact monolithic document order."""
+    yield from _iter_span_events(timeline)
+    if fmt == "perfetto":
+        yield from _iter_flow_events(timeline)
+        yield from _iter_instant_events(timeline)
+
+
+def export_trace_chunked(
+    trace: TraceBuffer,
+    params: MLSimParams,
+    fmt: str = "perfetto",
+    *,
+    chunk_events: int,
+) -> Iterator[str]:
+    """Yield the export as standalone documents of <= ``chunk_events``
+    payload events each.
+
+    Every chunk repeats the metadata (process/thread names) so it opens
+    in Perfetto on its own; flow ids are global indices, so arrows whose
+    endpoints straddle a chunk boundary still connect.  Concatenating
+    the chunks' payloads in order reproduces the monolithic
+    :func:`export_trace` document byte-for-byte (see
+    :func:`merge_chunks`), and only one chunk of events is materialized
+    at a time.
+    """
+    if fmt not in ("chrome", "perfetto"):
+        raise ConfigurationError(
+            f"cannot chunk format {fmt!r}; chunked export renders a "
+            "replay timeline (use 'perfetto' or 'chrome')")
+    if chunk_events < 1:
+        raise ConfigurationError(
+            f"--chunk-events must be positive, got {chunk_events}")
+    engine, result = replay_with_timeline(trace, params)
+    timeline = engine.timeline
+    assert timeline is not None
+    metadata = _metadata_events(timeline.num_pes, result.model_name)
+    other: dict = {"model": result.model_name,
+                   "elapsed_us": _ts(result.elapsed_us)}
+    if fmt == "perfetto" and result.metrics is not None:
+        other["metrics"] = result.metrics
+
+    def render(index: int, payload: list[dict]) -> str:
+        doc = {
+            "displayTimeUnit": "ms",
+            "traceEvents": metadata + payload,
+            "otherData": dict(other, chunk=index),
+        }
+        return (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+                + "\n")
+
+    index = 0
+    payload: list[dict] = []
+    for event in _iter_payload_events(timeline, fmt):
+        payload.append(event)
+        if len(payload) >= chunk_events:
+            yield render(index, payload)
+            index += 1
+            payload = []
+    if payload or index == 0:
+        yield render(index, payload)
+
+
+def merge_chunks(chunks: Iterable[str]) -> str:
+    """Reassemble :func:`export_trace_chunked` output into the
+    monolithic document — byte-identical to :func:`export_trace`.
+
+    Metadata events (``ph == "M"``) are taken from the first chunk (all
+    chunks repeat them identically); payloads concatenate in order; the
+    ``chunk`` stamp is dropped from ``otherData``.
+    """
+    events: list[dict] = []
+    other: dict | None = None
+    for index, text in enumerate(chunks):
+        doc = json.loads(text)
+        chunk_other = doc.get("otherData", {})
+        if chunk_other.get("chunk") != index:
+            raise ConfigurationError(
+                f"chunk {index} is out of order or not a chunked export "
+                f"(otherData.chunk={chunk_other.get('chunk')!r})")
+        if other is None:
+            other = {k: v for k, v in chunk_other.items() if k != "chunk"}
+            events.extend(doc["traceEvents"])
+        else:
+            events.extend(ev for ev in doc["traceEvents"]
+                          if ev.get("ph") != "M")
+    if other is None:
+        raise ConfigurationError("no chunks to merge")
+    doc = {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "otherData": other,
+    }
     return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

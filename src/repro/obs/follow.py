@@ -1,0 +1,305 @@
+"""``repro top --follow``: live dashboards over in-progress artifacts.
+
+Two followable subjects:
+
+* a **stream trace** being written by ``repro run --stream`` —
+  :class:`FollowState` tails the file incrementally (complete lines
+  only, constant memory) and aggregates link traffic, a queue-pressure
+  proxy, and phase progress from the raw events;
+* a **bench campaign journal** (``repro-bench-journal-v1``) — re-read
+  atomically-replaced snapshots each tick and show row completion.
+
+Unlike ``repro top``'s replay mode, follow mode never replays: the run
+is still producing the trace, so the dashboard reports *recorded*
+quantities — event counts, issued bytes per source→destination pair,
+outstanding (issued-but-unacknowledged) messages — not simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import SimulationError
+from repro.trace.events import EventKind
+from repro.trace.io import FORMAT_STREAM
+
+#: Pairs shown in the live link table (busiest first).
+MAX_LINKS = 10
+#: Kinds that put payload on the wire toward ``partner``.
+_WIRE_KINDS = (int(EventKind.PUT), int(EventKind.SEND),
+               int(EventKind.GET), int(EventKind.REMOTE_STORE),
+               int(EventKind.REMOTE_LOAD))
+
+
+class FollowState:
+    """Incremental aggregation over a growing stream-trace file.
+
+    ``poll`` consumes any new *complete* lines since the last call (a
+    partial last line from a live writer is left for the next tick), so
+    memory and per-tick work are proportional to the increment, never
+    to the file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.num_pes = 0
+        self.total_events = 0
+        self.complete = False
+        #: Per-PE event counts and recorded compute µs.
+        self.pe_events: list[int] = []
+        self.pe_work_us: list[float] = []
+        self.kind_counts: dict[str, int] = {}
+        #: (src, dst) -> [messages, bytes] for wire-bound kinds.
+        self.links: dict[tuple[int, int], list[int]] = {}
+        self.bytes_on_wire = 0
+        #: Queue-pressure proxy: messages issued toward each
+        #: destination minus completions observed at it (recv,
+        #: flag-wait targets).
+        self.inflight: list[int] = []
+        self.inflight_high_water: list[int] = []
+        self._acked: list[int] = []
+        #: Phase bookkeeping: interned labels, per-PE current phase id,
+        #: and how many PEs have entered each phase.
+        self.phase_labels: list[str] = []
+        self.pe_phase: list[int] = []
+        self.phase_entries: dict[int, int] = {}
+        self._offset = 0
+        self._header_seen = False
+
+    # ------------------------------------------------------------------
+    # Ingestion of increments
+    # ------------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Consume new complete lines; returns how many were read."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._offset)
+                chunk = fh.read()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot follow {self.path}: {exc}") from exc
+        if not chunk:
+            return 0
+        # Keep only complete lines; a torn tail stays for next time.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return 0
+        complete_part = chunk[:end + 1]
+        self._offset += len(complete_part)
+        consumed = 0
+        for raw in complete_part.splitlines():
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            self._line(text)
+            consumed += 1
+        return consumed
+
+    def _line(self, text: str) -> None:
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"{self.path}: corrupt stream line: {exc.msg}") from exc
+        if not self._header_seen:
+            if obj.get("format") != FORMAT_STREAM:
+                raise SimulationError(
+                    f"{self.path} is not a stream trace (format "
+                    f"{obj.get('format')!r}; `repro top --follow` tails "
+                    "files written by `repro run --stream`)")
+            self._begin(int(obj["num_pes"]))
+            return
+        if "footer" in obj:
+            self.complete = True
+            return
+        if obj.get("meta") == "phase":
+            pid = int(obj["id"])
+            while len(self.phase_labels) < pid:
+                self.phase_labels.append(str(obj["label"]))
+            return
+        self._event(obj)
+
+    def _begin(self, num_pes: int) -> None:
+        self._header_seen = True
+        self.num_pes = num_pes
+        self.pe_events = [0] * num_pes
+        self.pe_work_us = [0.0] * num_pes
+        self.inflight = [0] * num_pes
+        self.inflight_high_water = [0] * num_pes
+        self._acked = [0] * num_pes
+        self.pe_phase = [0] * num_pes
+
+    def _event(self, obj: dict[str, Any]) -> None:
+        kind = int(obj["kind"])
+        pe = int(obj["pe"])
+        self.total_events += 1
+        if 0 <= pe < self.num_pes:
+            self.pe_events[pe] += 1
+        name = EventKind(kind).name
+        self.kind_counts[name] = self.kind_counts.get(name, 0) + 1
+        if kind in (int(EventKind.COMPUTE), int(EventKind.RTSYS)):
+            if 0 <= pe < self.num_pes:
+                self.pe_work_us[pe] += float(obj.get("work", 0.0))
+            return
+        partner = int(obj.get("partner", -1))
+        if kind in _WIRE_KINDS and 0 <= partner < self.num_pes:
+            size = int(obj.get("size", 0))
+            stats = self.links.setdefault((pe, partner), [0, 0])
+            stats[0] += 1
+            stats[1] += size
+            self.bytes_on_wire += size
+            self.inflight[partner] += 1
+            self.inflight_high_water[partner] = max(
+                self.inflight_high_water[partner],
+                self.inflight[partner])
+        elif kind == int(EventKind.RECV):
+            self._drain(pe, self._acked[pe] + 1)
+        elif kind == int(EventKind.FLAG_WAIT):
+            # The wait's target is a cumulative completion count toward
+            # this PE; reaching it drains the proxy queue to there.
+            self._drain(pe, int(obj.get("target", 0)))
+        elif kind == int(EventKind.PHASE):
+            pid = int(obj.get("flag", 0))
+            if 0 <= pe < self.num_pes:
+                self.pe_phase[pe] = pid
+            self.phase_entries[pid] = self.phase_entries.get(pid, 0) + 1
+
+    def _drain(self, pe: int, acked: int) -> None:
+        if not 0 <= pe < self.num_pes:
+            return
+        acked = max(self._acked[pe], acked)
+        drained = acked - self._acked[pe]
+        self._acked[pe] = acked
+        self.inflight[pe] = max(self.inflight[pe] - drained, 0)
+
+    def phase_label(self, pid: int) -> str:
+        if 1 <= pid <= len(self.phase_labels):
+            return self.phase_labels[pid - 1]
+        return f"phase-{pid}"
+
+
+def render_follow(state: FollowState, *, width: int = 40) -> str:
+    """One frame of the live dashboard."""
+    status = "complete (footer landed)" if state.complete else "live"
+    lines = [
+        f"following {state.path} [{status}]: {state.num_pes} PEs, "
+        f"{state.total_events} events, {state.bytes_on_wire} bytes "
+        "issued",
+    ]
+    if not state.num_pes:
+        lines.append("(waiting for the stream header...)")
+        return "\n".join(lines)
+    top_count = max(state.pe_events) if state.pe_events else 0
+    lines.append("per-PE recorded events (# events, w compute us):")
+    show = min(state.num_pes, 16)
+    for pe in range(show):
+        count = state.pe_events[pe]
+        bar = "#" * (max(int(round(count / top_count * width)), 1)
+                     if top_count else 0)
+        phase = (f"  [{state.phase_label(state.pe_phase[pe])}]"
+                 if state.pe_phase[pe] else "")
+        lines.append(
+            f"PE {pe:3d} |{bar:<{width}}| {count:>8d} ev  "
+            f"{state.pe_work_us[pe]:>10.1f} us{phase}")
+    if state.num_pes > show:
+        lines.append(f"  ... and {state.num_pes - show} more PEs")
+    if state.links:
+        lines.append("hottest source->destination traffic (issued):")
+        ranked = sorted(state.links.items(),
+                        key=lambda kv: (-kv[1][1], kv[0]))
+        top_bytes = ranked[0][1][1] or 1
+        for (src, dst), (frames, nbytes) in ranked[:MAX_LINKS]:
+            bar = "#" * max(int(round(nbytes / top_bytes * 20)), 1)
+            lines.append(f"  {src:>3d}->{dst:<3d} |{bar:<20}| "
+                         f"{frames:>6d} msgs  {nbytes:>10d} B")
+        if len(ranked) > MAX_LINKS:
+            lines.append(
+                f"  ... and {len(ranked) - MAX_LINKS} more pairs")
+    hw = max(state.inflight_high_water, default=0)
+    if hw:
+        worst = state.inflight_high_water.index(hw)
+        lines.append(
+            f"queue pressure (outstanding msgs toward a PE): high water "
+            f"{hw} at PE {worst}, now "
+            f"{max(state.inflight, default=0)}")
+    if state.phase_entries:
+        lines.append("phase progress (PEs that entered each phase):")
+        for pid in sorted(state.phase_entries):
+            entered = state.phase_entries[pid]
+            frac = entered / state.num_pes
+            bar = "#" * max(int(round(frac * 20)), 1)
+            lines.append(
+                f"  {state.phase_label(pid):<20} |{bar:<20}| "
+                f"{entered}/{state.num_pes} PEs")
+    counts = "  ".join(f"{name}={state.kind_counts[name]}"
+                       for name in sorted(state.kind_counts))
+    lines.append(f"event mix: {counts}")
+    return "\n".join(lines)
+
+
+def follow_document(state: FollowState) -> dict[str, Any]:
+    """Machine-readable frame (``repro top --follow --json``)."""
+    return {
+        "schema": "repro-top-follow-v1",
+        "path": str(state.path),
+        "complete": state.complete,
+        "num_pes": state.num_pes,
+        "total_events": state.total_events,
+        "bytes_on_wire": state.bytes_on_wire,
+        "pe_events": list(state.pe_events),
+        "pe_work_us": list(state.pe_work_us),
+        "kind_counts": dict(state.kind_counts),
+        "links": {f"{src}->{dst}": {"messages": frames, "bytes": nbytes}
+                  for (src, dst), (frames, nbytes)
+                  in sorted(state.links.items())},
+        "inflight_high_water": list(state.inflight_high_water),
+        "phases": {state.phase_label(pid): entered
+                   for pid, entered in state.phase_entries.items()},
+    }
+
+
+# ----------------------------------------------------------------------
+# Journal follow (bench campaigns)
+# ----------------------------------------------------------------------
+
+
+def read_journal_snapshot(path: str | Path) -> dict[str, Any] | None:
+    """The current journal document, or None when the file is not a
+    bench journal (lets the caller fall back to trace mode)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if (isinstance(data, dict)
+            and data.get("schema") == "repro-bench-journal-v1"):
+        return data
+    return None
+
+
+def render_journal_follow(doc: dict[str, Any]) -> str:
+    """One frame of the campaign dashboard over a journal snapshot."""
+    apps = doc.get("apps", {})
+    order = doc.get("app_order", sorted(apps))
+    done = sum(1 for app in order if app in apps)
+    total = len(order) or 1
+    bar = "#" * int(round(done / total * 30))
+    lines = [
+        f"bench campaign [{doc.get('grid', '?')}]: {done}/{len(order)} "
+        f"rows journaled |{bar:<30}|",
+    ]
+    for app in order:
+        row = apps.get(app)
+        if row is None:
+            lines.append(f"  {app:<12} pending")
+            continue
+        result = row.get("result", {})
+        timings = row.get("timings", {})
+        verified = "VERIFIED" if result.get("verified") else "FAILED"
+        hit = " (cache hit)" if timings.get("cache_hit") else ""
+        functional = timings.get("functional_s", 0.0)
+        lines.append(f"  {app:<12} {verified:<8} "
+                     f"functional {functional:7.2f}s{hit}")
+    return "\n".join(lines)

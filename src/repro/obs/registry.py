@@ -17,6 +17,11 @@ MACHINE_SCHEMA = "repro-obs-machine-v1"
 #: (``MLSimResult.metrics`` when collected).
 REPLAY_SCHEMA = "repro-obs-replay-v1"
 
+#: Every metric-document version this code base can interpret.  Artifact
+#: loaders (``repro bench compare``) refuse anything else rather than
+#: silently comparing fields whose meaning may have changed.
+KNOWN_OBS_SCHEMAS = frozenset({MACHINE_SCHEMA, REPLAY_SCHEMA})
+
 #: Histogram bucket upper bounds: 1, 2, 4, ... 2^20 microseconds.  A
 #: final implicit +inf bucket catches anything slower than ~one second.
 _BUCKET_BOUNDS = tuple(float(1 << i) for i in range(21))

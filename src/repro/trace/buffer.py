@@ -11,13 +11,50 @@ configurable, much larger bound.
 
 from __future__ import annotations
 
+import contextlib
+from collections.abc import Iterator
+from contextvars import ContextVar
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.core.errors import TraceBufferOverflowError
 from repro.trace.events import EventKind, GroupTable, TraceEvent
 
 #: Default machine-wide event capacity.
 DEFAULT_CAPACITY = 4_000_000
+
+
+class TraceSink(Protocol):
+    """Consumer of live trace events (see
+    :class:`repro.trace.io.StreamTraceWriter`).
+
+    A sink binds to the *first* buffer created inside a
+    :func:`streaming_to` context (``bind`` returns False to refuse) and
+    then observes every recorded event and phase interning in order.
+    """
+
+    def bind(self, buffer: TraceBuffer) -> bool: ...
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+    def phase(self, label: str, pid: int) -> None: ...
+
+
+#: Ambient sink for incremental trace writing.  A ContextVar (not a
+#: module global) so nested tools and tests compose; the pattern
+#: mirrors ``repro.trace.sanitize.enabled`` / ``repro.obs.enabled``.
+_active_sink: ContextVar[TraceSink | None] = ContextVar(
+    "repro_trace_sink", default=None)
+
+
+@contextlib.contextmanager
+def streaming_to(sink: TraceSink) -> Iterator[TraceSink]:
+    """Stream events of the next-created trace buffer into ``sink``."""
+    token = _active_sink.set(sink)
+    try:
+        yield sink
+    finally:
+        _active_sink.reset(token)
 
 
 @dataclass
@@ -27,17 +64,26 @@ class TraceBuffer:
     num_pes: int
     capacity: int = DEFAULT_CAPACITY
     groups: GroupTable | None = None
+    #: Whether to bind to the ambient streaming sink at creation.
+    #: Loaders pass False so re-reading a trace never re-streams it.
+    attach_sink: bool = True
     _events: list[list[TraceEvent]] = field(default_factory=list)
     _seq: int = 0
     total_events: int = 0
     _phase_labels: list[str] = field(default_factory=list)
     _phase_ids: dict[str, int] = field(default_factory=dict)
+    _sink: TraceSink | None = field(default=None, repr=False,
+                                    compare=False)
 
     def __post_init__(self) -> None:
         if not self._events:
             self._events = [[] for _ in range(self.num_pes)]
         if self.groups is None:
             self.groups = GroupTable(tuple(range(self.num_pes)))
+        if self.attach_sink and self._sink is None:
+            sink = _active_sink.get()
+            if sink is not None and sink.bind(self):
+                self._sink = sink
 
     def record(self, event: TraceEvent) -> TraceEvent:
         """Append an event, assigning its global sequence number."""
@@ -51,6 +97,8 @@ class TraceBuffer:
         self._seq += 1
         self._events[event.pe].append(event)
         self.total_events += 1
+        if self._sink is not None:
+            self._sink.emit(event)
         return event
 
     def phase_id(self, label: str) -> int:
@@ -64,7 +112,16 @@ class TraceBuffer:
             self._phase_labels.append(label)
             pid = len(self._phase_labels)
             self._phase_ids[label] = pid
+            if self._sink is not None:
+                self._sink.phase(label, pid)
         return pid
+
+    def __getstate__(self) -> dict:
+        # Checkpoints pickle the whole buffer; a file-backed sink cannot
+        # survive that, so a resumed run records without streaming.
+        state = self.__dict__.copy()
+        state["_sink"] = None
+        return state
 
     def phase_label(self, pid: int) -> str:
         """Resolve a phase id back to its label."""

@@ -1,6 +1,6 @@
 """Trace serialization.
 
-Two on-disk formats share one loader:
+Three on-disk formats share one loader:
 
 * **v1** — JSON lines: one header object (machine size, groups) followed
   by one object per event in global order.  Human-greppable, kept for
@@ -12,8 +12,14 @@ Two on-disk formats share one loader:
   structure-of-arrays layout the vectorized MLSim engine consumes
   without materializing a single :class:`TraceEvent`, so a trace is
   decoded once per application instead of once per (app, preset) cell.
+* **stream** — v1-style event lines written *incrementally* while the
+  run executes (:class:`StreamTraceWriter`): a minimal header, chunked
+  line flushes at record boundaries, interleaved phase meta lines, and
+  a v2-compatible footer (groups, phases, per-PE counts) appended at
+  close.  The file is readable mid-run — ``repro top --follow`` tails
+  it live — and loads like any other trace once the footer lands.
 
-Both formats exist so a long functional run can be recorded once and
+The formats exist so a long functional run can be recorded once and
 replayed through MLSim many times with different parameter files — the
 same decoupling the paper's methodology relied on.  ``load_trace`` and
 ``load_trace_columns`` sniff the format from the first line, so readers
@@ -23,6 +29,7 @@ never need to know which writer produced a file.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO
 
@@ -40,6 +47,7 @@ from repro.trace.soa import (
 
 FORMAT_V1 = "ap1000-trace-v1"
 FORMAT_V2 = "ap1000-trace-v2"
+FORMAT_STREAM = "ap1000-trace-stream-v1"
 
 _FIELDS = (
     "kind", "pe", "seq", "partner", "size", "stride", "send_flag",
@@ -143,6 +151,176 @@ def save_trace_v2(trace: TraceBuffer, target: str | Path | IO[str]) -> None:
         target.write(line)
 
 
+class StreamTraceWriter:
+    """Incremental, bounded-memory trace writer (the stream format).
+
+    Registered as the ambient sink via
+    :func:`repro.trace.buffer.streaming_to`; the first
+    :class:`TraceBuffer` created inside the context binds to it and
+    every recorded event is appended to the file as it happens, in
+    chunks of ``flush_events`` complete lines (so a concurrent reader
+    never sees a torn record from a live writer).  Memory held is one
+    pending chunk plus per-PE counters — independent of trace length.
+
+    ``close`` appends the v2-compatible footer (groups, phases, per-PE
+    counts, total) that lets :func:`load_trace` rebuild the exact
+    buffer; a file without a footer (run still going, or killed) is
+    still tailable by ``repro top --follow`` and loadable best-effort.
+    """
+
+    def __init__(self, target: str | Path, *,
+                 flush_events: int = 1024) -> None:
+        self.path = Path(target)
+        self.flush_events = max(1, flush_events)
+        self._fh: IO[str] | None = None
+        self._buffer: TraceBuffer | None = None
+        self._pending: list[str] = []
+        self._counts: list[int] = []
+        self._total = 0
+        self._closed = False
+
+    @property
+    def bound(self) -> bool:
+        return self._buffer is not None
+
+    @property
+    def total_events(self) -> int:
+        return self._total
+
+    def bind(self, buffer: TraceBuffer) -> bool:
+        """Attach to the first buffer created in the streaming context;
+        refuses (returns False) once bound or closed."""
+        if self._buffer is not None or self._closed:
+            return False
+        self._buffer = buffer
+        self._fh = open(self.path, "w", encoding="utf-8")
+        header = {"format": FORMAT_STREAM, "num_pes": buffer.num_pes}
+        self._fh.write(json.dumps(header) + "\n")
+        self._fh.flush()
+        self._counts = [0] * buffer.num_pes
+        return True
+
+    def emit(self, event: TraceEvent) -> None:
+        self._pending.append(json.dumps(_event_to_dict(event)))
+        self._counts[event.pe] += 1
+        self._total += 1
+        if len(self._pending) >= self.flush_events:
+            self.flush()
+
+    def phase(self, label: str, pid: int) -> None:
+        self._pending.append(
+            json.dumps({"meta": "phase", "label": label, "id": pid}))
+        if len(self._pending) >= self.flush_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push pending complete lines to disk."""
+        if self._fh is not None and self._pending:
+            self._fh.write("\n".join(self._pending) + "\n")
+            self._pending.clear()
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush, append the footer, and release the file."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._fh is None:
+            return
+        self.flush()
+        buffer = self._buffer
+        assert buffer is not None and buffer.groups is not None
+        footer = {
+            "footer": FORMAT_STREAM,
+            "groups": [list(buffer.groups.members(gid))
+                       for gid in range(len(buffer.groups))],
+            "phases": list(buffer.phases),
+            "counts": self._counts,
+            "total_events": self._total,
+        }
+        self._fh.write(json.dumps(footer) + "\n")
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> StreamTraceWriter:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def ensure_intact(path: str | Path) -> None:
+    """Refuse a torn trace file before parsing it.
+
+    A process killed mid-``write`` leaves an empty file or a partial
+    last line; both read as damage, not as a trace.  Raises
+    :class:`SimulationError` (a :class:`ReproError`, so the CLI prints
+    one clean message) — the bench cache uses the same check to decide
+    what to quarantine.
+    """
+    p = Path(path)
+    try:
+        if p.stat().st_size == 0:
+            raise SimulationError(f"trace file {p} is empty")
+        with p.open("rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                raise SimulationError(
+                    f"trace file {p} is truncated (missing trailing "
+                    "newline; was the writer killed mid-record?)")
+    except OSError as exc:
+        raise SimulationError(f"cannot read trace file {p}: {exc}"
+                              ) from exc
+
+
+def _buffer_from_stream(header: dict, fh: IO[str],
+                        source: str = "<stream>") -> TraceBuffer:
+    """Rebuild a TraceBuffer from a stream-format file.
+
+    A footer, when present, restores the group table exactly; a
+    footer-less file (live or killed writer) loads best-effort with
+    only the implicit all-cells group.
+    """
+    num_pes = header["num_pes"]
+    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62,
+                        attach_sink=False)
+    assert trace.groups is not None
+    footer: dict | None = None
+    for lineno, line in enumerate(fh, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"{source}:{lineno}: corrupt trace line: {exc.msg}"
+            ) from exc
+        if "footer" in obj:
+            footer = obj
+            break
+        if obj.get("meta") == "phase":
+            pid = trace.phase_id(obj["label"])
+            if pid != obj["id"]:
+                raise SimulationError(
+                    f"{source}:{lineno}: phase id mismatch "
+                    f"({pid} != {obj['id']})")
+            continue
+        ev = _event_from_dict(obj)
+        seq = ev.seq
+        trace.record(ev)
+        ev.seq = seq  # preserve the original global order
+    if footer is not None:
+        for members in footer.get("groups", [])[1:]:
+            trace.groups.intern(tuple(members))
+        total = footer.get("total_events")
+        if total is not None and total != trace.total_events:
+            raise SimulationError(
+                f"{source}: footer promises {total} events but the "
+                f"stream holds {trace.total_events}")
+    return trace
+
+
 def _buffer_from_v1(header: dict, fh: IO[str]) -> TraceBuffer:
     """Rebuild a TraceBuffer from a v1 stream positioned after the
     header line."""
@@ -153,14 +331,19 @@ def _buffer_from_v1(header: dict, fh: IO[str]) -> TraceBuffer:
         if int(gid_str) == 0:
             continue
         groups.intern(tuple(members))
-    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
+    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups,
+                        attach_sink=False)
     for label in header.get("phases", []):
         trace.phase_id(label)
-    for line in fh:
+    for lineno, line in enumerate(fh, start=2):
         line = line.strip()
         if not line:
             continue
-        ev = _event_from_dict(json.loads(line))
+        try:
+            ev = _event_from_dict(json.loads(line))
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise SimulationError(
+                f"corrupt trace line {lineno}: {exc}") from exc
         seq = ev.seq
         trace.record(ev)
         ev.seq = seq  # preserve the original global order
@@ -174,7 +357,8 @@ def _buffer_from_v2(doc: dict) -> TraceBuffer:
     groups = GroupTable(tuple(range(num_pes)))
     for members in doc["groups"][1:]:  # gid 0 is always "all cells"
         groups.intern(tuple(members))
-    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups)
+    trace = TraceBuffer(num_pes=num_pes, capacity=1 << 62, groups=groups,
+                        attach_sink=False)
     for label in doc.get("phases", []):
         trace.phase_id(label)
     cols = doc["columns"]
@@ -253,31 +437,43 @@ def load_columns_npz(source: str | Path, *,
     return coalesce_columns(columns) if coalesce else columns
 
 
-def _sniff_header(fh: IO[str]) -> dict:
+def _sniff_header(fh: IO[str], source: str = "<trace>") -> dict:
     header_line = fh.readline()
     if not header_line:
-        raise SimulationError("empty trace file")
-    header = json.loads(header_line)
-    if header.get("format") not in (FORMAT_V1, FORMAT_V2):
+        raise SimulationError(f"trace file {source} is empty")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
         raise SimulationError(
-            f"unrecognized trace format {header.get('format')!r}")
+            f"{source} is not a trace file (corrupt header: {exc.msg})"
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") not in (
+            FORMAT_V1, FORMAT_V2, FORMAT_STREAM):
+        fmt = header.get("format") if isinstance(header, dict) else None
+        raise SimulationError(f"unrecognized trace format {fmt!r}")
     return header
 
 
 def load_trace(source: str | Path | IO[str]) -> TraceBuffer:
-    """Read a trace written by :func:`save_trace` or
-    :func:`save_trace_v2` (the format is sniffed from the first line)."""
+    """Read a trace written by :func:`save_trace`,
+    :func:`save_trace_v2`, or :class:`StreamTraceWriter` (the format is
+    sniffed from the first line).  File paths are integrity-checked
+    first, so a torn file raises a clean :class:`SimulationError`
+    instead of a parser traceback."""
 
-    def _read(fh: IO[str]) -> TraceBuffer:
-        header = _sniff_header(fh)
+    def _read(fh: IO[str], name: str) -> TraceBuffer:
+        header = _sniff_header(fh, name)
         if header["format"] == FORMAT_V2:
             return _buffer_from_v2(header)
+        if header["format"] == FORMAT_STREAM:
+            return _buffer_from_stream(header, fh, name)
         return _buffer_from_v1(header, fh)
 
     if isinstance(source, (str, Path)):
+        ensure_intact(source)
         with open(source, encoding="utf-8") as fh:
-            return _read(fh)
-    return _read(source)
+            return _read(fh, str(source))
+    return _read(source, "<stream>")
 
 
 def load_trace_columns(
@@ -294,15 +490,19 @@ def load_trace_columns(
     from columns matches replaying from a coalesced buffer bit for bit.
     """
 
-    def _read(fh: IO[str]) -> TraceColumns:
-        header = _sniff_header(fh)
+    def _read(fh: IO[str], name: str) -> TraceColumns:
+        header = _sniff_header(fh, name)
         if header["format"] == FORMAT_V2:
             columns = _columns_from_v2(header)
+        elif header["format"] == FORMAT_STREAM:
+            columns = columns_from_buffer(
+                _buffer_from_stream(header, fh, name))
         else:
             columns = columns_from_buffer(_buffer_from_v1(header, fh))
         return coalesce_columns(columns) if coalesce else columns
 
     if isinstance(source, (str, Path)):
+        ensure_intact(source)
         with open(source, encoding="utf-8") as fh:
-            return _read(fh)
-    return _read(source)
+            return _read(fh, str(source))
+    return _read(source, "<stream>")

@@ -1,0 +1,85 @@
+"""Versioning of embedded observability metrics: ``results[].metrics``
+blocks (machine telemetry + per-preset replay documents) are stamped
+with ``repro-obs-*`` schema ids, and unknown future versions fail
+loudly on artifact load — mirroring the ``repro-check-v1`` contract —
+so ``repro bench compare`` never diffs fields it cannot interpret."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_artifacts
+from repro.bench.schema import BenchArtifact
+from repro.core.errors import ConfigurationError
+from repro.obs.registry import (
+    KNOWN_OBS_SCHEMAS,
+    MACHINE_SCHEMA,
+    REPLAY_SCHEMA,
+)
+
+
+class TestSchemaStamp:
+    def test_both_document_kinds_are_known(self):
+        assert KNOWN_OBS_SCHEMAS == {MACHINE_SCHEMA, REPLAY_SCHEMA}
+
+    def test_fresh_artifacts_carry_stamped_metrics(self, tiny_artifact):
+        metrics = tiny_artifact.apps["EP"].metrics
+        assert metrics["machine"]["schema"] == MACHINE_SCHEMA
+        for doc in metrics["replay"].values():
+            assert doc["schema"] == REPLAY_SCHEMA
+
+
+class TestArtifactValidation:
+    def with_metrics(self, tiny_artifact, metrics):
+        data = json.loads(json.dumps(tiny_artifact.to_dict()))
+        app = data["results"]["app_order"][0]
+        data["results"]["apps"][app]["metrics"] = metrics
+        return data
+
+    def test_current_schemas_accepted(self, tiny_artifact):
+        BenchArtifact.from_dict(
+            json.loads(json.dumps(tiny_artifact.to_dict())))
+
+    def test_legacy_unversioned_accepted(self, tiny_artifact):
+        BenchArtifact.from_dict(self.with_metrics(
+            tiny_artifact, {"machine": {"counters": {}}}))
+
+    def test_absent_metrics_accepted(self, tiny_artifact):
+        data = json.loads(json.dumps(tiny_artifact.to_dict()))
+        for app in data["results"]["apps"].values():
+            app.pop("metrics", None)
+        BenchArtifact.from_dict(data)
+
+    def test_unknown_machine_version_fails_loudly(self, tiny_artifact):
+        data = self.with_metrics(
+            tiny_artifact, {"machine": {"schema": "repro-obs-machine-v9"}})
+        with pytest.raises(ConfigurationError,
+                           match="repro-obs-machine-v9"):
+            BenchArtifact.from_dict(data)
+
+    def test_unknown_replay_version_names_the_preset(self, tiny_artifact):
+        data = self.with_metrics(tiny_artifact, {
+            "machine": {"schema": MACHINE_SCHEMA},
+            "replay": {"ap1000": {"schema": "repro-obs-replay-v9"}}})
+        with pytest.raises(ConfigurationError,
+                           match=r"replay\['ap1000'\]"):
+            BenchArtifact.from_dict(data)
+
+
+class TestCompareGate:
+    def test_compare_refuses_unknown_metrics_schema(
+            self, tiny_artifact, tmp_path):
+        good = tmp_path / "good.json"
+        tiny_artifact.save(good)
+        data = json.loads(good.read_text())
+        app = data["results"]["app_order"][0]
+        data["results"]["apps"][app]["metrics"] = {
+            "machine": {"schema": "repro-obs-machine-v9"}}
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError,
+                           match="repro-obs-machine-v9"):
+            compare_artifacts(BenchArtifact.load(bad),
+                              BenchArtifact.load(good))

@@ -1,0 +1,13 @@
+"""Shared fixtures for the ingestion tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def examples_dir() -> Path:
+    """The shipped foreign-trace samples (``examples/ingest/``)."""
+    return Path(__file__).parents[2] / "examples" / "ingest"

@@ -508,3 +508,169 @@ class TestTraceExport:
                      "--format", "perfetto"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestStreamAndFollow:
+    """`run --stream` + `top --follow`: live observability end-to-end."""
+
+    @pytest.fixture
+    def stream_file(self, tmp_path, capsys):
+        path = tmp_path / "ep.stream.jsonl"
+        assert main(["run", "EP", "--cells", "4", "--no-replay",
+                     "--stream", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_stream_file_replays_like_a_trace(self, stream_file, capsys):
+        assert main(["replay", str(stream_file)]) == 0
+        assert "AP1000+" in capsys.readouterr().out
+
+    def test_follow_complete_stream(self, stream_file, capsys):
+        assert main(["top", str(stream_file), "--follow",
+                     "--interval", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "complete (footer landed)" in out
+        assert "PE   0" in out
+
+    def test_follow_json_document(self, stream_file, capsys):
+        import json
+        assert main(["top", str(stream_file), "--follow", "--json",
+                     "--interval", "0"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-top-follow-v1"
+        assert doc["complete"] is True
+
+    def test_stream_refuses_shards(self, tmp_path, capsys):
+        assert main(["run", "EP", "--cells", "4", "--shards", "2",
+                     "--stream", str(tmp_path / "s.jsonl")]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_follow_without_file_is_clean_error(self, capsys):
+        assert main(["top", "--follow"]) == 2
+        assert "--follow needs" in capsys.readouterr().err
+
+    def test_follow_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.jsonl"),
+                     "--follow"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestTornTraces:
+    """Truncated/torn trace files: clean `repro: error`, no traceback."""
+
+    def make_torn(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(["run", "EP", "--cells", "4", "--trace", str(path),
+              "--no-replay"])
+        capsys.readouterr()
+        path.write_bytes(path.read_bytes()[:-7])  # tear the last line
+        return path
+
+    def test_top_on_torn_trace(self, tmp_path, capsys):
+        torn = self.make_torn(tmp_path, capsys)
+        assert main(["top", str(torn)]) == 2
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+        assert "truncated" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_replay_on_torn_trace(self, tmp_path, capsys):
+        torn = self.make_torn(tmp_path, capsys)
+        assert main(["replay", str(torn)]) == 2
+        assert "truncated" in capsys.readouterr().err
+
+    def test_top_on_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["top", str(empty)]) == 2
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestIngest:
+    """`repro ingest`: foreign traces land in the cache and feed the
+    stock verbs unmodified."""
+
+    EXAMPLES = "examples/ingest"
+
+    def test_ingest_vef_sample(self, tmp_path, capsys):
+        assert main(["ingest", f"{self.EXAMPLES}/ring4.vef",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "24 foreign records" in out
+        assert "trace published at" in out
+
+    def test_ingest_json_roundtrip(self, tmp_path, capsys):
+        import json
+        assert main(["ingest", f"{self.EXAMPLES}/pingpong.jsonl",
+                     "--cache-dir", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-ingest-v1"
+        assert doc["num_ranks"] == 2
+        assert doc["trace_path"]
+
+    def test_published_trace_feeds_stock_verbs(self, tmp_path, capsys):
+        import json
+        assert main(["ingest", f"{self.EXAMPLES}/ring4.vef",
+                     "--cache-dir", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        trace = doc["trace_path"]
+        assert main(["replay", trace, "--preset", "ap1000+"]) == 0
+        assert main(["top", trace]) == 0
+        capsys.readouterr()
+
+    def test_no_cache_with_output(self, tmp_path, capsys):
+        out = tmp_path / "converted.jsonl"
+        assert main(["ingest", f"{self.EXAMPLES}/ring4.vef",
+                     "--no-cache", "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert out.exists()
+        assert main(["replay", str(out)]) == 0
+        capsys.readouterr()
+
+    def test_malformed_trace_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.vef"
+        bad.write_text("VEFT 2\n0.0 0 put\n")
+        assert main(["ingest", str(bad), "--no-cache"]) == 2
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+        assert "bad.vef:2" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_reader_is_clean_error(self, capsys):
+        assert main(["ingest", f"{self.EXAMPLES}/ring4.vef",
+                     "--reader", "otf", "--no-cache"]) == 2
+        assert "no reader named" in capsys.readouterr().err
+
+
+class TestChunkedExport:
+    def test_chunked_files_written(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "micro.json"
+        assert main(["trace", "export", "--micro", "--cells", "4",
+                     "--chunk-events", "10", "-o", str(out)]) == 0
+        assert "chunk(s)" in capsys.readouterr().out
+        chunks = sorted(tmp_path.glob("micro.chunk*.json"))
+        assert len(chunks) > 1
+        for index, chunk in enumerate(chunks):
+            doc = json.loads(chunk.read_text())
+            assert doc["otherData"]["chunk"] == index
+
+    def test_chunks_merge_to_monolithic(self, tmp_path, capsys):
+        from repro.obs.export import merge_chunks
+        out = tmp_path / "m.json"
+        mono = tmp_path / "mono.json"
+        assert main(["trace", "export", "--micro", "--cells", "4",
+                     "--chunk-events", "16", "-o", str(out)]) == 0
+        assert main(["trace", "export", "--micro", "--cells", "4",
+                     "-o", str(mono)]) == 0
+        capsys.readouterr()
+        chunks = [p.read_text()
+                  for p in sorted(tmp_path.glob("m.chunk*.json"))]
+        assert merge_chunks(chunks) == mono.read_text()
+
+    def test_chunk_events_requires_output(self, capsys):
+        assert main(["trace", "export", "--micro",
+                     "--chunk-events", "10"]) == 2
+        assert "-o" in capsys.readouterr().err

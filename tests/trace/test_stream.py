@@ -1,0 +1,168 @@
+"""Streaming trace writes (``ap1000-trace-stream-v1``).
+
+The stream format's contract: a live run appends complete lines in
+bounded memory; the finished file loads back *exactly* like a ``--trace``
+save; a killed run leaves a loadable prefix; a torn file is refused
+loudly everywhere (loader, ``repro top``, bench cache) via the shared
+:func:`repro.trace.io.ensure_intact`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.obs.micro import micro_trace
+from repro.trace.buffer import TraceBuffer, streaming_to
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.io import (
+    FORMAT_STREAM,
+    StreamTraceWriter,
+    ensure_intact,
+    load_trace,
+    load_trace_columns,
+    save_trace,
+)
+
+
+def stream_micro(path, **writer_kw):
+    """Record the micro workload with a streaming sink attached."""
+    with StreamTraceWriter(path, **writer_kw) as writer:
+        with streaming_to(writer):
+            trace = micro_trace(4)
+    return trace
+
+
+def dump(trace) -> str:
+    out = io.StringIO()
+    save_trace(trace, out)
+    return out.getvalue()
+
+
+class TestWriter:
+    def test_stream_loads_back_byte_identical(self, tmp_path):
+        path = tmp_path / "micro.stream.jsonl"
+        recorded = stream_micro(path)
+        assert dump(load_trace(path)) == dump(recorded)
+
+    def test_header_then_events_then_footer(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        stream_micro(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        footer = json.loads(lines[-1])
+        assert header["format"] == FORMAT_STREAM
+        assert header["num_pes"] == 4
+        assert footer["footer"] == FORMAT_STREAM
+        assert footer["total_events"] == sum(footer["counts"])
+
+    def test_phase_labels_ride_as_meta_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        stream_micro(path)
+        metas = [json.loads(ln) for ln in path.read_text().splitlines()
+                 if '"meta"' in ln]
+        assert [m["label"] for m in metas] == [
+            "init", "exchange", "reduce"]
+        assert load_trace(path).phases == ("init", "exchange", "reduce")
+
+    def test_flush_chunking_writes_complete_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        writer = StreamTraceWriter(path, flush_events=2)
+        with streaming_to(writer):
+            buf = TraceBuffer(num_pes=1, capacity=64)
+        for _ in range(3):
+            buf.record(TraceEvent(kind=EventKind.COMPUTE, pe=0, work=1))
+        # 3 events with flush_events=2: one flush happened, one pending.
+        on_disk = path.read_text()
+        assert on_disk.endswith("\n")
+        assert len(on_disk.splitlines()) == 3  # header + 2 events
+        writer.close()
+        assert load_trace(path).total_events == 3
+
+    def test_binds_only_the_first_buffer(self, tmp_path):
+        writer = StreamTraceWriter(tmp_path / "s.jsonl")
+        with streaming_to(writer):
+            first = TraceBuffer(num_pes=2, capacity=16)
+            second = TraceBuffer(num_pes=2, capacity=16)
+        assert first._sink is writer
+        assert second._sink is None
+        writer.close()
+
+    def test_loaders_never_rebind_the_sink(self, tmp_path):
+        # Loading a trace inside a streaming context must not re-stream
+        # the loaded events into the live file.
+        path = tmp_path / "s.jsonl"
+        stream_micro(path)
+        live = tmp_path / "live.jsonl"
+        with StreamTraceWriter(live) as writer:
+            with streaming_to(writer):
+                loaded = load_trace(path)
+        assert loaded._sink is None
+        assert not live.exists()  # never bound, never opened
+
+    def test_checkpoint_pickling_drops_the_sink(self, tmp_path):
+        writer = StreamTraceWriter(tmp_path / "s.jsonl")
+        with streaming_to(writer):
+            buf = TraceBuffer(num_pes=1, capacity=16)
+        buf.record(TraceEvent(kind=EventKind.COMPUTE, pe=0, work=1))
+        clone = pickle.loads(pickle.dumps(buf))
+        assert clone._sink is None
+        assert clone.total_events == 1
+        writer.close()
+
+    def test_columns_load_from_stream_format(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        recorded = stream_micro(path)
+        cols = load_trace_columns(path, coalesce=False)
+        assert cols.total_events == recorded.total_events
+
+
+class TestCrashTolerance:
+    def test_footerless_prefix_loads_best_effort(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        stream_micro(path)
+        lines = path.read_text().splitlines()
+        partial = tmp_path / "killed.jsonl"
+        partial.write_text("\n".join(lines[:-1]) + "\n")  # drop footer
+        loaded = load_trace(partial)
+        assert loaded.total_events > 0
+
+    def test_empty_file_is_refused(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SimulationError, match="empty"):
+            ensure_intact(path)
+
+    def test_torn_last_line_is_refused(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        stream_micro(path)
+        path.write_bytes(path.read_bytes()[:-3])  # tear the footer
+        with pytest.raises(SimulationError, match="truncated"):
+            load_trace(path)
+
+    def test_missing_file_is_refused(self, tmp_path):
+        with pytest.raises(SimulationError):
+            ensure_intact(tmp_path / "missing.jsonl")
+
+    def test_corrupt_stream_line_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"format": FORMAT_STREAM, "num_pes": 1}) + "\n"
+            + "{not json}\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_footer_total_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        stream_micro(path)
+        lines = path.read_text().splitlines()
+        footer = json.loads(lines[-1])
+        footer["total_events"] += 5
+        lines[-1] = json.dumps(footer)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SimulationError, match="total_events|events"):
+            load_trace(path)
